@@ -1,0 +1,109 @@
+"""Ablation: vGPU pool lifecycle policy (paper §4.4 tradeoff).
+
+The paper chooses *on-demand* release because acquisition overhead is low;
+*reservation* avoids that overhead entirely but withholds idle GPUs from
+native pods. This bench quantifies both sides: time-to-RUNNING for a
+second wave of sharePods (paying or skipping vGPU acquisition) and the
+number of placeholder pods held while idle.
+"""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig
+from repro.cluster.objects import GPU_RESOURCE, PodPhase
+from repro.core import HybridPolicy, KubeShare, OnDemandPolicy, ReservationPolicy
+from repro.core.devmgr import PLACEHOLDER_PREFIX
+from repro.metrics.reporting import ascii_table
+from repro.sim import Environment
+
+pytestmark = pytest.mark.benchmark(group="ablation-pool")
+
+POLICIES = {
+    "on-demand": OnDemandPolicy,
+    "reservation": lambda: ReservationPolicy(max_idle=None),
+    "hybrid(ttl=30s)": lambda: HybridPolicy(max_idle=4, idle_ttl=30.0),
+}
+
+
+def _train(work):
+    def wl(ctx):
+        api = ctx.cuda()
+        cu = api.cu_ctx_create()
+        try:
+            yield from api.cu_launch_kernel(cu, work)
+        finally:
+            api.cu_ctx_destroy(cu)
+
+    return wl
+
+
+def run_policy(policy_factory):
+    env = Environment()
+    cluster = Cluster(env, ClusterConfig(nodes=2, gpus_per_node=2)).start()
+    ks = KubeShare(cluster, isolation="token", policy=policy_factory()).start()
+
+    def wave(tag):
+        names = [f"{tag}-{i}" for i in range(4)]
+        for name in names:
+            ks.submit(ks.make_sharepod(
+                name, gpu_request=0.9, gpu_limit=1.0, gpu_mem=0.5,
+                workload=_train(2.0),
+            ))
+        return names
+
+    first = wave("w1")
+    done = env.process(ks.wait_all_terminal(first))
+    env.run(until=done)
+    env.run(until=env.now + 5)  # give the policy time to act
+    idle_held = sum(
+        1 for p in cluster.api.pods() if p.name.startswith(PLACEHOLDER_PREFIX)
+    )
+    submit_at = env.now
+    second = wave("w2")
+    waits = [
+        env.process(ks.wait_for_phase(n, [PodPhase.RUNNING, PodPhase.FAILED]))
+        for n in second
+    ]
+    env.run(until=env.all_of(waits))
+    creation = [
+        cluster.api.get("Pod", n).status.start_time - submit_at for n in second
+    ]
+    return {
+        "idle_placeholders_held": idle_held,
+        "second_wave_mean_creation_s": sum(creation) / len(creation),
+        "vgpus_acquired_total": ks.devmgr.vgpus_created_total,
+    }
+
+
+def test_pool_policy_tradeoff(report, benchmark):
+    def sweep():
+        return {name: run_policy(f) for name, f in POLICIES.items()}
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report(
+        ascii_table(
+            ["policy", "idle placeholders held", "2nd-wave creation (s)",
+             "vGPU acquisitions"],
+            [
+                (name, r["idle_placeholders_held"],
+                 r["second_wave_mean_creation_s"], r["vgpus_acquired_total"])
+                for name, r in results.items()
+            ],
+            title="Ablation — vGPU pool policy (§4.4 tradeoff)",
+        )
+    )
+    od, rs = results["on-demand"], results["reservation"]
+    # On-demand withholds nothing but pays acquisition on every wave.
+    assert od["idle_placeholders_held"] == 0
+    assert od["vgpus_acquired_total"] == 8
+    # Reservation keeps the GPUs (unusable by native pods) but the second
+    # wave starts roughly a pod-launch faster.
+    assert rs["idle_placeholders_held"] == 4
+    assert rs["vgpus_acquired_total"] == 4
+    assert (
+        rs["second_wave_mean_creation_s"]
+        < od["second_wave_mean_creation_s"] - 0.5
+    )
+    # Hybrid sits between: idle vGPUs released after the TTL.
+    hy = results["hybrid(ttl=30s)"]
+    assert hy["vgpus_acquired_total"] == 4  # within TTL the pool is reused

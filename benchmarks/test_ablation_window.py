@@ -1,0 +1,94 @@
+"""Ablation: the token backend's sliding-window width.
+
+The paper fixes the quota at 100 ms (Figure 7) but the usage-measurement
+window is an implementation knob: a short window makes per-container usage
+jittery (Figure 6's fluctuation); a long one slows reaction to arrivals.
+This bench measures steady-phase usage fluctuation and the time for a new
+arrival to reach its guaranteed share.
+"""
+
+import numpy as np
+import pytest
+
+from repro.gpu.backend import TokenBackend
+from repro.gpu.device import GPUDevice
+from repro.gpu.standalone import kubeshare_env_vars, standalone_context
+from repro.metrics.reporting import ascii_table
+from repro.sim import Environment, Interrupt
+
+pytestmark = pytest.mark.benchmark(group="ablation-window")
+
+WINDOWS = (0.5, 2.5, 10.0)
+
+
+def run_window(window, horizon=120.0):
+    env = Environment()
+    gpu = GPUDevice(env, uuid="GPU-abl", node_name="n0")
+    backend = TokenBackend(env, quota=0.1, window=window)
+    samples = {"a": [], "b": []}
+    reach = {}
+
+    def job(name, request, limit, arrival):
+        yield env.timeout(arrival)
+        ctx = standalone_context(
+            env, [gpu],
+            env_vars=kubeshare_env_vars(request, limit, 0.3, "token"),
+            backend=backend, name=name,
+        )
+        api = ctx.cuda()
+        cu = api.cu_ctx_create()
+        try:
+            yield from api.cu_launch_kernel(cu, 10_000.0)
+        except Interrupt:
+            pass
+
+    def sampler():
+        while True:
+            yield env.timeout(1.0)
+            for name in samples:
+                u = backend.usage(gpu.uuid, f"uid-{name}")
+                samples[name].append((env.now, u))
+                if name == "b" and name not in reach and u >= 0.4 - 0.02:
+                    reach[name] = env.now - 30.0
+
+    procs = [
+        env.process(job("a", 0.3, 1.0, 0.0)),
+        env.process(job("b", 0.4, 1.0, 30.0)),
+    ]
+    env.process(sampler())
+    env.run(until=horizon)
+    for p in procs:
+        if p.is_alive:
+            p.interrupt("done")
+    env.run(until=horizon + 1)
+    steady_a = [u for t, u in samples["a"] if t > 60.0]
+    return {
+        "fluctuation": float(np.std(steady_a)),
+        "time_to_guarantee_s": reach.get("b", float("inf")),
+    }
+
+
+def test_window_tradeoff(report, benchmark):
+    def sweep():
+        return {w: run_window(w) for w in WINDOWS}
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report(
+        ascii_table(
+            ["window (s)", "steady usage stddev", "arrival → guarantee (s)"],
+            [
+                (w, r["fluctuation"], r["time_to_guarantee_s"])
+                for w, r in results.items()
+            ],
+            title="Ablation — sliding-window width (quota fixed at 100 ms)",
+        )
+    )
+    # Wider windows smooth the measured usage...
+    assert results[10.0]["fluctuation"] < results[0.5]["fluctuation"]
+    # ...but take longer to recognize a new arrival's entitlement.
+    assert (
+        results[0.5]["time_to_guarantee_s"]
+        <= results[10.0]["time_to_guarantee_s"] + 1e-9
+    )
+    # With the paper-scale window, guarantees engage within a few seconds.
+    assert results[2.5]["time_to_guarantee_s"] < 10.0

@@ -1,0 +1,51 @@
+"""Figure 10: KubeShare's pod-creation overhead vs native Kubernetes."""
+
+import pytest
+
+from repro.experiments import fig10
+from repro.metrics.reporting import ascii_table
+
+pytestmark = pytest.mark.benchmark(group="fig10")
+
+
+def test_fig10_creation_overhead(report, benchmark):
+    points = benchmark.pedantic(
+        fig10.run,
+        kwargs={"concurrency_levels": (1, 2, 4, 8, 16, 32)},
+        rounds=1,
+        iterations=1,
+    )
+    by_c = {}
+    for p in points:
+        by_c.setdefault(p.concurrency, {})[p.mode] = p.mean_creation_time
+    rows = []
+    for c in sorted(by_c):
+        k8s = by_c[c]["Kubernetes"]
+        wo = by_c[c]["KubeShare w/o vGPU creation"]
+        w = by_c[c]["KubeShare w/ vGPU creation"]
+        rows.append((c, k8s, wo, w, wo / k8s, w / k8s))
+    report(
+        ascii_table(
+            ["concurrency", "K8s (s)", "KS w/o vGPU (s)", "KS w/ vGPU (s)",
+             "w/o ratio", "w/ ratio"],
+            rows,
+            title="Figure 10 — pod creation time "
+            "(paper: +15% w/o vGPU creation, ~2x with)",
+        )
+    )
+
+    for c in sorted(by_c):
+        k8s = by_c[c]["Kubernetes"]
+        wo = by_c[c]["KubeShare w/o vGPU creation"]
+        w = by_c[c]["KubeShare w/ vGPU creation"]
+        # ~15% overhead without vGPU creation
+        assert 1.0 < wo / k8s < 1.35
+        # roughly double with vGPU creation (two pods launched)
+        assert 1.6 < w / k8s < 2.5
+
+    # Base creation time rises with concurrency (runtime contention)...
+    assert by_c[32]["Kubernetes"] > 1.2 * by_c[1]["Kubernetes"]
+    # ...while KubeShare's *absolute* overhead stays constant (paper).
+    overhead_1 = by_c[1]["KubeShare w/o vGPU creation"] - by_c[1]["Kubernetes"]
+    overhead_32 = by_c[32]["KubeShare w/o vGPU creation"] - by_c[32]["Kubernetes"]
+    assert overhead_32 == pytest.approx(overhead_1, abs=0.15)

@@ -1,0 +1,59 @@
+"""Figure 13: throughput under interference, three cluster settings."""
+
+import pytest
+
+from repro.experiments import fig13
+from repro.metrics.reporting import ascii_table
+
+pytestmark = pytest.mark.benchmark(group="fig13")
+
+
+def test_fig13_interference_workloads(report, benchmark):
+    points = benchmark.pedantic(
+        fig13.run,
+        kwargs={
+            "ratios": (0.0, 0.5, 1.0),
+            "n_jobs": 32,
+            "jobs_per_minute": 60.0,
+            "nodes": 2,
+            "gpus_per_node": 4,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    by = {}
+    for p in points:
+        by.setdefault(p.job_a_ratio, {})[p.setting] = p.throughput
+    rows = [
+        (ratio, *(by[ratio][s] for s in fig13.SETTINGS)) for ratio in sorted(by)
+    ]
+    report(
+        ascii_table(
+            ["Job A ratio", *fig13.SETTINGS],
+            rows,
+            title="Figure 13 — throughput under interference "
+            "(paper: sharing wins everywhere; anti-affinity helps as A-ratio grows)",
+        )
+    )
+
+    # Ratio 0 (all B): anti-affinity degenerates to exclusive GPUs...
+    assert by[0.0]["KubeShare+anti-affinity"] == pytest.approx(
+        by[0.0]["Kubernetes"], rel=0.25
+    )
+    # ...while unrestricted sharing still wins despite the interference.
+    assert by[0.0]["KubeShare"] > 1.15 * by[0.0]["KubeShare+anti-affinity"]
+
+    # Kubernetes is flat in the mix ratio (exclusive GPUs are mix-blind).
+    k8s = [by[r]["Kubernetes"] for r in sorted(by)]
+    assert max(k8s) < 1.2 * min(k8s)
+
+    # Both KubeShare settings improve as the A-ratio grows, for the paper's
+    # two reasons (more shareable As / fewer interfering B pairs).
+    for setting in ("KubeShare", "KubeShare+anti-affinity"):
+        assert by[1.0][setting] > 1.2 * by[0.0][setting]
+
+    # At ratio 1 the two KubeShare settings coincide and beat Kubernetes.
+    assert by[1.0]["KubeShare"] == pytest.approx(
+        by[1.0]["KubeShare+anti-affinity"], rel=0.05
+    )
+    assert by[1.0]["KubeShare"] > 1.4 * by[1.0]["Kubernetes"]

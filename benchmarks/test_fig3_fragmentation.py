@@ -1,0 +1,37 @@
+"""Figure 3: resource fragmentation, round-robin vs locality-aware."""
+
+import pytest
+
+from repro.experiments import fig3
+from repro.metrics.reporting import ascii_table
+
+pytestmark = pytest.mark.benchmark(group="fig3")
+
+
+def test_fig3_fragmentation(report, benchmark):
+    rr, a1 = benchmark(fig3.run)
+    rows = [
+        (
+            r.scheduler,
+            *(r.per_gpu[f"GPU{i}"] for i in range(fig3.DEFAULT_GPUS)),
+            r.overcommitted_gpus,
+            r.active_gpus,
+        )
+        for r in (rr, a1)
+    ]
+    report(
+        ascii_table(
+            ["scheduler", "GPU0", "GPU1", "GPU2", "GPU3", "over-committed", "active"],
+            rows,
+            title="Figure 3 — fragmentation under identity-blind assignment",
+        )
+    )
+    # Fig 3a: round-robin over-commits at least one GPU and spreads load
+    # across every device.
+    assert rr.overcommitted_gpus >= 1
+    assert rr.active_gpus == fig3.DEFAULT_GPUS
+    # Fig 3b: the locality-aware scheduler avoids over-commitment entirely
+    # and minimizes the number of active GPUs.
+    assert a1.overcommitted_gpus == 0
+    assert a1.max_commitment <= 1.0 + 1e-9
+    assert a1.active_gpus < rr.active_gpus

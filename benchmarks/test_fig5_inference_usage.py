@@ -1,0 +1,27 @@
+"""Figure 5: GPU usage is proportional to the client request rate."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig5
+from repro.metrics.reporting import ascii_table
+
+pytestmark = pytest.mark.benchmark(group="fig5")
+
+
+def test_fig5_usage_vs_request_rate(report, benchmark):
+    points = benchmark.pedantic(fig5.run, rounds=1, iterations=1)
+    report(
+        ascii_table(
+            ["client req/s", "expected demand", "measured usage"],
+            [(p.request_rate, p.expected_demand, p.measured_usage) for p in points],
+            title="Figure 5 — GPU usage vs client request rate",
+        )
+    )
+    rates = np.array([p.request_rate for p in points])
+    usages = np.array([p.measured_usage for p in points])
+    # positive, essentially linear correlation (the paper's observation)
+    corr = np.corrcoef(rates, usages)[0, 1]
+    assert corr > 0.99
+    for p in points:
+        assert p.measured_usage == pytest.approx(p.expected_demand, abs=0.05)

@@ -1,0 +1,46 @@
+"""Figure 6: isolation & elastic allocation staircase on one GPU."""
+
+import pytest
+
+from repro.experiments import fig6
+from repro.metrics.reporting import ascii_table
+
+pytestmark = pytest.mark.benchmark(group="fig6")
+
+
+def test_fig6_elastic_staircase(report, benchmark):
+    result = benchmark.pedantic(fig6.run, rounds=1, iterations=1)
+    windows = [
+        ("0-200s   A alone", 60.0, 195.0),
+        ("200-400s A+B", 260.0, 395.0),
+        ("400-660s A+B+C", 460.0, 640.0),
+    ]
+    rows = [
+        (label, *(result.window_mean(j, t0, t1) for j in "ABC"))
+        for label, t0, t1 in windows
+    ]
+    report(
+        ascii_table(
+            ["phase", "Job A", "Job B", "Job C"],
+            rows,
+            title="Figure 6 — per-container GPU usage "
+            "(paper: 0.6/-/-, 0.5/0.5/-, then requests 0.3/0.4/0.3)",
+        )
+    )
+
+    # Phase 1: A alone, throttled at its gpu_limit (paper: 0.6).
+    assert result.window_mean("A", 60, 195) == pytest.approx(0.6, abs=0.04)
+    # Phase 2: residual split fairly (paper: 0.5 / 0.5).
+    assert result.window_mean("A", 260, 395) == pytest.approx(0.5, abs=0.04)
+    assert result.window_mean("B", 260, 395) == pytest.approx(0.5, abs=0.04)
+    # Phase 3: all three at their gpu_request; GPU fully utilized.
+    assert result.window_mean("A", 460, 640) == pytest.approx(0.3, abs=0.04)
+    assert result.window_mean("B", 460, 640) == pytest.approx(0.4, abs=0.05)
+    assert result.window_mean("C", 460, 640) == pytest.approx(0.3, abs=0.04)
+    total = sum(result.window_mean(j, 460, 640) for j in "ABC")
+    assert total == pytest.approx(1.0, abs=0.06)
+    # C completes around the paper's ~660 s mark.
+    assert result.finish_times["C"] == pytest.approx(660.0, abs=30.0)
+    # Residual from C's departure is promptly redistributed.
+    t = result.finish_times["C"] + 20
+    assert result.window_mean("A", t, t + 40) >= 0.4

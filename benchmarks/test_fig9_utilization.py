@@ -1,0 +1,48 @@
+"""Figure 9: average GPU utilization and active-GPU count over time."""
+
+import pytest
+
+from repro.experiments import fig9
+from repro.metrics.reporting import ascii_table, format_series
+
+pytestmark = pytest.mark.benchmark(group="fig9")
+
+
+def test_fig9_utilization_and_active_gpus(report, benchmark):
+    result = benchmark.pedantic(fig9.run, rounds=1, iterations=1)
+    rows = [
+        (
+            name,
+            result.makespan[name],
+            result.throughput[name],
+            result.mean_active_utilization[name],
+            result.mean_active_gpus[name],
+        )
+        for name in sorted(result.makespan)
+    ]
+    report(
+        ascii_table(
+            ["system", "makespan (s)", "jobs/min", "mean util (active)", "mean #active GPUs"],
+            rows,
+            title="Figure 9 — utilization & active GPUs (demand mean 30%)",
+        )
+        + "\n\n"
+        + format_series(result.avg_utilization["Kubernetes"].resample(30.0))
+        + "\n"
+        + format_series(result.avg_utilization["KubeShare"].resample(30.0))
+    )
+
+    # KubeShare drives its active GPUs harder...
+    assert (
+        result.mean_active_utilization["KubeShare"]
+        > 1.5 * result.mean_active_utilization["Kubernetes"]
+    )
+    # ...finishes the same workload sooner...
+    assert result.makespan["KubeShare"] < 0.8 * result.makespan["Kubernetes"]
+    # ...and does so with fewer GPUs active on average.
+    assert (
+        result.mean_active_gpus["KubeShare"]
+        < result.mean_active_gpus["Kubernetes"]
+    )
+    # Kubernetes keeps (nearly) the whole fleet allocated while loaded.
+    assert result.mean_active_gpus["Kubernetes"] > 20

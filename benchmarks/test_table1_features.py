@@ -1,0 +1,57 @@
+"""Table 1: feature comparison of GPU-sharing solutions.
+
+Regenerates the paper's feature matrix from the implemented systems and
+times the end-to-end submission path of each system as the quantitative
+companion (one job, one free GPU).
+"""
+
+import pytest
+
+from repro.baselines import (
+    AliyunGPUShare,
+    DeepomaticSharedPlugin,
+    GaiaGPU,
+    GPURequirements,
+    KubeShareSystem,
+    NativeKubernetes,
+)
+from repro.experiments import table1
+from repro.sim import Environment
+
+pytestmark = pytest.mark.benchmark(group="table1")
+
+SYSTEMS = [
+    NativeKubernetes,
+    DeepomaticSharedPlugin,
+    AliyunGPUShare,
+    GaiaGPU,
+    KubeShareSystem,
+]
+
+
+def test_table1_matrix(report, benchmark):
+    text = benchmark(table1.main)
+    report(text)
+    matrix = table1.feature_matrix()
+    # KubeShare is the only full-featured column (the paper's point).
+    assert all(matrix[f]["KubeShare"] is True for f in matrix)
+    assert matrix["compute_isolation"]["Aliyun"] is False
+    assert matrix["first_class_identity"]["GaiaGPU"] is False
+
+
+@pytest.mark.parametrize("system_cls", SYSTEMS, ids=lambda c: c.name)
+def test_submission_path(system_cls, benchmark):
+    """Wall-clock cost of one submit through each system's machinery."""
+
+    def submit_once():
+        env = Environment()
+        cluster = system_cls.make_cluster(env, nodes=1, gpus_per_node=1)
+        system = system_cls(cluster)
+        cluster.start()
+        system.start()
+        system.submit("job", None, GPURequirements(0.3, 0.6, 0.25))
+        env.run(until=10)
+        return system
+
+    system = benchmark.pedantic(submit_once, rounds=3, iterations=1)
+    assert system.job_phase(system.handles[0]) is not None

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Mitigating interference with device-level anti-affinity (paper §5.5).
+
+Job B under-requests: it asks for 45% of a GPU but actually uses ~75% when
+alone, so two Bs sharing a device both slow down by ~1.5x. Because
+KubeShare treats GPUs as first-class resources, the user can attach a
+``sched_anti_affinity`` label to B — forcing Bs onto different devices —
+something no device-plugin or scheduler-extender system can express.
+
+This example packs two Job Bs with and without the label and shows the
+per-job slowdown disappear.
+
+Run:  python examples/interference_mitigation.py
+"""
+
+from repro import Cluster, ClusterConfig, KubeShare
+from repro.cluster.objects import PodPhase
+from repro.metrics.reporting import ascii_table
+from repro.workloads import ANTI_AFFINITY_LABEL, JOB_B
+
+
+def run_pair(use_anti_affinity: bool):
+    cluster = Cluster(config=ClusterConfig(nodes=1, gpus_per_node=2)).start()
+    kubeshare = KubeShare(cluster, isolation="token").start()
+    names = ["job-b-0", "job-b-1"]
+    for name in names:
+        sharepod = kubeshare.make_sharepod(
+            name,
+            gpu_request=JOB_B.gpu_request,
+            gpu_limit=JOB_B.gpu_limit,
+            gpu_mem=JOB_B.gpu_mem,
+            workload=JOB_B.job(name).workload(),
+            anti_affinity=ANTI_AFFINITY_LABEL if use_anti_affinity else None,
+        )
+        kubeshare.submit(sharepod)
+    done = cluster.env.process(kubeshare.wait_all_terminal(names))
+    cluster.env.run(until=done)
+
+    durations, uuids = [], set()
+    for name in names:
+        sp = kubeshare.get(name)
+        assert sp.status.phase is PodPhase.SUCCEEDED, sp.status.message
+        durations.append(sp.status.finish_time - sp.status.start_time)
+        uuids.add(sp.status.gpu_uuid)
+    return durations, len(uuids)
+
+
+def main() -> None:
+    baseline = JOB_B.standalone_duration
+    rows = []
+    for use_anti in (False, True):
+        durations, n_gpus = run_pair(use_anti)
+        rows.append(
+            (
+                "with anti-affinity" if use_anti else "no constraint",
+                n_gpus,
+                max(durations),
+                max(durations) / baseline,
+            )
+        )
+    print(
+        ascii_table(
+            ["setting", "GPUs used", "slowest job (s)", "slowdown vs alone"],
+            rows,
+            title="Two under-requesting jobs (B+B), standalone duration "
+            f"{baseline:.0f}s:",
+        )
+    )
+    print(
+        "\nWithout the label both Bs share one GPU and suffer ~1.5x; the "
+        "anti-affinity label spreads them and restores full speed."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,29 @@
+"""KubeShare reproduction: first-class shared GPUs for a container cloud.
+
+A full-system Python reproduction of *KubeShare: A Framework to Manage
+GPUs as First-Class and Shared Resources in Container Cloud* (Yeh, Chen,
+Chou — HPDC 2020), built on a discrete-event-simulated Kubernetes control
+plane and GPU substrate (see DESIGN.md for the substitution map).
+
+Quickstart::
+
+    from repro import Cluster, KubeShare
+    from repro.workloads import TrainingJob
+
+    cluster = Cluster().start()
+    ks = KubeShare(cluster).start()
+    job = TrainingJob("train-1", steps=200)
+    sp = ks.make_sharepod("train-1", gpu_request=0.4, gpu_limit=0.6,
+                          gpu_mem=0.3, workload=job.workload())
+    ks.submit(sp)
+    done = cluster.env.process(ks.wait_all_terminal(["train-1"]))
+    cluster.env.run(until=done)
+"""
+
+from .cluster import Cluster, ClusterConfig
+from .core import KubeShare
+from .sim import Environment
+
+__version__ = "1.0.0"
+
+__all__ = ["Cluster", "ClusterConfig", "KubeShare", "Environment", "__version__"]

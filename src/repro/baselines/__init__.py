@@ -1,0 +1,30 @@
+"""GPU-sharing systems under comparison (paper Table 1 / §6).
+
+* :class:`NativeKubernetes` — exclusive whole-GPU allocation;
+* :class:`DeepomaticSharedPlugin` — scaling-factor units only;
+* :class:`AliyunGPUShare` — extender + memory-only isolation;
+* :class:`GaiaGPU` — extender + memory & compute isolation;
+* :class:`KubeShareSystem` — the paper's system behind the same interface.
+"""
+
+from .aliyun import AliyunGPUShare
+from .base import FEATURE_NAMES, GPURequirements, JobHandle, SharingSystem
+from .deepomatic import DeepomaticSharedPlugin
+from .extender import DeviceLedger, ExtenderSystem
+from .gaiagpu import GaiaGPU
+from .kubeshare_sys import KubeShareSystem
+from .native import NativeKubernetes
+
+__all__ = [
+    "SharingSystem",
+    "GPURequirements",
+    "JobHandle",
+    "FEATURE_NAMES",
+    "NativeKubernetes",
+    "DeepomaticSharedPlugin",
+    "AliyunGPUShare",
+    "GaiaGPU",
+    "KubeShareSystem",
+    "ExtenderSystem",
+    "DeviceLedger",
+]

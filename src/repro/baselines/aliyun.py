@@ -1,0 +1,58 @@
+"""Aliyun gpushare scheduler-extender (baseline, paper §6 / Table 1).
+
+Alibaba's container-service project shares GPUs by **memory**: jobs
+request ``aliyun.com/gpu-mem`` units (here: scaling-factor slices
+denominated in percent of device memory), a scheduler extender bin-packs
+them onto devices by memory fit, and the companion component enforces only
+the *memory* limit inside containers — kernel execution time is not
+throttled, so co-located jobs contend freely for compute.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..gpu.frontend import DEVICE_LIB_SONAME, ENV_ISOLATION, ENV_MEM
+from .base import GPURequirements
+from .extender import ExtenderSystem, _DeviceAccount
+
+__all__ = ["AliyunGPUShare"]
+
+
+class AliyunGPUShare(ExtenderSystem):
+    """Memory-denominated sharing, no compute isolation."""
+
+    name = "Aliyun"
+    features = {
+        "multi_gpu_per_node": True,
+        "fine_grained_allocation": "limited",  # granularity = 1/factor
+        "memory_isolation": True,
+        "compute_isolation": False,
+        "first_class_identity": False,
+        "locality_constraints": False,
+        "coexists_with_kube_scheduler": False,  # extender monopolizes GPUs
+    }
+    isolation = "memory"
+    track_util = False
+
+    def slice_units(self, requirements: GPURequirements) -> int:
+        """gpu-mem units: percent of device memory, at least one unit."""
+        return max(1, int(round(requirements.mem * self.factor)))
+
+    def pick_device(self, requirements: GPURequirements) -> Optional[_DeviceAccount]:
+        """Bin-pack by memory: the fullest device that still fits."""
+        fitting = [
+            a
+            for a in self.ledger.candidates()
+            if a.mem_used + requirements.mem <= 1.0 + 1e-9
+        ]
+        if not fitting:
+            return None
+        return max(fitting, key=lambda a: (a.mem_used, a.uuid))
+
+    def container_env(self, requirements: GPURequirements) -> Dict[str, str]:
+        return {
+            "LD_PRELOAD": DEVICE_LIB_SONAME,
+            ENV_MEM: str(requirements.mem),
+            ENV_ISOLATION: self.isolation,
+        }

@@ -1,0 +1,70 @@
+"""Deepomatic shared-GPU device plugin (baseline, paper §6 / Table 1).
+
+The simplest prior approach: only the scaling-factor device-plugin trick,
+with **no extender and no isolation**. Jobs request N slice units; kubelet
+picks whichever units are free with no notion of device identity — on a
+multi-GPU node the units may interleave across physical GPUs (the
+round-robin fragmentation of Figure 3a), which is why Deepomatic is only
+sound on single-GPU nodes. Containers are not throttled at all, so
+co-located jobs interfere freely.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..cluster.cluster import Cluster, ClusterConfig
+from ..cluster.objects import GPU_RESOURCE, ContainerSpec, ObjectMeta, Pod, PodSpec
+from ..sim import Environment
+from ..workloads.jobs import JobStats
+from .base import GPURequirements, JobHandle, SharingSystem
+
+__all__ = ["DeepomaticSharedPlugin"]
+
+
+class DeepomaticSharedPlugin(SharingSystem):
+    """Scaling-factor fractional units; no binding control; no isolation."""
+
+    name = "Deepomatic"
+    factor = 100
+    features = {
+        "multi_gpu_per_node": False,  # undefined behaviour beyond one GPU
+        "fine_grained_allocation": "limited",  # granularity = 1/factor
+        "memory_isolation": False,
+        "compute_isolation": False,
+        "first_class_identity": False,
+        "locality_constraints": False,
+        "coexists_with_kube_scheduler": False,  # it redefines nvidia.com/gpu
+    }
+
+    @classmethod
+    def make_cluster(cls, env: Optional[Environment] = None, **overrides) -> Cluster:
+        overrides.setdefault("device_plugin", "scaling")
+        overrides.setdefault("scaling_factor", cls.factor)
+        # kubelet picks free units with no device awareness: the Figure 3a
+        # round-robin spread.
+        overrides.setdefault("device_policy", "roundrobin")
+        return Cluster(env, ClusterConfig(**overrides))
+
+    def submit(
+        self,
+        name: str,
+        workload: Callable,
+        requirements: GPURequirements,
+        affinity: Optional[str] = None,
+        anti_affinity: Optional[str] = None,
+        exclusion: Optional[str] = None,
+    ) -> JobHandle:
+        units = max(1, int(round(requirements.request * self.factor)))
+        pod = Pod(
+            metadata=ObjectMeta(name=name),
+            spec=PodSpec(
+                containers=[
+                    ContainerSpec(requests={"cpu": 1.0, GPU_RESOURCE: units})
+                ],
+                workload=workload,
+            ),
+        )
+        self.api.create(pod)
+        stats = getattr(workload, "stats", None) or JobStats(name)
+        return self._track(JobHandle(name=name, kind="Pod", stats=stats))

@@ -1,0 +1,239 @@
+"""Scheduler-extender machinery for the prior GPU-sharing systems.
+
+Aliyun gpushare and GaiaGPU both implement their sharing logic as a
+*kube-scheduler extender* (paper §6): a bind-time hook that picks the node
+**and** the physical device for a pod, communicates the decision through a
+pod annotation, and keeps its own per-device accounting. Contrast with
+KubeShare's operator-pattern controllers, which the paper argues are more
+compatible and flexible (§4.6).
+
+:class:`ExtenderSystem` implements the shared workflow:
+
+1. on submit, run the extender's placement over its device ledger;
+2. if a device fits, create the pod pre-bound (``node_name`` set, chosen
+   slice units pinned via :data:`~repro.cluster.kubelet
+   .DEVICE_IDS_ANNOTATION`), monopolizing GPU scheduling exactly the way
+   scheduler-extender solutions do;
+3. if nothing fits, park the job in the extender's queue and retry when
+   any pod terminates (resources freed);
+4. release ledger entries when pods reach a terminal phase or are deleted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Generator, List, Optional, Tuple
+
+from ..cluster.apiserver import translate_event
+from ..cluster.cluster import Cluster, ClusterConfig
+from ..cluster.etcd import WatchEventType
+from ..cluster.kubelet import DEVICE_IDS_ANNOTATION
+from ..cluster.objects import (
+    GPU_RESOURCE,
+    ContainerSpec,
+    ObjectMeta,
+    Pod,
+    PodPhase,
+    PodSpec,
+)
+from ..sim import Environment
+from ..workloads.jobs import JobStats
+from .base import GPURequirements, JobHandle, SharingSystem
+
+__all__ = ["DeviceLedger", "ExtenderSystem"]
+
+_TERMINAL = (PodPhase.SUCCEEDED, PodPhase.FAILED)
+
+
+@dataclass
+class _DeviceAccount:
+    node: str
+    uuid: str
+    mem_used: float = 0.0  # fraction of device memory committed
+    util_used: float = 0.0  # fraction of compute committed (if tracked)
+    pods: int = 0
+
+
+class DeviceLedger:
+    """The extender's private view of every GPU in the cluster."""
+
+    def __init__(self, cluster: Cluster) -> None:
+        self.cluster = cluster
+        self.accounts: Dict[str, _DeviceAccount] = {
+            gpu.uuid: _DeviceAccount(node=gpu.node_name, uuid=gpu.uuid)
+            for gpu in cluster.gpus
+        }
+        #: pod name -> (uuid, mem, util) commitments for release.
+        self.commitments: Dict[str, Tuple[str, float, float]] = {}
+        #: pod name -> slice unit ids handed out at bind time. Kept until
+        #: the pod terminates so that two pods bound in the same instant
+        #: (before kubelet's Allocate runs) never receive the same units.
+        self.reserved_slices: Dict[str, List[str]] = {}
+
+    def commit(
+        self,
+        pod_name: str,
+        uuid: str,
+        mem: float,
+        util: float,
+        slice_ids: Optional[List[str]] = None,
+    ) -> None:
+        acct = self.accounts[uuid]
+        acct.mem_used += mem
+        acct.util_used += util
+        acct.pods += 1
+        self.commitments[pod_name] = (uuid, mem, util)
+        if slice_ids:
+            self.reserved_slices[pod_name] = list(slice_ids)
+
+    def release(self, pod_name: str) -> None:
+        entry = self.commitments.pop(pod_name, None)
+        self.reserved_slices.pop(pod_name, None)
+        if entry is None:
+            return
+        uuid, mem, util = entry
+        acct = self.accounts[uuid]
+        acct.mem_used = max(0.0, acct.mem_used - mem)
+        acct.util_used = max(0.0, acct.util_used - util)
+        acct.pods = max(0, acct.pods - 1)
+
+    def all_reserved(self) -> set:
+        out: set = set()
+        for ids in self.reserved_slices.values():
+            out.update(ids)
+        return out
+
+    def candidates(self) -> List[_DeviceAccount]:
+        return sorted(self.accounts.values(), key=lambda a: a.uuid)
+
+
+class ExtenderSystem(SharingSystem):
+    """Base for scheduler-extender-style systems (Aliyun, GaiaGPU)."""
+
+    #: how many scaling-factor slice units a job consumes; subclasses map
+    #: their denominated resource ("gpu-mem" vs "vcuda-core") onto it.
+    factor: int = 100
+    #: isolation mode injected into containers ("memory", "fluid", ...)
+    #: or None for no device library at all.
+    isolation: Optional[str] = None
+    #: whether the ledger enforces compute commitments too.
+    track_util: bool = False
+    retry_interval: float = 0.5
+
+    def __init__(self, cluster: Cluster) -> None:
+        super().__init__(cluster)
+        self.ledger = DeviceLedger(cluster)
+        self._pending: List[Tuple[str, Callable, GPURequirements, JobHandle]] = []
+        self._started = False
+
+    @classmethod
+    def make_cluster(cls, env: Optional[Environment] = None, **overrides) -> Cluster:
+        overrides.setdefault("device_plugin", "scaling")
+        overrides.setdefault("scaling_factor", cls.factor)
+        return Cluster(env, ClusterConfig(**overrides))
+
+    def start(self) -> "ExtenderSystem":
+        if not self._started:
+            self.env.process(self._watch_pods(), name=f"{self.name}:extender-watch")
+            self._started = True
+        return self
+
+    # -- extension point -----------------------------------------------------
+    def slice_units(self, requirements: GPURequirements) -> int:
+        """How many slice units this system's resource unit charges."""
+        raise NotImplementedError
+
+    def pick_device(
+        self, requirements: GPURequirements
+    ) -> Optional[_DeviceAccount]:
+        """Choose a device from the ledger, or None if nothing fits."""
+        raise NotImplementedError
+
+    def container_env(self, requirements: GPURequirements) -> Dict[str, str]:
+        """Extra env the extender's companion injects (isolation config)."""
+        return {}
+
+    # -- submit workflow ----------------------------------------------------------
+    def submit(
+        self,
+        name: str,
+        workload: Callable,
+        requirements: GPURequirements,
+        affinity: Optional[str] = None,
+        anti_affinity: Optional[str] = None,
+        exclusion: Optional[str] = None,
+    ) -> JobHandle:
+        # Locality constraints are not supported by extender systems
+        # (Table 1); accepted and ignored for driver compatibility.
+        stats = getattr(workload, "stats", None) or JobStats(name)
+        handle = self._track(JobHandle(name=name, kind="Pod", stats=stats))
+        if not self._try_place(name, workload, requirements):
+            self._pending.append((name, workload, requirements, handle))
+        return handle
+
+    def _try_place(
+        self, name: str, workload: Callable, requirements: GPURequirements
+    ) -> bool:
+        acct = self.pick_device(requirements)
+        if acct is None:
+            return False
+        units = self.slice_units(requirements)
+        node = self.cluster.node(acct.node)
+        reserved = self.ledger.all_reserved()
+        free = [
+            d
+            for d in node.device_manager.free_ids(GPU_RESOURCE)
+            if d.rsplit("::", 1)[0] == acct.uuid and d not in reserved
+        ]
+        if len(free) < units:
+            return False
+        chosen = sorted(free)[:units]
+        env_vars = self.container_env(requirements)
+        pod = Pod(
+            metadata=ObjectMeta(
+                name=name,
+                annotations={DEVICE_IDS_ANNOTATION: ",".join(chosen)},
+            ),
+            spec=PodSpec(
+                containers=[
+                    ContainerSpec(
+                        requests={"cpu": 1.0, GPU_RESOURCE: units},
+                        env=env_vars,
+                    )
+                ],
+                node_name=acct.node,  # extender binds; kube-scheduler bypassed
+                workload=workload,
+            ),
+        )
+        self.api.create(pod)
+        self.ledger.commit(
+            name,
+            acct.uuid,
+            requirements.mem,
+            requirements.request if self.track_util else 0.0,
+            slice_ids=chosen,
+        )
+        return True
+
+    def _retry_pending(self) -> None:
+        still: List[Tuple[str, Callable, GPURequirements, JobHandle]] = []
+        for entry in self._pending:
+            name, workload, requirements, handle = entry
+            if not self._try_place(name, workload, requirements):
+                still.append(entry)
+        self._pending = still
+
+    # -- ledger maintenance -----------------------------------------------------------
+    def _watch_pods(self) -> Generator:
+        stream = self.api.watch("Pod", replay=True)
+        while True:
+            raw = yield stream.get()
+            etype, pod = translate_event(raw)
+            if pod is None:
+                continue
+            if etype is WatchEventType.DELETE or pod.status.phase in _TERMINAL:
+                if pod.name in self.ledger.commitments:
+                    self.ledger.release(pod.name)
+                    # Wait one tick so kubelet returns the slice units.
+                    yield self.env.timeout(self.retry_interval)
+                    self._retry_pending()

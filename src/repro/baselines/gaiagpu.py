@@ -1,0 +1,67 @@
+"""GaiaGPU (the paper's "GigaGPU [10]") — baseline, §6 / Table 1.
+
+Tencent's GaiaGPU extends the Aliyun-style extender with *compute*
+isolation: an LD_PRELOAD library throttles kernel execution against a
+vcuda-core share, in addition to the memory limit. It still lacks
+first-class device identity and locality constraints — placement is the
+extender's own bin-packing with no user control — and, being an extender,
+it monopolizes all GPU scheduling in the cluster.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..gpu.frontend import (
+    DEVICE_LIB_SONAME,
+    ENV_ISOLATION,
+    ENV_LIMIT,
+    ENV_MEM,
+    ENV_REQUEST,
+)
+from .base import GPURequirements
+from .extender import ExtenderSystem, _DeviceAccount
+
+__all__ = ["GaiaGPU"]
+
+
+class GaiaGPU(ExtenderSystem):
+    """Memory + compute isolated sharing, still no device identity."""
+
+    name = "GaiaGPU"
+    features = {
+        "multi_gpu_per_node": True,
+        "fine_grained_allocation": "limited",  # granularity = 1/factor
+        "memory_isolation": True,
+        "compute_isolation": True,
+        "first_class_identity": False,
+        "locality_constraints": False,
+        "coexists_with_kube_scheduler": False,
+    }
+    isolation = "fluid"  # kernel-time throttling à la vcuda
+    track_util = True
+
+    def slice_units(self, requirements: GPURequirements) -> int:
+        """vcuda-core units: percent of compute, at least one unit."""
+        return max(1, int(round(requirements.request * self.factor)))
+
+    def pick_device(self, requirements: GPURequirements) -> Optional[_DeviceAccount]:
+        """Bin-pack on compute and memory jointly (fullest fitting)."""
+        fitting = [
+            a
+            for a in self.ledger.candidates()
+            if a.mem_used + requirements.mem <= 1.0 + 1e-9
+            and a.util_used + requirements.request <= 1.0 + 1e-9
+        ]
+        if not fitting:
+            return None
+        return max(fitting, key=lambda a: (a.util_used, a.mem_used, a.uuid))
+
+    def container_env(self, requirements: GPURequirements) -> Dict[str, str]:
+        return {
+            "LD_PRELOAD": DEVICE_LIB_SONAME,
+            ENV_REQUEST: str(requirements.request),
+            ENV_LIMIT: str(requirements.limit),
+            ENV_MEM: str(requirements.mem),
+            ENV_ISOLATION: self.isolation,
+        }

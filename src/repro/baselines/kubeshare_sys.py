@@ -1,0 +1,72 @@
+"""KubeShare wrapped behind the common :class:`SharingSystem` interface,
+so the benchmark harness can run identical workloads against it and the
+baselines."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..cluster.cluster import Cluster, ClusterConfig
+from ..core.framework import KubeShare
+from ..core.policies import PoolPolicy
+from ..sim import Environment
+from ..workloads.jobs import JobStats
+from .base import GPURequirements, JobHandle, SharingSystem
+
+__all__ = ["KubeShareSystem"]
+
+
+class KubeShareSystem(SharingSystem):
+    """The paper's system, as a drop-in :class:`SharingSystem`."""
+
+    name = "KubeShare"
+    features = {
+        "multi_gpu_per_node": True,
+        "fine_grained_allocation": True,  # arbitrary fractions in (0, 1]
+        "memory_isolation": True,
+        "compute_isolation": True,
+        "first_class_identity": True,
+        "locality_constraints": True,
+        "coexists_with_kube_scheduler": True,  # operator pattern (§4.6)
+    }
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        isolation: str = "fluid",
+        policy: Optional[PoolPolicy] = None,
+    ) -> None:
+        super().__init__(cluster)
+        self.kubeshare = KubeShare(cluster, isolation=isolation, policy=policy)
+
+    @classmethod
+    def make_cluster(cls, env: Optional[Environment] = None, **overrides) -> Cluster:
+        overrides.setdefault("device_plugin", "nvidia")
+        return Cluster(env, ClusterConfig(**overrides))
+
+    def start(self) -> "KubeShareSystem":
+        self.kubeshare.start()
+        return self
+
+    def submit(
+        self,
+        name: str,
+        workload: Callable,
+        requirements: GPURequirements,
+        affinity: Optional[str] = None,
+        anti_affinity: Optional[str] = None,
+        exclusion: Optional[str] = None,
+    ) -> JobHandle:
+        sharepod = self.kubeshare.make_sharepod(
+            name,
+            gpu_request=requirements.request,
+            gpu_limit=requirements.limit,
+            gpu_mem=requirements.mem,
+            workload=workload,
+            affinity=affinity,
+            anti_affinity=anti_affinity,
+            exclusion=exclusion,
+        )
+        self.kubeshare.submit(sharepod)
+        stats = getattr(workload, "stats", None) or JobStats(name)
+        return self._track(JobHandle(name=name, kind="SharePod", stats=stats))

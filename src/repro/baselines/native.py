@@ -1,0 +1,72 @@
+"""Native Kubernetes: whole-GPU exclusive allocation (the paper's main
+comparison baseline).
+
+Every job requests ``nvidia.com/gpu: 1`` through the stock device plugin,
+so a GPU serves exactly one container at a time regardless of how little
+of it the job uses. Fractional requirements are accepted on the interface
+(so workloads are interchangeable across systems) but only their memory
+footprint matters — compute-wise the job owns the device.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..cluster.cluster import Cluster, ClusterConfig
+from ..cluster.objects import GPU_RESOURCE, ContainerSpec, ObjectMeta, Pod, PodSpec
+from ..sim import Environment
+from ..workloads.jobs import JobStats
+from .base import GPURequirements, JobHandle, SharingSystem
+
+__all__ = ["NativeKubernetes"]
+
+
+class NativeKubernetes(SharingSystem):
+    """Unmodified Kubernetes with the stock NVIDIA device plugin."""
+
+    name = "Kubernetes"
+    features = {
+        "multi_gpu_per_node": True,
+        "fine_grained_allocation": False,
+        "memory_isolation": True,  # trivially: exclusive device
+        "compute_isolation": True,  # trivially: exclusive device
+        "first_class_identity": False,
+        "locality_constraints": False,
+        "coexists_with_kube_scheduler": True,
+    }
+
+    @classmethod
+    def make_cluster(cls, env: Optional[Environment] = None, **overrides) -> Cluster:
+        overrides.setdefault("device_plugin", "nvidia")
+        return Cluster(env, ClusterConfig(**overrides))
+
+    def submit(
+        self,
+        name: str,
+        workload: Callable,
+        requirements: GPURequirements,
+        affinity: Optional[str] = None,
+        anti_affinity: Optional[str] = None,
+        exclusion: Optional[str] = None,
+    ) -> JobHandle:
+        # Locality constraints are not expressible at the device level in
+        # native Kubernetes (§4.2); they are accepted and ignored so that
+        # the same workload driver runs against every system.
+        pod = Pod(
+            metadata=ObjectMeta(name=name),
+            spec=PodSpec(
+                containers=[
+                    ContainerSpec(requests={"cpu": 1.0, GPU_RESOURCE: 1})
+                ],
+                workload=workload,
+            ),
+        )
+        self.api.create(pod)
+        return self._track(JobHandle(name=name, kind="Pod", stats=self._stats_of(workload, name)))
+
+    @staticmethod
+    def _stats_of(workload: Callable, name: str) -> JobStats:
+        # Workload factories produced by JobStats-aware jobs close over
+        # their stats; systems that need them pass them via attribute.
+        stats = getattr(workload, "stats", None)
+        return stats if isinstance(stats, JobStats) else JobStats(name)

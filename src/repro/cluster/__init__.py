@@ -1,0 +1,89 @@
+"""Kubernetes control-plane substrate.
+
+A discrete-event-simulated reproduction of the components in the paper's
+Figure 1 — etcd, kube-apiserver, kube-scheduler, kubelet, the container
+runtime, the device-plugin framework, and the controller/operator
+machinery — exposing the same workflows KubeShare's controllers rely on.
+"""
+
+from .apiserver import (
+    AlreadyExists,
+    APIServer,
+    Conflict,
+    NotFound,
+    UnknownKind,
+    translate_event,
+)
+from .cluster import Cluster, ClusterConfig, WorkerNode
+from .controller import Controller, Informer, WorkQueue
+from .deviceplugin import (
+    AllocateResponse,
+    DeviceManager,
+    DevicePlugin,
+    InsufficientDevices,
+    NvidiaDevicePlugin,
+    ScalingFactorGPUPlugin,
+)
+from .etcd import CasFailure, Etcd, KeyValue, WatchEvent, WatchEventType
+from .kubelet import DEVICE_IDS_ANNOTATION, Kubelet
+from .objects import (
+    DEFAULT_NAMESPACE,
+    GPU_RESOURCE,
+    ContainerSpec,
+    LabelSelector,
+    Node,
+    NodeStatus,
+    ObjectMeta,
+    Pod,
+    PodPhase,
+    PodSpec,
+    PodStatus,
+    Quantities,
+)
+from .runtime import ContainerContext, ContainerHandle, ContainerRuntime, RuntimeLatency
+from .scheduler import KubeScheduler
+
+__all__ = [
+    "APIServer",
+    "AlreadyExists",
+    "Conflict",
+    "NotFound",
+    "UnknownKind",
+    "translate_event",
+    "Cluster",
+    "ClusterConfig",
+    "WorkerNode",
+    "Controller",
+    "Informer",
+    "WorkQueue",
+    "AllocateResponse",
+    "DeviceManager",
+    "DevicePlugin",
+    "InsufficientDevices",
+    "NvidiaDevicePlugin",
+    "ScalingFactorGPUPlugin",
+    "Etcd",
+    "CasFailure",
+    "KeyValue",
+    "WatchEvent",
+    "WatchEventType",
+    "Kubelet",
+    "DEVICE_IDS_ANNOTATION",
+    "ContainerSpec",
+    "LabelSelector",
+    "Node",
+    "NodeStatus",
+    "ObjectMeta",
+    "Pod",
+    "PodPhase",
+    "PodSpec",
+    "PodStatus",
+    "Quantities",
+    "GPU_RESOURCE",
+    "DEFAULT_NAMESPACE",
+    "ContainerContext",
+    "ContainerHandle",
+    "ContainerRuntime",
+    "RuntimeLatency",
+    "KubeScheduler",
+]

@@ -1,0 +1,233 @@
+"""kube-apiserver: CRUD + watch frontend over etcd.
+
+All components — the scheduler, kubelets, controllers, and KubeShare's two
+custom controllers — interact exclusively through this class, mirroring the
+paper's Figure 1. Custom resource kinds (the ``SharePod`` CRD) are added at
+runtime via :meth:`APIServer.register_crd`, the analogue of applying a
+CustomResourceDefinition.
+
+API calls are synchronous from the caller's point of view; control-plane
+latencies are modelled explicitly where they matter for the evaluation (the
+container runtime and the controller reconcile loops), which keeps every
+run deterministic.
+
+Watch usage pattern (inside a simulation process)::
+
+    stream = api.watch("Pod", replay=True)
+    while True:
+        raw = yield stream.get()
+        etype, pod = translate_event(raw)
+        ...
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Callable, List, Optional, Tuple
+
+from ..sim import Environment
+from .etcd import CasFailure, Etcd, WatchEvent, WatchEventType
+from .objects import DEFAULT_NAMESPACE, LabelSelector, Node, Pod
+
+__all__ = [
+    "APIServer",
+    "Conflict",
+    "AlreadyExists",
+    "NotFound",
+    "UnknownKind",
+    "translate_event",
+]
+
+
+class Conflict(Exception):
+    """Optimistic-concurrency failure: object changed since it was read."""
+
+
+class AlreadyExists(Exception):
+    """Create of an object whose namespace/name is already taken."""
+
+
+class NotFound(Exception):
+    """Read/update/delete of an object that does not exist."""
+
+
+class UnknownKind(Exception):
+    """Operation on a kind that is neither built-in nor a registered CRD."""
+
+
+def _clone(obj: Any) -> Any:
+    clone = getattr(obj, "clone", None)
+    return clone() if callable(clone) else copy.deepcopy(obj)
+
+
+def translate_event(ev: WatchEvent) -> Tuple[WatchEventType, Any]:
+    """Translate a raw etcd event into ``(type, cloned object)``.
+
+    For DELETE events the previous stored value is returned (the tombstone
+    itself carries ``None``).
+    """
+    if ev.type is WatchEventType.DELETE:
+        payload = ev.prev.value if ev.prev is not None else None
+    else:
+        payload = ev.kv.value
+    obj = _clone(payload) if payload is not None else None
+    if obj is not None:
+        obj.metadata.resource_version = ev.kv.mod_revision
+    return (ev.type, obj)
+
+
+class APIServer:
+    """The cluster's single API frontend, backed by :class:`Etcd`."""
+
+    BUILTIN_KINDS = ("Pod", "Node")
+
+    def __init__(self, env: Environment, etcd: Optional[Etcd] = None) -> None:
+        self.env = env
+        self.etcd = etcd or Etcd(env)
+        self._kinds: set[str] = set(self.BUILTIN_KINDS)
+
+    # -- kind registry -----------------------------------------------------
+    def register_crd(self, kind: str) -> None:
+        """Register a custom resource kind (e.g. ``SharePod``)."""
+        self._kinds.add(kind)
+
+    @property
+    def kinds(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._kinds))
+
+    def _check_kind(self, kind: str) -> None:
+        if kind not in self._kinds:
+            raise UnknownKind(kind)
+
+    @staticmethod
+    def _key(kind: str, namespace: str, name: str) -> str:
+        return f"/registry/{kind}/{namespace}/{name}"
+
+    def _obj_key(self, obj: Any) -> str:
+        return self._key(obj.kind, obj.metadata.namespace, obj.metadata.name)
+
+    # -- CRUD ----------------------------------------------------------------
+    def create(self, obj: Any) -> Any:
+        """Persist a new object. Returns the stored copy."""
+        self._check_kind(obj.kind)
+        stored = _clone(obj)
+        stored.metadata.creation_time = self.env.now
+        key = self._obj_key(stored)
+        try:
+            kv = self.etcd.put_if(key, stored, mod_revision=0)
+        except CasFailure:
+            raise AlreadyExists(key) from None
+        # The KV holds a reference to `stored`; record the final RV on it.
+        stored.metadata.resource_version = kv.mod_revision
+        return _clone(stored)
+
+    def get(
+        self, kind: str, name: str, namespace: str = DEFAULT_NAMESPACE
+    ) -> Optional[Any]:
+        """Fetch one object, or ``None`` if absent."""
+        self._check_kind(kind)
+        kv = self.etcd.get(self._key(kind, namespace, name))
+        if kv is None:
+            return None
+        obj = _clone(kv.value)
+        obj.metadata.resource_version = kv.mod_revision
+        return obj
+
+    def list(
+        self,
+        kind: str,
+        namespace: Optional[str] = None,
+        selector: Optional[LabelSelector] = None,
+    ) -> List[Any]:
+        """All objects of *kind*, optionally namespace/selector filtered."""
+        self._check_kind(kind)
+        prefix = f"/registry/{kind}/" + (f"{namespace}/" if namespace else "")
+        out = []
+        for kv in self.etcd.range(prefix):
+            obj = _clone(kv.value)
+            obj.metadata.resource_version = kv.mod_revision
+            if selector is None or selector.matches(obj.metadata.labels):
+                out.append(obj)
+        return out
+
+    def update(self, obj: Any) -> Any:
+        """Write back an object read earlier; optimistic-concurrency checked."""
+        self._check_kind(obj.kind)
+        key = self._obj_key(obj)
+        stored = _clone(obj)
+        try:
+            kv = self.etcd.put_if(key, stored, mod_revision=obj.metadata.resource_version)
+        except CasFailure as err:
+            if self.etcd.get(key) is None:
+                raise NotFound(key) from None
+            raise Conflict(str(err)) from None
+        stored.metadata.resource_version = kv.mod_revision
+        return _clone(stored)
+
+    def patch(
+        self,
+        kind: str,
+        name: str,
+        mutate: Callable[[Any], None],
+        namespace: str = DEFAULT_NAMESPACE,
+        retries: int = 8,
+    ) -> Any:
+        """Read-modify-write with automatic conflict retry."""
+        for _ in range(retries):
+            obj = self.get(kind, name, namespace)
+            if obj is None:
+                raise NotFound(self._key(kind, namespace, name))
+            mutate(obj)
+            try:
+                return self.update(obj)
+            except Conflict:
+                continue
+        raise Conflict(f"patch of {kind}/{namespace}/{name} kept conflicting")
+
+    def delete(self, kind: str, name: str, namespace: str = DEFAULT_NAMESPACE) -> Any:
+        """Remove an object; returns the last stored value."""
+        self._check_kind(kind)
+        prev = self.etcd.delete(self._key(kind, namespace, name))
+        if prev is None:
+            raise NotFound(self._key(kind, namespace, name))
+        return _clone(prev.value)
+
+    def try_delete(self, kind: str, name: str, namespace: str = DEFAULT_NAMESPACE) -> bool:
+        """Like :meth:`delete` but returns False instead of raising."""
+        try:
+            self.delete(kind, name, namespace)
+            return True
+        except NotFound:
+            return False
+
+    # -- watches ---------------------------------------------------------------
+    def watch(self, kind: str, namespace: Optional[str] = None, replay: bool = False):
+        """Subscribe to changes of *kind*.
+
+        Returns an etcd watch; yield ``stream.get()`` to receive raw
+        :class:`WatchEvent` items and run them through
+        :func:`translate_event`. With ``replay=True`` current objects are
+        delivered first as synthetic PUTs (the informer "list+watch").
+        """
+        self._check_kind(kind)
+        prefix = f"/registry/{kind}/" + (f"{namespace}/" if namespace else "")
+        return self.etcd.watch(prefix, replay=replay)
+
+    # -- convenience -----------------------------------------------------------
+    def bind(
+        self, pod_name: str, node_name: str, namespace: str = DEFAULT_NAMESPACE
+    ) -> Pod:
+        """The scheduler's Bind call: pin a pod to a node."""
+
+        def mutate(pod: Pod) -> None:
+            if pod.spec.node_name is not None:
+                raise Conflict(f"pod {pod_name} already bound to {pod.spec.node_name}")
+            pod.spec.node_name = node_name
+
+        return self.patch("Pod", pod_name, mutate, namespace)
+
+    def nodes(self) -> List[Node]:
+        return self.list("Node")
+
+    def pods(self, namespace: Optional[str] = None) -> List[Pod]:
+        return self.list("Pod", namespace)

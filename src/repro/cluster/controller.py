@@ -1,0 +1,193 @@
+"""Controller framework: informers, work queues, reconcile loops.
+
+Kubernetes controllers are control loops that watch the API server and
+drive actual state toward desired state (paper §2.1). KubeShare's two
+custom controllers (KubeShare-Sched and KubeShare-DevMgr) are built on this
+framework, following the *operator pattern* the paper adopts (§4.6).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
+
+from ..sim import Environment, Store
+from .apiserver import APIServer, translate_event
+from .etcd import WatchEventType
+
+__all__ = ["Informer", "WorkQueue", "Controller"]
+
+Handler = Callable[[WatchEventType, Any], None]
+
+
+class Informer:
+    """Watch one kind, keep a local cache, dispatch events to handlers.
+
+    The cache maps ``namespace/name`` to the latest observed object, which
+    is what real informers provide to controllers (a read-only local view
+    that avoids hammering the API server).
+    """
+
+    def __init__(self, env: Environment, api: APIServer, kind: str) -> None:
+        self.env = env
+        self.api = api
+        self.kind = kind
+        self.cache: Dict[str, Any] = {}
+        self._handlers: List[Handler] = []
+        self._proc = None
+
+    def add_handler(self, handler: Handler) -> None:
+        self._handlers.append(handler)
+
+    def start(self):
+        """Begin the list+watch loop; returns the underlying process."""
+        if self._proc is None:
+            self._proc = self.env.process(self._run(), name=f"informer:{self.kind}")
+        return self._proc
+
+    def _run(self) -> Generator:
+        stream = self.api.watch(self.kind, replay=True)
+        while True:
+            raw = yield stream.get()
+            etype, obj = translate_event(raw)
+            if obj is None:  # tombstone with no previous value
+                continue
+            key = obj.metadata.key
+            if etype is WatchEventType.DELETE:
+                self.cache.pop(key, None)
+            else:
+                self.cache[key] = obj
+            for handler in self._handlers:
+                handler(etype, obj)
+
+    # -- cache access ------------------------------------------------------
+    def get(self, key: str) -> Optional[Any]:
+        return self.cache.get(key)
+
+    def list(self) -> List[Any]:
+        return list(self.cache.values())
+
+
+class WorkQueue:
+    """A de-duplicating FIFO of reconcile keys.
+
+    Mirrors ``client-go``'s workqueue semantics: a key that is already
+    queued is not enqueued twice (bursts of watch events coalesce into one
+    reconcile), and a key added *while it is being processed* is marked
+    dirty and re-enqueued when processing finishes — so no event is lost
+    to an in-flight reconcile.
+
+    Worker protocol: ``key = yield queue.get()``, then
+    ``queue.checkout(key)``, reconcile, and finally ``queue.done(key)``.
+    """
+
+    def __init__(self, env: Environment) -> None:
+        self._store: Store = Store(env)
+        self._pending: set[str] = set()
+        self._processing: set[str] = set()
+        self._dirty: set[str] = set()
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def add(self, key: str) -> None:
+        if key in self._pending:
+            return
+        if key in self._processing:
+            self._dirty.add(key)
+            return
+        self._pending.add(key)
+        self._store.put(key)
+
+    def get(self):
+        """Event that fires with the next key."""
+        return self._store.get()
+
+    def checkout(self, key: str) -> None:
+        """Mark *key* as being processed (call right after :meth:`get`)."""
+        self._pending.discard(key)
+        self._processing.add(key)
+
+    def done(self, key: str) -> None:
+        """Finish processing; re-enqueue if events arrived meanwhile."""
+        self._processing.discard(key)
+        self._pending.discard(key)
+        if key in self._dirty:
+            self._dirty.discard(key)
+            self.add(key)
+
+
+class Controller:
+    """Base class for control loops: informer events feed a work queue,
+    worker processes run :meth:`reconcile` for each key.
+
+    Subclasses implement :meth:`reconcile` as a simulation generator; it may
+    yield events (timeouts, API waits). Raising inside reconcile requeues
+    the key after ``retry_delay`` (bounded exponential backoff), mirroring
+    workqueue rate limiting.
+    """
+
+    #: Kind whose events drive this controller.
+    kind: str = "Pod"
+    #: Base requeue delay after a reconcile error, seconds.
+    retry_delay: float = 0.05
+    max_retry_delay: float = 2.0
+    workers: int = 1
+
+    def __init__(self, env: Environment, api: APIServer, name: Optional[str] = None) -> None:
+        self.env = env
+        self.api = api
+        self.name = name or type(self).__name__
+        self.informer = Informer(env, api, self.kind)
+        self.informer.add_handler(self._on_event)
+        self.queue = WorkQueue(env)
+        self._failures: Dict[str, int] = {}
+        self._procs: list = []
+        self.reconcile_errors: List[Tuple[float, str, str]] = []
+
+    # -- lifecycle -----------------------------------------------------------
+    def start(self) -> "Controller":
+        """Start the informer and worker processes."""
+        self.informer.start()
+        for i in range(self.workers):
+            self._procs.append(
+                self.env.process(self._worker(), name=f"{self.name}:worker{i}")
+            )
+        return self
+
+    def _on_event(self, etype: WatchEventType, obj: Any) -> None:
+        if self.filter(etype, obj):
+            self.queue.add(obj.metadata.key)
+
+    # -- extension points ------------------------------------------------------
+    def filter(self, etype: WatchEventType, obj: Any) -> bool:
+        """Whether this event should trigger a reconcile (default: all)."""
+        return True
+
+    def reconcile(self, key: str) -> Generator:
+        """Drive the object at *key* toward its desired state."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    # -- worker loop -------------------------------------------------------------
+    def _worker(self) -> Generator:
+        while True:
+            key = yield self.queue.get()
+            self.queue.checkout(key)
+            try:
+                yield self.env.process(
+                    self.reconcile(key), name=f"{self.name}:reconcile"
+                )
+            except Exception as err:  # noqa: BLE001 - controller must survive
+                self.reconcile_errors.append((self.env.now, key, repr(err)))
+                n = self._failures.get(key, 0) + 1
+                self._failures[key] = n
+                delay = min(self.retry_delay * (2 ** (n - 1)), self.max_retry_delay)
+                self.env.process(self._requeue_later(key, delay))
+            else:
+                self._failures.pop(key, None)
+            finally:
+                self.queue.done(key)
+
+    def _requeue_later(self, key: str, delay: float) -> Generator:
+        yield self.env.timeout(delay)
+        self.queue.add(key)

@@ -1,0 +1,149 @@
+"""etcd: the versioned key-value store backing the API server.
+
+Reproduces the subset of etcd semantics Kubernetes relies on:
+
+* every write bumps a global, monotonically increasing **revision**;
+* each key remembers the revision of its last modification
+  (``mod_revision``), enabling compare-and-swap;
+* **prefix watches** deliver an ordered stream of PUT/DELETE events to
+  subscribers (via a simulation :class:`~repro.sim.resources.Store`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from ..sim import Environment, Store
+
+__all__ = ["Etcd", "WatchEvent", "WatchEventType", "KeyValue", "CasFailure"]
+
+
+class WatchEventType(str, Enum):
+    PUT = "PUT"
+    DELETE = "DELETE"
+
+
+@dataclass(frozen=True)
+class KeyValue:
+    key: str
+    value: Any
+    create_revision: int
+    mod_revision: int
+
+
+@dataclass(frozen=True)
+class WatchEvent:
+    type: WatchEventType
+    kv: KeyValue
+    #: The previous value for PUTs that overwrite, and for DELETEs.
+    prev: Optional[KeyValue] = None
+
+
+class CasFailure(Exception):
+    """Raised when a compare-and-swap precondition does not hold."""
+
+
+class _Watch:
+    """One subscriber's view of a key prefix."""
+
+    def __init__(self, env: Environment, prefix: str) -> None:
+        self.prefix = prefix
+        self.events: Store = Store(env)
+        self.cancelled = False
+
+    def get(self):
+        """Event that fires with the next :class:`WatchEvent`."""
+        return self.events.get()
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class Etcd:
+    """A single logical etcd instance (modelled as always available)."""
+
+    def __init__(self, env: Environment) -> None:
+        self._env = env
+        self._data: Dict[str, KeyValue] = {}
+        self._revision = 0
+        self._watches: List[_Watch] = []
+
+    # -- reads -----------------------------------------------------------
+    @property
+    def revision(self) -> int:
+        """Latest store revision."""
+        return self._revision
+
+    def get(self, key: str) -> Optional[KeyValue]:
+        return self._data.get(key)
+
+    def range(self, prefix: str) -> List[KeyValue]:
+        """All key-values whose key starts with *prefix*, key-ordered."""
+        return [kv for k, kv in sorted(self._data.items()) if k.startswith(prefix)]
+
+    def keys(self, prefix: str = "") -> Iterator[str]:
+        return (k for k in sorted(self._data) if k.startswith(prefix))
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    # -- writes ----------------------------------------------------------
+    def put(self, key: str, value: Any) -> KeyValue:
+        """Unconditional write. Returns the new :class:`KeyValue`."""
+        self._revision += 1
+        prev = self._data.get(key)
+        create_rev = prev.create_revision if prev else self._revision
+        kv = KeyValue(key, value, create_rev, self._revision)
+        self._data[key] = kv
+        self._notify(WatchEvent(WatchEventType.PUT, kv, prev))
+        return kv
+
+    def put_if(self, key: str, value: Any, mod_revision: int) -> KeyValue:
+        """Compare-and-swap: write only if the key's mod_revision matches.
+
+        ``mod_revision == 0`` means "key must not exist" (create-only).
+        Raises :class:`CasFailure` otherwise.
+        """
+        prev = self._data.get(key)
+        current = prev.mod_revision if prev else 0
+        if current != mod_revision:
+            raise CasFailure(
+                f"{key}: expected mod_revision {mod_revision}, found {current}"
+            )
+        return self.put(key, value)
+
+    def delete(self, key: str) -> Optional[KeyValue]:
+        """Delete *key*; returns the removed value or ``None``."""
+        prev = self._data.pop(key, None)
+        if prev is None:
+            return None
+        self._revision += 1
+        tombstone = KeyValue(key, None, prev.create_revision, self._revision)
+        self._notify(WatchEvent(WatchEventType.DELETE, tombstone, prev))
+        return prev
+
+    # -- watches ---------------------------------------------------------
+    def watch(self, prefix: str = "", replay: bool = False) -> _Watch:
+        """Subscribe to changes under *prefix*.
+
+        With ``replay=True`` the current contents are delivered first as
+        synthetic PUT events (the "list then watch" pattern informers use).
+        """
+        w = _Watch(self._env, prefix)
+        self._watches.append(w)
+        if replay:
+            for kv in self.range(prefix):
+                w.events.put(WatchEvent(WatchEventType.PUT, kv, None))
+        return w
+
+    def _notify(self, event: WatchEvent) -> None:
+        live = []
+        for w in self._watches:
+            if w.cancelled:
+                continue
+            live.append(w)
+            if event.kv.key.startswith(w.prefix):
+                w.events.put(event)
+        self._watches = live

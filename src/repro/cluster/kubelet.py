@@ -1,0 +1,189 @@
+"""kubelet: the per-node agent.
+
+Watches the API server for pods bound to its node, performs device-plugin
+allocation for extended resources (Figure 2b), asks the container runtime
+to start the container, keeps the pod status current, and tears everything
+down when the pod is deleted.
+
+Scheduler-extender baselines (Aliyun/GaiaGPU designs) communicate their
+bind-time device decision through the ``DEVICE_IDS_ANNOTATION`` on the pod;
+when present, kubelet allocates exactly those device units instead of
+letting the device manager pick.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, Optional
+
+from ..sim import Environment
+from .apiserver import APIServer, NotFound, translate_event
+from .etcd import WatchEventType
+from .deviceplugin import DeviceManager, InsufficientDevices
+from .objects import Node, NodeStatus, ObjectMeta, Pod, PodPhase
+from .runtime import ContainerContext, ContainerRuntime
+
+__all__ = ["Kubelet", "DEVICE_IDS_ANNOTATION"]
+
+#: Pod annotation carrying a comma-separated list of device unit IDs chosen
+#: by a scheduler extender at bind time.
+DEVICE_IDS_ANNOTATION = "simkube.io/device-ids"
+
+
+class Kubelet:
+    """Node agent driving pod lifecycle on one node."""
+
+    def __init__(
+        self,
+        env: Environment,
+        api: APIServer,
+        node_name: str,
+        runtime: ContainerRuntime,
+        device_manager: Optional[DeviceManager] = None,
+        cpu: float = 36.0,
+        memory: float = 244e9,
+        labels: Optional[Dict[str, str]] = None,
+        gpu_registry: Optional[Dict[str, Any]] = None,
+        node_services: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.env = env
+        self.api = api
+        self.node_name = node_name
+        self.runtime = runtime
+        self.devices = device_manager or DeviceManager()
+        self.cpu = cpu
+        self.memory = memory
+        self.labels = dict(labels or {})
+        #: UUID -> simulated GPU device object on this node.
+        self.gpu_registry = dict(gpu_registry or {})
+        #: name -> per-node daemon (e.g. the KubeShare token backend).
+        self.node_services = dict(node_services or {})
+        self._handled: set[str] = set()
+        self._pod_procs: Dict[str, Any] = {}
+        self._proc = None
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self) -> "Kubelet":
+        """Register the node and begin watching for pods."""
+        capacity = {"cpu": self.cpu, "memory": self.memory}
+        capacity.update(self.devices.capacity())
+        node = Node(
+            metadata=ObjectMeta(name=self.node_name, namespace="", labels=self.labels),
+            status=NodeStatus(capacity=dict(capacity), allocatable=dict(capacity)),
+        )
+        self.api.create(node)
+        self.devices.on_health_change(self._on_device_health_change)
+        self._proc = self.env.process(self._run(), name=f"kubelet:{self.node_name}")
+        return self._proc and self
+
+    def _on_device_health_change(self, resource: str, device_id: str, healthy: bool) -> None:
+        """Re-advertise node capacity after a ListAndWatch state change."""
+        capacity = {"cpu": self.cpu, "memory": self.memory}
+        capacity.update(self.devices.capacity())
+
+        def mutate(node: Node) -> None:
+            node.status.capacity = dict(capacity)
+            node.status.allocatable = dict(capacity)
+
+        try:
+            self.api.patch("Node", self.node_name, mutate, namespace="")
+        except NotFound:  # pragma: no cover - node being torn down
+            pass
+
+    def _run(self) -> Generator:
+        stream = self.api.watch("Pod", replay=True)
+        while True:
+            raw = yield stream.get()
+            etype, pod = translate_event(raw)
+            if pod is None or pod.spec.node_name != self.node_name:
+                continue
+            if etype is WatchEventType.DELETE:
+                self.env.process(self._teardown(pod), name=f"teardown:{pod.name}")
+            elif (
+                pod.status.phase is PodPhase.PENDING
+                and pod.metadata.uid not in self._handled
+            ):
+                self._handled.add(pod.metadata.uid)
+                self._pod_procs[pod.metadata.uid] = self.env.process(
+                    self._start_pod(pod), name=f"startpod:{pod.name}"
+                )
+
+    # -- pod startup -----------------------------------------------------------
+    def _start_pod(self, pod: Pod) -> Generator:
+        container = pod.spec.containers[0]
+        env_vars = dict(container.env)
+
+        # Device-plugin allocation for extended resources ("vendor/resource").
+        extended = {
+            name: qty
+            for name, qty in container.requests.items()
+            if "/" in name and qty > 0
+        }
+        pinned = pod.metadata.annotations.get(DEVICE_IDS_ANNOTATION)
+        try:
+            for resource, qty in extended.items():
+                count = int(round(qty))
+                if count != qty:
+                    raise InsufficientDevices(
+                        f"extended resource {resource} demand must be an integer, "
+                        f"got {qty} (§3.1: no fractional allocation)"
+                    )
+                ids = None
+                if pinned is not None:
+                    ids = [s for s in pinned.split(",") if s]
+                resp = self.devices.allocate(
+                    pod.metadata.uid, resource, count, device_ids=ids
+                )
+                env_vars.update(resp.env)
+        except InsufficientDevices as err:
+            self._set_phase(pod, PodPhase.FAILED, message=str(err))
+            return
+
+        ctx = ContainerContext(
+            env=self.env,
+            pod_name=pod.name,
+            pod_uid=pod.metadata.uid,
+            node_name=self.node_name,
+            env_vars=env_vars,
+            gpu_registry=self.gpu_registry,
+            node_services=self.node_services,
+        )
+        handle = yield self.env.process(
+            self.runtime.start_container(ctx, pod.spec.workload),
+            name=f"runc:{pod.name}",
+        )
+
+        self._set_phase(pod, PodPhase.RUNNING, env=env_vars)
+        exited_ok = yield handle.wait()
+        phase = PodPhase.SUCCEEDED if exited_ok else PodPhase.FAILED
+        message = "" if exited_ok else repr(handle.exit_value)
+        self._set_phase(pod, phase, message=message)
+        self.devices.release_pod(pod.metadata.uid)
+
+    def _set_phase(
+        self,
+        pod: Pod,
+        phase: PodPhase,
+        message: str = "",
+        env: Optional[Dict[str, str]] = None,
+    ) -> None:
+        def mutate(p: Pod) -> None:
+            p.status.phase = phase
+            p.status.message = message
+            if phase is PodPhase.RUNNING:
+                p.status.start_time = self.env.now
+                if env is not None:
+                    p.status.container_env = dict(env)
+            elif phase in (PodPhase.SUCCEEDED, PodPhase.FAILED):
+                p.status.finish_time = self.env.now
+
+        try:
+            self.api.patch("Pod", pod.name, mutate, pod.metadata.namespace)
+        except NotFound:
+            pass  # pod deleted concurrently; teardown handles cleanup
+
+    # -- pod teardown -------------------------------------------------------------
+    def _teardown(self, pod: Pod) -> Generator:
+        yield self.env.process(self.runtime.stop_container(pod.metadata.uid))
+        self.devices.release_pod(pod.metadata.uid)
+        self._handled.discard(pod.metadata.uid)
+        self._pod_procs.pop(pod.metadata.uid, None)

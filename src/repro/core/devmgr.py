@@ -1,0 +1,370 @@
+"""KubeShare-DevMgr: vGPU lifecycle and explicit pod↔device binding (§4.4).
+
+DevMgr is the second of KubeShare's two custom controllers. For every
+SharePod that KubeShare-Sched (or the user) has assigned a GPUID, it:
+
+1. **materializes the vGPU** if the GPUID is new — by creating a native
+   *placeholder pod* that requests ``nvidia.com/gpu: 1`` through the
+   ordinary Kubernetes machinery (so KubeShare co-exists with
+   kube-scheduler rather than replacing it), then reading the physical
+   UUID from ``NVIDIA_VISIBLE_DEVICES`` inside the launched container and
+   recording the GPUID → UUID mapping;
+2. **creates the real pod** pinned to the vGPU's node, with the device
+   attached by env-var injection (``NVIDIA_VISIBLE_DEVICES=<UUID>``) and
+   the vGPU device library installed (``LD_PRELOAD`` + the
+   ``KUBESHARE_*`` configuration variables) to isolate its GPU usage;
+3. **mirrors** the real pod's phase back onto the SharePod status;
+4. **manages idle vGPUs** per the configured pool policy — on-demand
+   release (the paper's choice), reservation, or hybrid.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Dict, Generator, List, Optional
+
+from ..cluster.apiserver import AlreadyExists, APIServer, NotFound, translate_event
+from ..cluster.controller import Controller
+from ..cluster.etcd import WatchEventType
+from ..cluster.objects import (
+    GPU_RESOURCE,
+    ContainerSpec,
+    ObjectMeta,
+    Pod,
+    PodPhase,
+    PodSpec,
+)
+from ..gpu.frontend import (
+    DEVICE_LIB_SONAME,
+    ENV_ISOLATION,
+    ENV_LIMIT,
+    ENV_MEM,
+    ENV_REQUEST,
+)
+from ..sim import Environment
+from .policies import OnDemandPolicy, PoolPolicy
+from .sharepod import SharePod
+from .vgpu import VGPU, VGPUPhase, VGPUPool, new_gpuid
+
+__all__ = ["KubeShareDevMgr", "PLACEHOLDER_PREFIX"]
+
+PLACEHOLDER_PREFIX = "vgpu-holder-"
+_TERMINAL = (PodPhase.SUCCEEDED, PodPhase.FAILED)
+
+
+class KubeShareDevMgr(Controller):
+    """The vGPU/device-manager controller."""
+
+    kind = "SharePod"
+    #: concurrent reconciles (see KubeShareSched.workers).
+    workers = 16
+
+    def __init__(
+        self,
+        env: Environment,
+        api: APIServer,
+        pool: VGPUPool,
+        policy: Optional[PoolPolicy] = None,
+        isolation: str = "token",
+        op_latency: float = 0.06,
+    ) -> None:
+        if isolation not in ("token", "fluid"):
+            raise ValueError(f"unknown isolation mode {isolation!r}")
+        super().__init__(env, api, name="kubeshare-devmgr")
+        self.pool = pool
+        self.policy = policy or OnDemandPolicy()
+        self.isolation = isolation
+        #: API-roundtrip cost of binding a container to its vGPU and
+        #: installing the device library (calibrated — EXPERIMENTS.md).
+        self.op_latency = op_latency
+        #: sharePod key -> gpuid, for detach bookkeeping after deletion.
+        self._bound: Dict[str, str] = {}
+        #: sharePod keys whose real pod has been created.
+        self._pod_created: set[str] = set()
+        #: timing records for the Figure 10 experiment.
+        self.timings: Dict[str, Dict[str, float]] = {}
+        self.vgpus_created_total = 0
+        self.vgpus_released_total = 0
+
+    # -- lifecycle ------------------------------------------------------------
+    def start(self) -> "KubeShareDevMgr":
+        super().start()
+        self.env.process(self._watch_pods(), name="devmgr:pod-watch")
+        return self
+
+    def _watch_pods(self) -> Generator:
+        """React to placeholder and real pod changes by requeuing owners."""
+        stream = self.api.watch("Pod", replay=True)
+        while True:
+            raw = yield stream.get()
+            _etype, pod = translate_event(raw)
+            if pod is None:
+                continue
+            if pod.name.startswith(PLACEHOLDER_PREFIX):
+                vgpu = self.pool.by_placeholder(pod.name)
+                if vgpu is not None:
+                    for key in list(vgpu.attached):
+                        self.queue.add(key)
+            else:
+                for owner in pod.metadata.owner_references:
+                    if owner.startswith("sharepod:"):
+                        self.queue.add(owner.split(":", 1)[1])
+
+    # -- event routing ----------------------------------------------------------
+    def filter(self, etype: WatchEventType, obj: SharePod) -> bool:
+        return True  # deletions matter too (detach)
+
+    # -- reconcile -----------------------------------------------------------------
+    def reconcile(self, key: str) -> Generator:
+        namespace, name = key.split("/", 1)
+        sp = self.api.get("SharePod", name, namespace)
+        if sp is None:
+            yield from self._handle_deleted(key, namespace, name)
+            return
+        if sp.spec.gpu_id is None:
+            return  # waiting for KubeShare-Sched
+        if sp.status.phase in _TERMINAL:
+            self._detach(key)
+            return
+
+        timing = self.timings.setdefault(key, {})
+        timing.setdefault("sharepod_created", sp.metadata.creation_time or 0.0)
+
+        vgpu = self.pool.get(sp.spec.gpu_id)
+        if vgpu is None:
+            vgpu = self._create_vgpu(sp, timing)
+        vgpu.attached.add(key)
+        self._bound[key] = vgpu.gpuid
+
+        if not vgpu.materialized:
+            yield from self._try_materialize(vgpu, timing)
+            if not vgpu.materialized:
+                return  # placeholder still pending; pod watch requeues us
+
+        vgpu.phase = VGPUPhase.ACTIVE
+        vgpu.idle_since = None
+
+        if key not in self._pod_created:
+            self._pod_created.add(key)
+            if self.op_latency > 0:
+                yield self.env.timeout(self.op_latency)
+            self._create_real_pod(sp, vgpu, timing)
+
+        self._mirror_pod_status(sp, key, timing)
+        return
+
+    # -- vGPU creation ----------------------------------------------------------------
+    def _create_vgpu(self, sp: SharePod, timing: Dict[str, float]) -> VGPU:
+        """Acquire a GPU from Kubernetes by launching a placeholder pod."""
+        gpuid = sp.spec.gpu_id
+        vgpu = VGPU(gpuid=gpuid, created_at=self.env.now)
+        vgpu.placeholder_pod = f"{PLACEHOLDER_PREFIX}{gpuid}"
+        self.pool.add(vgpu)
+        placeholder = Pod(
+            metadata=ObjectMeta(
+                name=vgpu.placeholder_pod,
+                namespace=sp.metadata.namespace,
+                labels={"app": "kubeshare-vgpu"},
+            ),
+            spec=PodSpec(
+                containers=[
+                    ContainerSpec(
+                        name="holder",
+                        image="kubeshare/vgpu-holder",
+                        requests={"cpu": 0.1, GPU_RESOURCE: 1},
+                    )
+                ],
+                node_name=sp.spec.node_name,  # honour a user-pinned node
+                workload=None,  # allocates the GPU without running work
+            ),
+        )
+        try:
+            self.api.create(placeholder)
+        except AlreadyExists:  # pragma: no cover - idempotent retry
+            pass
+        timing["vgpu_requested"] = self.env.now
+        self.vgpus_created_total += 1
+        return vgpu
+
+    def _try_materialize(self, vgpu: VGPU, timing: Dict[str, float]) -> Generator:
+        """Read the physical UUID out of the running placeholder pod."""
+        pod = self.api.get("Pod", vgpu.placeholder_pod)
+        if pod is None:
+            return
+        if pod.status.phase is PodPhase.RUNNING:
+            uuid = pod.status.container_env.get("NVIDIA_VISIBLE_DEVICES", "")
+            vgpu.uuid = uuid.split(",")[0] if uuid else None
+            vgpu.node_name = pod.spec.node_name
+            timing["vgpu_ready"] = self.env.now
+        elif pod.status.phase is PodPhase.FAILED:
+            # Could not acquire a GPU; retry by recreating the placeholder.
+            self.api.try_delete("Pod", vgpu.placeholder_pod)
+            self.pool.remove(vgpu.gpuid)
+            raise RuntimeError(
+                f"placeholder for {vgpu.gpuid} failed: {pod.status.message}"
+            )
+        return
+        yield  # pragma: no cover - generator by contract
+
+    # -- real pod -----------------------------------------------------------------------
+    def _create_real_pod(
+        self, sp: SharePod, vgpu: VGPU, timing: Dict[str, float]
+    ) -> None:
+        """Explicit binding: launch the workload pod on the vGPU's node with
+        the device attached and the device library installed."""
+        pod_spec = copy.copy(sp.spec.pod_spec)
+        pod_spec.containers = [copy.deepcopy(c) for c in sp.spec.pod_spec.containers]
+        pod_spec.node_name = vgpu.node_name
+        container = pod_spec.containers[0]
+        # sharePods never request integer GPUs through the device plugin.
+        container.requests.pop(GPU_RESOURCE, None)
+        container.env.update(
+            {
+                "NVIDIA_VISIBLE_DEVICES": vgpu.uuid or "",
+                "LD_PRELOAD": DEVICE_LIB_SONAME,
+                ENV_REQUEST: str(sp.spec.gpu_request),
+                ENV_LIMIT: str(sp.spec.gpu_limit),
+                ENV_MEM: str(sp.spec.gpu_mem),
+                ENV_ISOLATION: self.isolation,
+            }
+        )
+        pod = Pod(
+            metadata=ObjectMeta(
+                name=sp.name,
+                namespace=sp.metadata.namespace,
+                labels=dict(sp.metadata.labels),
+                owner_references=[f"sharepod:{sp.metadata.key}"],
+            ),
+            spec=pod_spec,
+        )
+        try:
+            self.api.create(pod)
+        except AlreadyExists:  # pragma: no cover - idempotent retry
+            pass
+        timing["pod_created"] = self.env.now
+
+        def mutate(obj: SharePod) -> None:
+            obj.spec.node_name = vgpu.node_name
+            obj.status.pod_name = sp.name
+            obj.status.gpu_uuid = vgpu.uuid
+
+        try:
+            self.api.patch("SharePod", sp.name, mutate, sp.metadata.namespace)
+        except NotFound:  # pragma: no cover - concurrent delete
+            pass
+
+    def _mirror_pod_status(
+        self, sp: SharePod, key: str, timing: Dict[str, float]
+    ) -> None:
+        pod = self.api.get("Pod", sp.name, sp.metadata.namespace)
+        if pod is None:
+            return
+        phase = pod.status.phase
+        if phase is sp.status.phase:
+            return
+        if phase is PodPhase.RUNNING and "pod_running" not in timing:
+            timing["pod_running"] = self.env.now
+
+        def mutate(obj: SharePod) -> None:
+            obj.status.phase = phase
+            obj.status.message = pod.status.message
+            obj.status.start_time = pod.status.start_time
+            obj.status.finish_time = pod.status.finish_time
+
+        try:
+            self.api.patch("SharePod", sp.name, mutate, sp.metadata.namespace)
+        except NotFound:
+            return
+        if phase in _TERMINAL:
+            self._detach(key)
+
+    # -- detach & pool policy ---------------------------------------------------------------
+    def _handle_deleted(self, key: str, namespace: str, name: str) -> Generator:
+        self.api.try_delete("Pod", name, namespace)
+        self._pod_created.discard(key)
+        self._detach(key)
+        return
+        yield  # pragma: no cover
+
+    def _detach(self, key: str) -> None:
+        gpuid = self._bound.pop(key, None)
+        if gpuid is None:
+            return
+        vgpu = self.pool.get(gpuid)
+        if vgpu is None:
+            return
+        vgpu.attached.discard(key)
+        if not vgpu.attached:
+            vgpu.phase = VGPUPhase.IDLE
+            vgpu.idle_since = self.env.now
+            if self.policy.release_on_idle(self.pool, vgpu):
+                self._release(vgpu)
+            elif self.policy.idle_ttl is not None:
+                self.env.process(self._ttl_watch(vgpu, vgpu.idle_since))
+
+    def _ttl_watch(self, vgpu: VGPU, idle_since: float) -> Generator:
+        yield self.env.timeout(self.policy.idle_ttl)
+        current = self.pool.get(vgpu.gpuid)
+        if (
+            current is vgpu
+            and vgpu.idle
+            and vgpu.idle_since == idle_since
+            and self.policy.release_on_ttl(self.pool, vgpu)
+        ):
+            self._release(vgpu)
+
+    def _release(self, vgpu: VGPU) -> None:
+        """Return the physical GPU to Kubernetes (delete the placeholder)."""
+        vgpu.phase = VGPUPhase.DELETING
+        if vgpu.placeholder_pod is not None:
+            self.api.try_delete("Pod", vgpu.placeholder_pod)
+        self.pool.remove(vgpu.gpuid)
+        self.vgpus_released_total += 1
+
+    # -- reservation prewarm -------------------------------------------------------------------
+    def prewarm(self, count: int, namespace: str = "default") -> List[str]:
+        """Pre-create *count* idle vGPUs (reservation mode bootstrap).
+
+        Returns the new GPUIDs; they materialize asynchronously as their
+        placeholder pods get scheduled.
+        """
+        gpuids: List[str] = []
+        for _ in range(count):
+            gpuid = new_gpuid()
+            vgpu = VGPU(gpuid=gpuid, created_at=self.env.now)
+            vgpu.placeholder_pod = f"{PLACEHOLDER_PREFIX}{gpuid}"
+            vgpu.phase = VGPUPhase.IDLE
+            self.pool.add(vgpu)
+            placeholder = Pod(
+                metadata=ObjectMeta(
+                    name=vgpu.placeholder_pod,
+                    namespace=namespace,
+                    labels={"app": "kubeshare-vgpu"},
+                ),
+                spec=PodSpec(
+                    containers=[
+                        ContainerSpec(
+                            name="holder",
+                            image="kubeshare/vgpu-holder",
+                            requests={"cpu": 0.1, GPU_RESOURCE: 1},
+                        )
+                    ],
+                    workload=None,
+                ),
+            )
+            self.api.create(placeholder)
+            self.vgpus_created_total += 1
+            gpuids.append(gpuid)
+            self.env.process(self._materialize_poll(vgpu))
+        return gpuids
+
+    def _materialize_poll(self, vgpu: VGPU) -> Generator:
+        """Background materialization for prewarmed vGPUs."""
+        while not vgpu.materialized and self.pool.get(vgpu.gpuid) is vgpu:
+            pod = self.api.get("Pod", vgpu.placeholder_pod)
+            if pod is not None and pod.status.phase is PodPhase.RUNNING:
+                uuid = pod.status.container_env.get("NVIDIA_VISIBLE_DEVICES", "")
+                vgpu.uuid = uuid.split(",")[0] if uuid else None
+                vgpu.node_name = pod.spec.node_name
+                return
+            yield self.env.timeout(0.2)

@@ -1,0 +1,73 @@
+"""vGPU pool lifecycle policies (paper §4.4).
+
+When the last sharePod detaches from a vGPU, KubeShare-DevMgr must decide
+whether to release the underlying GPU back to Kubernetes immediately
+(*on-demand*), keep it warm for future requests (*reservation*), or
+something in between (*hybrid*). The paper chooses on-demand because the
+measured acquisition overhead is low; the tradeoff is ablated in
+``benchmarks/test_ablation_pool_policy.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .vgpu import VGPU, VGPUPool
+
+__all__ = ["PoolPolicy", "OnDemandPolicy", "ReservationPolicy", "HybridPolicy"]
+
+
+class PoolPolicy:
+    """Decides the fate of idle vGPUs."""
+
+    #: Keep-alive for idle vGPUs, seconds; ``None`` = forever.
+    idle_ttl: Optional[float] = None
+
+    def release_on_idle(self, pool: VGPUPool, vgpu: VGPU) -> bool:
+        """Called when *vgpu* just became idle; True = release immediately."""
+        raise NotImplementedError
+
+    def release_on_ttl(self, pool: VGPUPool, vgpu: VGPU) -> bool:
+        """Called when an idle vGPU's TTL expires; True = release now."""
+        return True
+
+
+class OnDemandPolicy(PoolPolicy):
+    """Release idle vGPUs immediately (the paper's implementation choice).
+
+    Every new vGPU request pays the acquisition cost (launching a
+    placeholder pod), but no GPU is withheld from native Kubernetes pods.
+    """
+
+    def release_on_idle(self, pool: VGPUPool, vgpu: VGPU) -> bool:
+        return True
+
+
+class ReservationPolicy(PoolPolicy):
+    """Keep idle vGPUs warm for future requests.
+
+    ``max_idle=None`` keeps every idle vGPU forever (full reservation —
+    zero acquisition overhead at runtime, but idle vGPUs look *allocated*
+    to the kube-scheduler and are unusable by native pods until released).
+    """
+
+    def __init__(self, max_idle: Optional[int] = None) -> None:
+        if max_idle is not None and max_idle < 0:
+            raise ValueError("max_idle must be >= 0")
+        self.max_idle = max_idle
+
+    def release_on_idle(self, pool: VGPUPool, vgpu: VGPU) -> bool:
+        if self.max_idle is None:
+            return False
+        return len(pool.idle_vgpus()) > self.max_idle
+
+
+class HybridPolicy(ReservationPolicy):
+    """Reservation bounded by count *and* time: keep at most *max_idle*
+    idle vGPUs, each for at most *idle_ttl* seconds."""
+
+    def __init__(self, max_idle: int = 2, idle_ttl: float = 30.0) -> None:
+        super().__init__(max_idle=max_idle)
+        if idle_ttl <= 0:
+            raise ValueError("idle_ttl must be > 0")
+        self.idle_ttl = idle_ttl

@@ -1,0 +1,53 @@
+"""Experiment harness: one module per table/figure of the paper's §5.
+
+Each module exposes ``run(...)`` returning structured results and a
+``main()`` that prints the regenerated table/series; the ``benchmarks/``
+tree wraps these for ``pytest --benchmark-only`` and asserts the paper's
+qualitative shape. EXPERIMENTS.md records paper-vs-measured values.
+
+=========  ==================================================  ===============
+module      reproduces                                          scale
+=========  ==================================================  ===============
+table1      feature comparison matrix                           static+tests
+fig3        fragmentation: round-robin vs locality-aware        static
+fig5        inference GPU usage vs client request rate          one GPU
+fig6        isolation & elastic allocation staircase            one GPU
+fig7        overhead vs token time quota                        one GPU
+fig8        throughput sweeps (frequency / mean / variance)     32-GPU cluster
+fig9        utilization & active GPUs over time                 32-GPU cluster
+fig10       pod-creation overhead vs concurrency                32-GPU cluster
+fig11       Algorithm 1 scheduling time vs #SharePods           microbench
+fig12       co-location slowdown (A+A, B+B, A+B)                one GPU
+fig13       throughput vs Job-A ratio, 3 settings               8-GPU cluster
+=========  ==================================================  ===============
+"""
+
+from . import (  # noqa: F401
+    common,
+    fig3,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    table1,
+)
+
+__all__ = [
+    "common",
+    "table1",
+    "fig3",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+]

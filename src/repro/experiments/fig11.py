@@ -1,0 +1,119 @@
+"""Figure 11: scheduling time of KubeShare-Sched vs number of SharePods.
+
+Algorithm 1 is O(N) in the number of SharePods in the system (device views
+are derived from the live SharePod population, then scanned). The paper
+measures the end-to-end scheduling time growing linearly, staying under
+400 ms at 100 SharePods (their Go controller includes API-server
+round-trips). Here we wall-clock *our* implementation — the pure
+``build_device_views`` + ``schedule_request`` path — and verify the linear
+shape; absolute times are naturally much smaller for an in-process call
+(EXPERIMENTS.md records both).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from ..cluster.objects import ObjectMeta
+from ..core.scheduler import RequestView, build_device_views, schedule_request
+from ..core.sharepod import SharePod, SharePodSpec
+from ..core.vgpu import VGPU, VGPUPhase, VGPUPool
+from ..metrics.reporting import ascii_table
+
+__all__ = ["Fig11Point", "make_population", "run", "main", "DEFAULT_SIZES"]
+
+DEFAULT_SIZES = (10, 25, 50, 75, 100, 200, 400)
+
+
+@dataclass(frozen=True)
+class Fig11Point:
+    n_sharepods: int
+    mean_seconds: float
+    p99_seconds: float
+
+
+def make_population(n: int, seed: int = 3, gpus: int = 0) -> tuple:
+    """Build *n* scheduled SharePods spread over a realistic vGPU pool.
+
+    ``gpus`` caps the pool size (0 = grow as needed, ~3 sharePods/vGPU).
+    """
+    rng = np.random.default_rng(seed)
+    pool = VGPUPool()
+    sharepods: List[SharePod] = []
+    per_gpu = 3
+    n_vgpus = max(1, (n + per_gpu - 1) // per_gpu if gpus == 0 else gpus)
+    vgpus = []
+    for i in range(n_vgpus):
+        v = VGPU(gpuid=f"vgpu-pop-{i:04d}", phase=VGPUPhase.ACTIVE, uuid=f"GPU-{i}")
+        pool.add(v)
+        vgpus.append(v)
+    labels = ["teamA", "teamB", None, None, None]
+    for i in range(n):
+        request = float(rng.uniform(0.1, 0.3))
+        sp = SharePod(
+            metadata=ObjectMeta(name=f"sp-{i:05d}"),
+            spec=SharePodSpec(
+                gpu_request=request,
+                gpu_limit=min(1.0, request + 0.2),
+                gpu_mem=float(rng.uniform(0.1, 0.3)),
+                gpu_id=vgpus[i % n_vgpus].gpuid,
+                sched_anti_affinity=labels[int(rng.integers(0, len(labels)))],
+            ),
+        )
+        sharepods.append(sp)
+    return pool, sharepods
+
+
+def run(
+    sizes: Sequence[int] = DEFAULT_SIZES, repeats: int = 50, seed: int = 3
+) -> List[Fig11Point]:
+    points = []
+    request = RequestView(util=0.2, mem=0.2)
+    for n in sizes:
+        pool, sharepods = make_population(n, seed=seed)
+        samples = []
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            devices = build_device_views(pool, sharepods)
+            schedule_request(request, devices)
+            samples.append(time.perf_counter() - t0)
+        arr = np.asarray(samples)
+        points.append(
+            Fig11Point(
+                n_sharepods=n,
+                mean_seconds=float(arr.mean()),
+                p99_seconds=float(np.percentile(arr, 99)),
+            )
+        )
+    return points
+
+
+def linear_fit_r2(points: Sequence[Fig11Point]) -> float:
+    """R² of a linear fit of mean time vs N (the paper's O(N) claim)."""
+    x = np.asarray([p.n_sharepods for p in points], dtype=float)
+    y = np.asarray([p.mean_seconds for p in points])
+    coeffs = np.polyfit(x, y, 1)
+    pred = np.polyval(coeffs, x)
+    ss_res = float(((y - pred) ** 2).sum())
+    ss_tot = float(((y - y.mean()) ** 2).sum())
+    return 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+
+
+def main() -> str:
+    points = run()
+    table = ascii_table(
+        ["#SharePods", "mean sched time (µs)", "p99 (µs)"],
+        [(p.n_sharepods, p.mean_seconds * 1e6, p.p99_seconds * 1e6) for p in points],
+        title="Figure 11 — Algorithm 1 scheduling time (this implementation)",
+    )
+    out = table + f"\nlinear-fit R² = {linear_fit_r2(points):.4f}"
+    print(out)
+    return out
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

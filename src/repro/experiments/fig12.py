@@ -1,0 +1,131 @@
+"""Figure 12: co-location slowdown for the §5.5 job pairs.
+
+Jobs A and B (see :mod:`repro.workloads.interference`) run in pairs on a
+single token-isolated GPU; each job's slowdown is its shared-GPU execution
+time over its standalone time. Paper shape: B+B suffers ~1.5x for both
+jobs; any pairing involving A stays under ~1.1x.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..gpu.backend import TokenBackend
+from ..gpu.device import GPUDevice
+from ..gpu.standalone import kubeshare_env_vars, standalone_context
+from ..metrics.reporting import ascii_table
+from ..sim import Environment
+from ..workloads.interference import JOB_A, JOB_B, InterferenceProfile
+
+__all__ = ["PairResult", "run_pair", "run", "main"]
+
+
+@dataclass(frozen=True)
+class PairResult:
+    combo: str
+    durations: Tuple[float, float]
+    slowdowns: Tuple[float, float]
+
+    @property
+    def max_slowdown(self) -> float:
+        return max(self.slowdowns)
+
+
+def _standalone_duration(profile: InterferenceProfile, quota: float) -> float:
+    env = Environment()
+    device = GPUDevice(env, uuid="GPU-solo", node_name="standalone")
+    backend = TokenBackend(env, quota=quota)
+    duration = {}
+
+    def one():
+        ctx = standalone_context(
+            env,
+            [device],
+            env_vars=kubeshare_env_vars(
+                profile.gpu_request, profile.gpu_limit, profile.gpu_mem, "token"
+            ),
+            backend=backend,
+            name="solo",
+        )
+        start = env.now
+        yield from _run_job(ctx, profile)
+        duration["t"] = env.now - start
+
+    env.run(until=env.process(one()))
+    return duration["t"]
+
+
+def _run_job(ctx, profile: InterferenceProfile):
+    # The profile's inference job paces itself against its client request
+    # arrivals — alone it averages `actual_demand`; under contention it
+    # accumulates a backlog and uses every share it can get.
+    job = profile.job(f"job-{profile.kind}")
+    yield from job.workload()(ctx)
+
+
+def run_pair(
+    first: InterferenceProfile,
+    second: InterferenceProfile,
+    quota: float = 0.100,
+) -> Tuple[float, float]:
+    """Both jobs start together on one shared GPU; returns durations."""
+    env = Environment()
+    device = GPUDevice(env, uuid="GPU-pair", node_name="standalone")
+    backend = TokenBackend(env, quota=quota)
+    durations: Dict[int, float] = {}
+
+    def job(idx: int, profile: InterferenceProfile):
+        ctx = standalone_context(
+            env,
+            [device],
+            env_vars=kubeshare_env_vars(
+                profile.gpu_request, profile.gpu_limit, profile.gpu_mem, "token"
+            ),
+            backend=backend,
+            name=f"pair-{idx}",
+        )
+        start = env.now
+        yield from _run_job(ctx, profile)
+        durations[idx] = env.now - start
+
+    procs = [
+        env.process(job(0, first), name="pair:0"),
+        env.process(job(1, second), name="pair:1"),
+    ]
+    env.run(until=env.all_of(procs))
+    return durations[0], durations[1]
+
+
+def run(quota: float = 0.100) -> List[PairResult]:
+    solo = {
+        "A": _standalone_duration(JOB_A, quota),
+        "B": _standalone_duration(JOB_B, quota),
+    }
+    combos = [("A+A", JOB_A, JOB_A), ("B+B", JOB_B, JOB_B), ("A+B", JOB_A, JOB_B)]
+    results = []
+    for label, p1, p2 in combos:
+        d1, d2 = run_pair(p1, p2, quota)
+        results.append(
+            PairResult(
+                combo=label,
+                durations=(d1, d2),
+                slowdowns=(d1 / solo[p1.kind], d2 / solo[p2.kind]),
+            )
+        )
+    return results
+
+
+def main() -> str:
+    results = run()
+    table = ascii_table(
+        ["combo", "slowdown (job 1)", "slowdown (job 2)", "max"],
+        [(r.combo, r.slowdowns[0], r.slowdowns[1], r.max_slowdown) for r in results],
+        title="Figure 12 — slowdown on a shared GPU (vs standalone)",
+    )
+    print(table)
+    return table
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,73 @@
+"""Figure 5: TF-Serving GPU usage is proportional to client request rate.
+
+A single inference server runs alone on one GPU; we sweep the client
+request rate and measure device utilization over the serving window. The
+paper uses this positive correlation to justify generating workloads with
+controlled GPU demand by adjusting request rates (§5.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..gpu.device import GPUDevice
+from ..gpu.standalone import standalone_context
+from ..metrics.reporting import ascii_table
+from ..sim import Environment
+from ..workloads.jobs import InferenceJob
+
+__all__ = ["Fig5Point", "run", "main"]
+
+DEFAULT_RATES = (5.0, 10.0, 20.0, 30.0, 40.0, 50.0, 60.0)
+
+
+@dataclass(frozen=True)
+class Fig5Point:
+    request_rate: float  # client requests per second
+    expected_demand: float  # request_rate × per-request work
+    measured_usage: float  # NVML-style utilization over the run
+
+
+def run(
+    request_rates: Sequence[float] = DEFAULT_RATES,
+    request_work: float = 0.015,
+    duration: float = 60.0,
+) -> List[Fig5Point]:
+    points = []
+    for rate in request_rates:
+        env = Environment()
+        device = GPUDevice(env, uuid="GPU-fig5", node_name="standalone")
+        ctx = standalone_context(env, [device])
+        job = InferenceJob(
+            name=f"serve-{rate:g}",
+            requests=int(rate * duration),
+            request_rate=rate,
+            request_work=request_work,
+        )
+        proc = env.process(job.workload()(ctx))
+        env.run(until=proc)
+        usage = device.busy_time() / env.now if env.now > 0 else 0.0
+        points.append(
+            Fig5Point(
+                request_rate=rate,
+                expected_demand=min(1.0, rate * request_work),
+                measured_usage=usage,
+            )
+        )
+    return points
+
+
+def main() -> str:
+    points = run()
+    table = ascii_table(
+        ["client req/s", "expected GPU demand", "measured GPU usage"],
+        [(p.request_rate, p.expected_demand, p.measured_usage) for p in points],
+        title="Figure 5 — GPU usage vs client request rate (one TF-Serving job)",
+    )
+    print(table)
+    return table
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

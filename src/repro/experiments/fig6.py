@@ -1,0 +1,145 @@
+"""Figure 6: GPU isolation & elastic allocation among three jobs.
+
+Three training jobs share one GPU through the token-based device library:
+
+* Job A arrives at t=0    with (gpu_request=0.3, gpu_limit=0.6)
+* Job B arrives at t=200  with (gpu_request=0.4, gpu_limit=0.6)
+* Job C arrives at t=400  with (gpu_request=0.3, gpu_limit=0.5)
+
+Expected phases (the staircase of Figure 6):
+
+=============  ======  ======  ======
+interval        A       B       C
+=============  ======  ======  ======
+0–200 s         0.6     —       —     (A capped by its limit)
+200–400 s       0.5     0.5     —     (residual split fairly)
+400–~660 s      0.3     0.4     0.3   (everyone at their request)
+after C ends    0.5     0.5     —     (residual re-distributed)
+=============  ======  ======  ======
+
+Note: the paper's prose reports (0.4, 0.3, 0.3) for the three-job phase,
+but the jobs' requests are (0.3, 0.4, 0.3) which sum to 1.0 — the token
+policy can only converge to each job's own request, so we reproduce
+(0.3, 0.4, 0.3) and flag the apparent A/B transposition (EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..gpu.backend import TokenBackend
+from ..gpu.device import GPUDevice
+from ..gpu.standalone import kubeshare_env_vars, standalone_context
+from ..metrics.collector import TimeSeries
+from ..metrics.reporting import ascii_table
+from ..sim import Environment
+
+__all__ = ["JobConfig", "Fig6Result", "run", "main", "DEFAULT_JOBS"]
+
+
+@dataclass(frozen=True)
+class JobConfig:
+    name: str
+    arrival: float
+    gpu_request: float
+    gpu_limit: float
+    work: float  # total kernel work (seconds of full-device compute)
+
+
+#: Sized so C finishes around t=660 and A/B keep running past it, like the
+#: paper's timeline.
+DEFAULT_JOBS = (
+    JobConfig("A", arrival=0.0, gpu_request=0.3, gpu_limit=0.6, work=330.0),
+    JobConfig("B", arrival=200.0, gpu_request=0.4, gpu_limit=0.6, work=250.0),
+    JobConfig("C", arrival=400.0, gpu_request=0.3, gpu_limit=0.5, work=78.0),
+)
+
+
+@dataclass
+class Fig6Result:
+    usage: Dict[str, TimeSeries]
+    finish_times: Dict[str, float]
+    #: mean usage of each job in hand-picked steady windows.
+    phase_means: Dict[Tuple[str, Tuple[float, float]], float] = field(
+        default_factory=dict
+    )
+
+    def window_mean(self, job: str, t0: float, t1: float) -> float:
+        return self.usage[job].window_mean(t0, t1)
+
+
+def run(
+    jobs: Tuple[JobConfig, ...] = DEFAULT_JOBS,
+    quota: float = 0.100,
+    sample_interval: float = 2.0,
+    horizon: float = 900.0,
+) -> Fig6Result:
+    env = Environment()
+    device = GPUDevice(env, uuid="GPU-fig6", node_name="standalone")
+    backend = TokenBackend(env, quota=quota)
+    usage = {j.name: TimeSeries(name=f"usage:{j.name}") for j in jobs}
+    finish: Dict[str, float] = {}
+
+    def job_proc(cfg: JobConfig):
+        yield env.timeout(cfg.arrival)
+        ctx = standalone_context(
+            env,
+            [device],
+            env_vars=kubeshare_env_vars(cfg.gpu_request, cfg.gpu_limit, 0.3, "token"),
+            backend=backend,
+            name=cfg.name,
+        )
+        api = ctx.cuda()
+        cu = api.cu_ctx_create()
+        try:
+            yield from api.cu_launch_kernel(cu, cfg.work)
+        finally:
+            api.cu_ctx_destroy(cu)
+        finish[cfg.name] = env.now
+
+    def sampler():
+        uids = {j.name: f"uid-{j.name}" for j in jobs}
+        while True:
+            yield env.timeout(sample_interval)
+            for cfg in jobs:
+                usage[cfg.name].record(
+                    env.now, backend.usage(device.uuid, uids[cfg.name])
+                )
+
+    procs = [env.process(job_proc(j), name=f"fig6:{j.name}") for j in jobs]
+    env.process(sampler(), name="fig6:sampler")
+    env.run(until=env.all_of(procs))
+    return Fig6Result(usage=usage, finish_times=finish)
+
+
+def main() -> str:
+    result = run()
+    windows = [
+        ("0-200s (A alone)", 60.0, 195.0),
+        ("200-400s (A+B)", 260.0, 395.0),
+        ("400-660s (A+B+C)", 460.0, 640.0),
+    ]
+    rows = []
+    for label, t0, t1 in windows:
+        rows.append(
+            (
+                label,
+                result.window_mean("A", t0, t1),
+                result.window_mean("B", t0, t1),
+                result.window_mean("C", t0, t1),
+            )
+        )
+    table = ascii_table(
+        ["phase", "Job A usage", "Job B usage", "Job C usage"],
+        rows,
+        title="Figure 6 — per-container GPU usage under the device library",
+    )
+    finishes = ", ".join(f"{k}={v:.0f}s" for k, v in sorted(result.finish_times.items()))
+    out = table + f"\nfinish times: {finishes}"
+    print(out)
+    return out
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

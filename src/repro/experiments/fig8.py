@@ -1,0 +1,209 @@
+"""Figure 8: throughput improvement from GPU sharing, three sweeps.
+
+Workloads are Poisson-arriving inference jobs with normally distributed
+GPU demand, run on the paper's 8-node / 32-GPU testbed shape through both
+native Kubernetes (exclusive GPUs) and KubeShare (shared vGPUs):
+
+* **(a)** sweep the job frequency — Kubernetes saturates first (the paper:
+  ~50 jobs/min at a 3x frequency factor), KubeShare keeps scaling (~110
+  jobs/min, saturating around 9x);
+* **(b)** sweep the mean GPU demand — sharing gains shrink as jobs grow
+  (~2.5x below 20% demand, converging above 60%);
+* **(c)** sweep the demand variance — neither system is sensitive to it.
+
+Calibration: jobs serve for ~40 s unthrottled and hold a DeepLab-scale
+model (25% of device memory), so co-location is bounded by memory to ≤4
+jobs/GPU — which is what caps the low-demand gain near the paper's ~2.5x
+rather than 1/demand (EXPERIMENTS.md discusses this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Type
+
+from ..baselines.base import SharingSystem
+from ..baselines.kubeshare_sys import KubeShareSystem
+from ..baselines.native import NativeKubernetes
+from ..metrics.reporting import ascii_table
+from ..workloads.generator import WorkloadGenerator
+from .common import RunResult, run_inference_workload
+
+__all__ = [
+    "Fig8Point",
+    "BASE_JOBS_PER_MINUTE",
+    "run_frequency_sweep",
+    "run_demand_mean_sweep",
+    "run_demand_variance_sweep",
+    "main",
+]
+
+#: 1x job frequency; at 3x the offered load crosses the exclusive-GPU
+#: capacity of 32 GPUs (32 jobs / 40 s = 48 jobs/min).
+BASE_JOBS_PER_MINUTE = 16.0
+JOB_DURATION = 40.0
+DEFAULT_JOBS = 120
+SYSTEMS: Sequence[Type[SharingSystem]] = (NativeKubernetes, KubeShareSystem)
+
+
+@dataclass(frozen=True)
+class Fig8Point:
+    system: str
+    x: float  # the swept parameter value
+    throughput: float  # completed jobs per minute
+    failed: int
+
+
+def _run_one(
+    system_cls: Type[SharingSystem],
+    jobs_per_minute: float,
+    demand_mean: float,
+    demand_std: float,
+    n_jobs: int,
+    seed: int,
+    nodes: int,
+    gpus_per_node: int,
+) -> RunResult:
+    workload = WorkloadGenerator(seed).inference_workload(
+        n_jobs=n_jobs,
+        jobs_per_minute=jobs_per_minute,
+        demand_mean=demand_mean,
+        demand_std=demand_std,
+        duration=JOB_DURATION,
+    )
+    return run_inference_workload(
+        system_cls, workload, nodes=nodes, gpus_per_node=gpus_per_node
+    )
+
+
+def run_frequency_sweep(
+    factors: Sequence[float] = (1, 2, 3, 5, 7, 9, 12),
+    demand_mean: float = 0.3,
+    demand_std: float = 0.1,
+    n_jobs: int = DEFAULT_JOBS,
+    seed: int = 7,
+    nodes: int = 8,
+    gpus_per_node: int = 4,
+) -> List[Fig8Point]:
+    """Figure 8a: throughput vs job frequency (factor over 1x)."""
+    points = []
+    for factor in factors:
+        for system_cls in SYSTEMS:
+            result = _run_one(
+                system_cls,
+                BASE_JOBS_PER_MINUTE * factor,
+                demand_mean,
+                demand_std,
+                n_jobs,
+                seed,
+                nodes,
+                gpus_per_node,
+            )
+            points.append(
+                Fig8Point(result.system, factor, result.throughput_jobs_per_min, result.failed_jobs)
+            )
+    return points
+
+
+def run_demand_mean_sweep(
+    means: Sequence[float] = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6),
+    frequency_factor: float = 12.0,
+    demand_std: float = 0.05,
+    n_jobs: int = DEFAULT_JOBS,
+    seed: int = 7,
+    nodes: int = 8,
+    gpus_per_node: int = 4,
+) -> List[Fig8Point]:
+    """Figure 8b: throughput vs mean GPU demand, heavily loaded system."""
+    points = []
+    for mean in means:
+        for system_cls in SYSTEMS:
+            result = _run_one(
+                system_cls,
+                BASE_JOBS_PER_MINUTE * frequency_factor,
+                mean,
+                demand_std,
+                n_jobs,
+                seed,
+                nodes,
+                gpus_per_node,
+            )
+            points.append(
+                Fig8Point(result.system, mean, result.throughput_jobs_per_min, result.failed_jobs)
+            )
+    return points
+
+
+def run_demand_variance_sweep(
+    stds: Sequence[float] = (0.02, 0.05, 0.10, 0.15, 0.20),
+    frequency_factor: float = 6.0,
+    demand_mean: float = 0.3,
+    n_jobs: int = DEFAULT_JOBS,
+    seed: int = 7,
+    nodes: int = 8,
+    gpus_per_node: int = 4,
+) -> List[Fig8Point]:
+    """Figure 8c: throughput vs demand variance (flat for both systems)."""
+    points = []
+    for std in stds:
+        for system_cls in SYSTEMS:
+            result = _run_one(
+                system_cls,
+                BASE_JOBS_PER_MINUTE * frequency_factor,
+                demand_mean,
+                std,
+                n_jobs,
+                seed,
+                nodes,
+                gpus_per_node,
+            )
+            points.append(
+                Fig8Point(result.system, std, result.throughput_jobs_per_min, result.failed_jobs)
+            )
+    return points
+
+
+def _table(points: List[Fig8Point], x_name: str, title: str) -> str:
+    by_x: dict = {}
+    for p in points:
+        by_x.setdefault(p.x, {})[p.system] = p.throughput
+    rows = []
+    for x in sorted(by_x):
+        k8s = by_x[x].get("Kubernetes", 0.0)
+        ks = by_x[x].get("KubeShare", 0.0)
+        rows.append((x, k8s, ks, (ks / k8s) if k8s else None))
+    return ascii_table(
+        [x_name, "Kubernetes (jobs/min)", "KubeShare (jobs/min)", "gain"],
+        rows,
+        title=title,
+    )
+
+
+def main(quick: bool = False) -> str:
+    kw = {"n_jobs": 60, "nodes": 4} if quick else {}
+    out = [
+        _table(
+            run_frequency_sweep(**kw),
+            "freq factor",
+            "Figure 8a — throughput vs job frequency",
+        ),
+        _table(
+            run_demand_mean_sweep(**kw),
+            "demand mean",
+            "Figure 8b — throughput vs mean GPU demand",
+        ),
+        _table(
+            run_demand_variance_sweep(**kw),
+            "demand std",
+            "Figure 8c — throughput vs demand variance",
+        ),
+    ]
+    text = "\n\n".join(out)
+    print(text)
+    return text
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    main(quick="--quick" in sys.argv)

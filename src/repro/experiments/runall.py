@@ -1,0 +1,100 @@
+"""Regenerate every table and figure in one command.
+
+Usage::
+
+    python -m repro.experiments.runall            # everything (minutes)
+    python -m repro.experiments.runall --quick    # reduced scales
+    python -m repro.experiments.runall fig6 fig12 # a subset
+
+Each experiment prints the same rows/series its benchmark counterpart
+asserts on; EXPERIMENTS.md records the paper-vs-measured comparison.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict
+
+from ..metrics.reporting import banner
+from . import fig3, fig5, fig6, fig7, fig8, fig9, fig10, fig11, fig12, fig13, table1
+
+__all__ = ["main", "EXPERIMENTS"]
+
+
+def _fig8_main(quick: bool) -> None:
+    fig8.main(quick=quick)
+
+
+def _fig9_main(quick: bool) -> None:
+    if quick:
+        result = fig9.run(n_jobs=40, nodes=4)
+        for name in sorted(result.makespan):
+            print(
+                f"{name}: makespan={result.makespan[name]:.0f}s "
+                f"throughput={result.throughput[name]:.1f} jobs/min "
+                f"mean-active-util={result.mean_active_utilization[name]:.2f} "
+                f"mean-active-gpus={result.mean_active_gpus[name]:.1f}"
+            )
+    else:
+        fig9.main()
+
+
+def _fig10_main(quick: bool) -> None:
+    if quick:
+        points = fig10.run(concurrency_levels=(1, 4, 16))
+        for p in points:
+            print(f"{p.mode:30s} c={p.concurrency:<3d} {p.mean_creation_time:.2f}s")
+    else:
+        fig10.main()
+
+
+def _fig13_main(quick: bool) -> None:
+    if quick:
+        points = fig13.run(ratios=(0.0, 0.5, 1.0), n_jobs=16, nodes=1)
+        for p in points:
+            print(f"{p.setting:26s} ratio={p.job_a_ratio:.2f} "
+                  f"{p.throughput:.2f} jobs/min")
+    else:
+        fig13.main()
+
+
+EXPERIMENTS: Dict[str, Callable[[bool], None]] = {
+    "table1": lambda quick: (table1.main(), None)[1],
+    "fig3": lambda quick: (fig3.main(), None)[1],
+    "fig5": lambda quick: (fig5.main(), None)[1],
+    "fig6": lambda quick: (fig6.main(), None)[1],
+    "fig7": lambda quick: (fig7.main(), None)[1],
+    "fig8": _fig8_main,
+    "fig9": _fig9_main,
+    "fig10": _fig10_main,
+    "fig11": lambda quick: (fig11.main(), None)[1],
+    "fig12": lambda quick: (fig12.main(), None)[1],
+    "fig13": _fig13_main,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        choices=[*EXPERIMENTS, []],
+        help="subset to run (default: all)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="reduced scales for a fast pass"
+    )
+    args = parser.parse_args(argv)
+    chosen = args.experiments or list(EXPERIMENTS)
+    for name in chosen:
+        print(banner(name))
+        started = time.perf_counter()
+        EXPERIMENTS[name](args.quick)
+        print(f"[{name} done in {time.perf_counter() - started:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

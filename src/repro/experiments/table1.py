@@ -1,0 +1,74 @@
+"""Table 1: feature comparison of GPU-sharing solutions for Kubernetes.
+
+The static matrix comes from each system's declared capabilities; every
+flag is also *behaviourally verified* by tests in
+``tests/baselines/test_table1_behaviour.py`` (e.g. Aliyun really does not
+throttle compute; KubeShare really does honour anti-affinity).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Type
+
+from ..baselines import (
+    AliyunGPUShare,
+    DeepomaticSharedPlugin,
+    FEATURE_NAMES,
+    GaiaGPU,
+    KubeShareSystem,
+    SharingSystem,
+)
+from ..metrics.reporting import ascii_table
+
+__all__ = ["SYSTEMS", "feature_matrix", "run", "main"]
+
+#: Column order mirrors the paper's Table 1.
+SYSTEMS: Sequence[Type[SharingSystem]] = (
+    DeepomaticSharedPlugin,
+    AliyunGPUShare,
+    GaiaGPU,
+    KubeShareSystem,
+)
+
+_ROW_LABELS = {
+    "multi_gpu_per_node": "Sharing: multi-GPUs per node",
+    "fine_grained_allocation": "Sharing: fine-grained allocation",
+    "memory_isolation": "Isolation: memory",
+    "compute_isolation": "Isolation: computation",
+    "first_class_identity": "Scheduling: first class with GPU identity",
+    "locality_constraints": "Scheduling: locality constraint",
+    "coexists_with_kube_scheduler": "Compatibility: co-exists with kube-scheduler",
+}
+
+
+def feature_matrix() -> Dict[str, Dict[str, object]]:
+    """feature name -> {system name -> flag}."""
+    return {
+        feature: {cls.name: cls.features.get(feature, False) for cls in SYSTEMS}
+        for feature in FEATURE_NAMES
+    }
+
+
+def run() -> List[List[object]]:
+    matrix = feature_matrix()
+    rows = []
+    for feature in FEATURE_NAMES:
+        row: List[object] = [_ROW_LABELS[feature]]
+        for cls in SYSTEMS:
+            row.append(matrix[feature][cls.name])
+        rows.append(row)
+    return rows
+
+
+def main() -> str:
+    table = ascii_table(
+        ["Property / Feature", *(cls.name for cls in SYSTEMS)],
+        run(),
+        title="Table 1 — GPU sharing solutions for Kubernetes",
+    )
+    print(table)
+    return table
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,64 @@
+"""GPU substrate: simulated devices, CUDA façade, and the vGPU library.
+
+Layers (bottom-up):
+
+* :mod:`repro.gpu.sharing` — the elastic water-filling share solver (the
+  steady state of the paper's token policy);
+* :mod:`repro.gpu.device` — physical GPU with memory ledger and a
+  fluid-shared compute engine executing kernel work in virtual time;
+* :mod:`repro.gpu.cuda` — the CUDA driver-API façade applications call;
+* :mod:`repro.gpu.interception` — LD_PRELOAD-analogue hook registry;
+* :mod:`repro.gpu.backend` — KubeShare's per-node token daemon (§4.5);
+* :mod:`repro.gpu.frontend` — the per-container vGPU device library;
+* :mod:`repro.gpu.nvml` — NVML-style utilization sampling (Figure 9).
+"""
+
+from .backend import DEFAULT_QUOTA, DEFAULT_WINDOW, ClientRecord, Token, TokenBackend
+from .cuda import CudaAPI, CudaContext, CudaError, DevicePointer
+from .device import ComputeSession, GPUDevice, GpuOutOfMemory, V100_MEMORY
+from .frontend import (
+    DEVICE_LIB_SONAME,
+    ENV_ISOLATION,
+    ENV_LIMIT,
+    ENV_MEM,
+    ENV_REQUEST,
+    VGPUDeviceLibrary,
+    maybe_install_device_library,
+)
+from .interception import HookRegistry
+from .nvml import NVMLSampler, UtilizationSeries
+from .sharing import ShareEntry, elastic_shares
+from .standalone import kubeshare_env_vars, standalone_context
+from .swap import ENV_MEM_OVERCOMMIT, SwapManager
+
+__all__ = [
+    "GPUDevice",
+    "ComputeSession",
+    "GpuOutOfMemory",
+    "V100_MEMORY",
+    "CudaAPI",
+    "CudaContext",
+    "CudaError",
+    "DevicePointer",
+    "HookRegistry",
+    "TokenBackend",
+    "Token",
+    "ClientRecord",
+    "DEFAULT_QUOTA",
+    "DEFAULT_WINDOW",
+    "VGPUDeviceLibrary",
+    "maybe_install_device_library",
+    "DEVICE_LIB_SONAME",
+    "ENV_REQUEST",
+    "ENV_LIMIT",
+    "ENV_MEM",
+    "ENV_ISOLATION",
+    "NVMLSampler",
+    "UtilizationSeries",
+    "ShareEntry",
+    "elastic_shares",
+    "standalone_context",
+    "kubeshare_env_vars",
+    "SwapManager",
+    "ENV_MEM_OVERCOMMIT",
+]

@@ -1,0 +1,272 @@
+"""Simulated GPU device: memory ledger + fluid-shared compute engine.
+
+A :class:`GPUDevice` executes *kernel work* (measured in seconds of
+full-device compute) on behalf of :class:`ComputeSession` objects. At any
+instant every session has a *rate* — the fraction of the device it
+progresses at — recomputed by :func:`~repro.gpu.sharing.elastic_shares`
+whenever the set of demanding sessions changes. A session running alone at
+``cap=1`` progresses at rate 1.0 (one second of work per simulated second).
+
+Isolation styles map onto this engine naturally:
+
+* **exclusive** (native Kubernetes): one session per device → rate 1.
+* **token mode** (KubeShare's device library at full fidelity): only the
+  token holder launches kernels at a time, so the engine sees a single
+  demanding session and grants it the whole device — throttling emerges
+  from the blocking in the frontend, exactly as with the real library.
+* **fluid mode** (KubeShare at cluster scale): sessions carry
+  (request, limit) and the engine applies the elastic-share steady state
+  directly.
+* **unisolated sharing** (Deepomatic-style baselines): sessions carry
+  request=0, limit=1 and additionally suffer a contention penalty per
+  concurrent peer, modelling interference that no throttling mitigates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional
+
+from ..sim import Environment, Event
+from .sharing import ShareEntry, elastic_shares
+
+__all__ = ["GPUDevice", "ComputeSession", "GpuOutOfMemory", "V100_MEMORY"]
+
+#: Device memory of the paper's Tesla V100s (16 GB).
+V100_MEMORY = 16 * 2**30
+
+
+class GpuOutOfMemory(Exception):
+    """Physical device memory exhausted (or library quota exceeded)."""
+
+
+class ComputeSession:
+    """One container's compute context on a device."""
+
+    def __init__(
+        self,
+        device: "GPUDevice",
+        name: str,
+        request: float = 0.0,
+        limit: float = 1.0,
+        isolated: bool = True,
+    ) -> None:
+        if not 0.0 <= request <= 1.0:
+            raise ValueError(f"request must be in [0,1], got {request}")
+        if not 0.0 < limit <= 1.0:
+            raise ValueError(f"limit must be in (0,1], got {limit}")
+        self.device = device
+        self.name = name
+        self.request = request
+        self.limit = limit
+        #: isolated sessions (KubeShare's library serializes kernel
+        #: launches) never suffer concurrency contention; unisolated ones
+        #: (no compute throttling) do when the device is over-committed.
+        self.isolated = isolated
+        #: instantaneous demand in [0,1]; 0 when no kernels are pending.
+        self.demand = 0.0
+        #: current granted rate (engine-computed).
+        self.rate = 0.0
+        #: integral of granted rate over time (for usage accounting).
+        self.granted_integral = 0.0
+        self._last_update = device.env.now
+        self.closed = False
+
+    # -- engine bookkeeping -------------------------------------------------
+    def _accumulate(self, now: float) -> None:
+        self.granted_integral += self.rate * (now - self._last_update)
+        self._last_update = now
+
+    def granted_time(self) -> float:
+        """Total granted compute (seconds of full device) up to now."""
+        return self.granted_integral + self.rate * (
+            self.device.env.now - self._last_update
+        )
+
+    # -- work execution -----------------------------------------------------------
+    def run(self, work: float, demand: Optional[float] = None) -> Generator:
+        """Process: execute *work* seconds of full-device compute.
+
+        *demand* caps the session's instantaneous appetite (an inference
+        job serving a 30% request load has demand 0.3 even when alone);
+        default is 1.0 (saturating, like training).
+        """
+        if self.closed:
+            raise RuntimeError(f"session {self.name} is closed")
+        if work < 0:
+            raise ValueError("work must be >= 0")
+        env = self.device.env
+        appetite = 1.0 if demand is None else float(demand)
+        remaining = float(work)
+        self.demand = appetite
+        self.device._recompute()
+        try:
+            while remaining > 1e-12:
+                rate = self.rate
+                if rate <= 1e-12:
+                    yield self.device.change_event()
+                    continue
+                started = env.now
+                finish = env.timeout(remaining / rate)
+                change = self.device.change_event()
+                yield finish | change
+                remaining -= (env.now - started) * rate
+        finally:
+            self.demand = 0.0
+            self.device._recompute()
+
+    def set_params(self, request: Optional[float] = None, limit: Optional[float] = None) -> None:
+        """Adjust request/limit on the fly (vGPU spec updates)."""
+        if request is not None:
+            self.request = request
+        if limit is not None:
+            self.limit = limit
+        self.device._recompute()
+
+    def close(self) -> None:
+        if not self.closed:
+            self.closed = True
+            self.demand = 0.0
+            self.device._close_session(self)
+
+
+class GPUDevice:
+    """A physical GPU: identity, memory, and the shared compute engine."""
+
+    def __init__(
+        self,
+        env: Environment,
+        uuid: str,
+        node_name: str,
+        memory: int = V100_MEMORY,
+        contention_per_peer: float = 0.05,
+    ) -> None:
+        self.env = env
+        self.uuid = uuid
+        self.node_name = node_name
+        self.memory = int(memory)
+        #: throughput lost per extra concurrently-demanding session when
+        #: sharing is *unisolated* (limited memory bandwidth, §1).
+        self.contention_per_peer = contention_per_peer
+        self._mem_by_owner: Dict[str, int] = {}
+        self._sessions: List[ComputeSession] = []
+        self._change: Event = env.event()
+        #: integral of total granted rate over time (NVML utilization).
+        self.busy_integral = 0.0
+        self._busy_rate = 0.0
+        self._busy_last = env.now
+
+    # -- memory ledger -------------------------------------------------------
+    @property
+    def memory_used(self) -> int:
+        return sum(self._mem_by_owner.values())
+
+    @property
+    def memory_free(self) -> int:
+        return self.memory - self.memory_used
+
+    def alloc_memory(self, owner: str, nbytes: int) -> None:
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        if nbytes > self.memory_free:
+            raise GpuOutOfMemory(
+                f"GPU {self.uuid}: cannot allocate {nbytes} bytes "
+                f"({self.memory_free} free of {self.memory})"
+            )
+        self._mem_by_owner[owner] = self._mem_by_owner.get(owner, 0) + nbytes
+
+    def free_memory(self, owner: str, nbytes: Optional[int] = None) -> None:
+        held = self._mem_by_owner.get(owner, 0)
+        if nbytes is None:
+            nbytes = held
+        if nbytes > held + 0:
+            raise ValueError(f"{owner} frees {nbytes} but holds {held}")
+        remaining = held - nbytes
+        if remaining:
+            self._mem_by_owner[owner] = remaining
+        else:
+            self._mem_by_owner.pop(owner, None)
+
+    def memory_of(self, owner: str) -> int:
+        return self._mem_by_owner.get(owner, 0)
+
+    # -- compute engine ----------------------------------------------------------
+    def open_session(
+        self,
+        name: str,
+        request: float = 0.0,
+        limit: float = 1.0,
+        isolated: bool = True,
+    ) -> ComputeSession:
+        session = ComputeSession(
+            self, name, request=request, limit=limit, isolated=isolated
+        )
+        self._sessions.append(session)
+        self._recompute()
+        return session
+
+    def _close_session(self, session: ComputeSession) -> None:
+        try:
+            self._sessions.remove(session)
+        except ValueError:  # pragma: no cover - double close
+            pass
+        self._recompute()
+
+    @property
+    def sessions(self) -> List[ComputeSession]:
+        return list(self._sessions)
+
+    def change_event(self) -> Event:
+        """Event fired on the next allocation change (one-shot, shared)."""
+        return self._change
+
+    def _recompute(self) -> None:
+        """Re-solve the elastic shares after any membership/demand change."""
+        now = self.env.now
+        self.busy_integral += self._busy_rate * (now - self._busy_last)
+        self._busy_last = now
+
+        demanding = [s for s in self._sessions if s.demand > 0.0]
+        n = len(demanding)
+        # Contention penalizes *unisolated* concurrent sharing of an
+        # over-committed device (limited memory bandwidth, §1). Sessions
+        # throttled by KubeShare's library serialize kernel launches and
+        # are immune.
+        contended_eff = 1.0
+        if n > 1:
+            total_appetite = sum(min(s.limit, s.demand) for s in demanding)
+            if total_appetite > 1.0 + 1e-9:
+                contended_eff = 1.0 / (1.0 + self.contention_per_peer * (n - 1))
+
+        entries = [
+            ShareEntry(request=s.request, cap=min(s.limit, s.demand))
+            for s in demanding
+        ]
+        alloc = elastic_shares(entries, capacity=1.0) if entries else []
+
+        for s in self._sessions:
+            s._accumulate(now)
+            s.rate = 0.0
+        for s, a in zip(demanding, alloc):
+            s.rate = float(a) * (1.0 if s.isolated else contended_eff)
+
+        self._busy_rate = sum(s.rate for s in self._sessions)
+
+        # Wake every waiter exactly once.
+        old, self._change = self._change, self.env.event()
+        if not old.triggered:
+            old.succeed()
+
+    # -- utilization accounting -----------------------------------------------------
+    def busy_time(self) -> float:
+        """Total busy integral up to now (seconds of full-device compute)."""
+        return self.busy_integral + self._busy_rate * (self.env.now - self._busy_last)
+
+    def utilization_since(self, t0: float, busy_at_t0: float) -> float:
+        """Average utilization between a recorded (t0, busy) sample and now."""
+        dt = self.env.now - t0
+        if dt <= 0:
+            return 0.0
+        return (self.busy_time() - busy_at_t0) / dt
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<GPUDevice {self.uuid} on {self.node_name}>"

@@ -1,0 +1,73 @@
+"""LD_PRELOAD-analogue API interception.
+
+KubeShare's vGPU device library is ``LD_PRELOAD``-ed into containers so
+that its wrappers are found *before* the real CUDA symbols at dynamic link
+time (§4.5). The simulation equivalent is a :class:`HookRegistry` attached
+to each container's :class:`~repro.gpu.cuda.CudaAPI`: every driver entry
+point dispatches through the registry, and a library "installs" itself by
+registering wrappers for the symbols it wants to intercept.
+
+Wrappers compose (last installed runs outermost) and receive the next
+callable in the chain, so a wrapper can pre-process arguments, delegate,
+and post-process results — including generator-returning symbols such as
+``cuLaunchKernel``, where the wrapper typically returns its own generator
+that yields (blocks) before delegating.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List
+
+__all__ = ["HookRegistry"]
+
+Wrapper = Callable[..., Any]
+
+
+class HookRegistry:
+    """Symbol table of interception wrappers."""
+
+    def __init__(self) -> None:
+        self._hooks: Dict[str, List[Wrapper]] = {}
+        self._observers: Dict[str, List[Callable[..., None]]] = {}
+
+    def install(self, symbol: str, wrapper: Wrapper) -> None:
+        """Install *wrapper* for *symbol*.
+
+        ``wrapper(next_fn, *args)`` must call (or delegate to)
+        ``next_fn(*args)`` to reach the layer below.
+        """
+        self._hooks.setdefault(symbol, []).append(wrapper)
+
+    def uninstall(self, symbol: str, wrapper: Wrapper) -> None:
+        chain = self._hooks.get(symbol, [])
+        chain.remove(wrapper)
+        if not chain:
+            self._hooks.pop(symbol, None)
+
+    def installed(self, symbol: str) -> bool:
+        return bool(self._hooks.get(symbol))
+
+    def call(self, symbol: str, original: Callable[..., Any], *args: Any) -> Any:
+        """Dispatch *symbol*: run the wrapper chain, bottoming out at
+        *original* (the real driver implementation)."""
+        chain = self._hooks.get(symbol)
+        if not chain:
+            return original(*args)
+
+        def make_next(index: int) -> Callable[..., Any]:
+            if index < 0:
+                return original
+            layer = chain[index]
+            below = make_next(index - 1)
+            return lambda *a: layer(below, *a)
+
+        return make_next(len(chain) - 1)(*args)
+
+    # -- passive observation (free calls don't need wrapping) ----------------
+    def observe(self, symbol: str, observer: Callable[..., None]) -> None:
+        """Register a post-call observer for *symbol* (e.g. ``cuMemFree``)."""
+        self._observers.setdefault(symbol, []).append(observer)
+
+    def notify(self, symbol: str, *args: Any) -> None:
+        for observer in self._observers.get(symbol, []):
+            observer(*args)

@@ -1,0 +1,125 @@
+"""NVML-style GPU monitoring.
+
+The paper measures overall GPU utilization "by the GPU usage value
+reported by the Nvidia NVML library tool" (§5.1, Figure 9). This module
+provides the equivalent: a sampler process that periodically reads each
+device's busy-time integral and records per-interval utilization, plus the
+aggregate views Figure 9 plots (average utilization across devices and the
+number of *active* GPUs over time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..sim import Environment
+from .device import GPUDevice
+
+__all__ = ["NVMLSampler", "UtilizationSeries"]
+
+
+@dataclass
+class UtilizationSeries:
+    """Per-device sampled utilization time series."""
+
+    times: List[float] = field(default_factory=list)
+    values: List[float] = field(default_factory=list)
+
+    def as_arrays(self):
+        return np.asarray(self.times), np.asarray(self.values)
+
+    def mean(self) -> float:
+        return float(np.mean(self.values)) if self.values else 0.0
+
+
+class NVMLSampler:
+    """Samples device utilization every *interval* seconds."""
+
+    def __init__(
+        self,
+        env: Environment,
+        devices: Sequence[GPUDevice],
+        interval: float = 1.0,
+        active_threshold: float = 0.01,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be > 0")
+        self.env = env
+        self.devices = list(devices)
+        self.interval = interval
+        self.active_threshold = active_threshold
+        self.series: Dict[str, UtilizationSeries] = {
+            d.uuid: UtilizationSeries() for d in self.devices
+        }
+        self._last_busy: Dict[str, float] = {}
+        self._proc = None
+
+    def start(self) -> "NVMLSampler":
+        if self._proc is None:
+            self._last_busy = {d.uuid: d.busy_time() for d in self.devices}
+            self._proc = self.env.process(self._run(), name="nvml-sampler")
+        return self
+
+    def stop(self) -> None:
+        if self._proc is not None and self._proc.is_alive:
+            self._proc.interrupt("stop")
+
+    def _run(self):
+        from ..sim import Interrupt
+
+        try:
+            while True:
+                yield self.env.timeout(self.interval)
+                now = self.env.now
+                for dev in self.devices:
+                    busy = dev.busy_time()
+                    util = (busy - self._last_busy[dev.uuid]) / self.interval
+                    self._last_busy[dev.uuid] = busy
+                    s = self.series[dev.uuid]
+                    s.times.append(now)
+                    s.values.append(min(1.0, max(0.0, util)))
+        except Interrupt:
+            return
+
+    # -- Figure 9 views ----------------------------------------------------
+    def device_utilization(self, uuid: str) -> UtilizationSeries:
+        return self.series[uuid]
+
+    def average_utilization(self, active_only: bool = False) -> UtilizationSeries:
+        """Average across devices at each sample instant.
+
+        With ``active_only=True`` only devices above the activity threshold
+        count — the "average utilization of active GPUs" view.
+        """
+        out = UtilizationSeries()
+        if not self.devices:
+            return out
+        n_samples = min(len(s.times) for s in self.series.values())
+        for i in range(n_samples):
+            vals = [self.series[d.uuid].values[i] for d in self.devices]
+            t = self.series[self.devices[0].uuid].times[i]
+            if active_only:
+                vals = [v for v in vals if v >= self.active_threshold]
+            out.times.append(t)
+            out.values.append(float(np.mean(vals)) if vals else 0.0)
+        return out
+
+    def active_gpus(self) -> UtilizationSeries:
+        """Number of active GPUs (utilization above threshold) over time."""
+        out = UtilizationSeries()
+        if not self.devices:
+            return out
+        n_samples = min(len(s.times) for s in self.series.values())
+        for i in range(n_samples):
+            t = self.series[self.devices[0].uuid].times[i]
+            count = sum(
+                1
+                for d in self.devices
+                if self.series[d.uuid].values[i] >= self.active_threshold
+            )
+            out.times.append(t)
+            out.values.append(float(count))
+        return out

@@ -1,0 +1,81 @@
+"""Standalone containers: use the GPU substrate without a cluster.
+
+The single-GPU experiments (Figures 5-7 and 12) exercise the device
+library and token backend directly; this helper fabricates the
+:class:`~repro.cluster.runtime.ContainerContext` a kubelet would normally
+assemble — visible devices, device-library env vars, and the per-node
+backend service — without spinning up a control plane.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Optional, Sequence
+
+from ..cluster.runtime import ContainerContext
+from ..sim import Environment
+from .backend import TokenBackend
+from .device import GPUDevice
+from .swap import SwapManager
+from .frontend import (
+    DEVICE_LIB_SONAME,
+    ENV_ISOLATION,
+    ENV_LIMIT,
+    ENV_MEM,
+    ENV_REQUEST,
+)
+
+__all__ = ["standalone_context", "kubeshare_env_vars"]
+
+_counter = itertools.count(1)
+
+
+def kubeshare_env_vars(
+    gpu_request: float,
+    gpu_limit: float,
+    gpu_mem: float,
+    isolation: str = "token",
+) -> Dict[str, str]:
+    """The env-var block KubeShare-DevMgr would inject for these specs."""
+    return {
+        "LD_PRELOAD": DEVICE_LIB_SONAME,
+        ENV_REQUEST: str(gpu_request),
+        ENV_LIMIT: str(gpu_limit),
+        ENV_MEM: str(gpu_mem),
+        ENV_ISOLATION: isolation,
+    }
+
+
+def standalone_context(
+    env: Environment,
+    devices: Sequence[GPUDevice],
+    env_vars: Optional[Dict[str, str]] = None,
+    backend: Optional[TokenBackend] = None,
+    swap: Optional[SwapManager] = None,
+    name: Optional[str] = None,
+) -> ContainerContext:
+    """Fabricate a container context seeing *devices*.
+
+    ``NVIDIA_VISIBLE_DEVICES`` defaults to all the given devices;
+    *env_vars* (e.g. from :func:`kubeshare_env_vars`) can override it and
+    configure the device library. *backend* wires up the per-node token
+    daemon when token isolation is requested.
+    """
+    seq = next(_counter)
+    name = name or f"standalone-{seq}"
+    merged = {"NVIDIA_VISIBLE_DEVICES": ",".join(d.uuid for d in devices)}
+    merged.update(env_vars or {})
+    services: Dict[str, object] = {}
+    if backend is not None:
+        services[TokenBackend.SERVICE_NAME] = backend
+    if swap is not None:
+        services[SwapManager.SERVICE_NAME] = swap
+    return ContainerContext(
+        env=env,
+        pod_name=name,
+        pod_uid=f"uid-{name}",
+        node_name="standalone",
+        env_vars=merged,
+        gpu_registry={d.uuid: d for d in devices},
+        node_services=services,
+    )

@@ -1,0 +1,30 @@
+"""Metrics: collection, analysis and plain-text reporting."""
+
+from .analysis import (
+    completion_series,
+    makespan,
+    mean_job_duration,
+    slowdown,
+    throughput_jobs_per_minute,
+)
+from .collector import MetricsRegistry, TimeSeries
+from .export import results_to_json, rows_to_csv, series_to_csv, write_text
+from .reporting import ascii_table, banner, format_percent, format_series
+
+__all__ = [
+    "TimeSeries",
+    "MetricsRegistry",
+    "makespan",
+    "throughput_jobs_per_minute",
+    "completion_series",
+    "mean_job_duration",
+    "slowdown",
+    "ascii_table",
+    "format_series",
+    "format_percent",
+    "banner",
+    "rows_to_csv",
+    "series_to_csv",
+    "results_to_json",
+    "write_text",
+]

@@ -1,0 +1,73 @@
+"""Workload-level performance analysis (the paper's §5.1 metrics).
+
+"The main performance matrix of our evaluation is the system throughput
+and GPU utilization. The system throughput is the number of completed jobs
+per time interval. Since the total jobs is fixed in a workload, the job
+throughput is also inversely proportional to the overall execution time
+(i.e., makespan) of a workload."
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..workloads.jobs import JobStats
+from .collector import TimeSeries
+
+__all__ = [
+    "makespan",
+    "throughput_jobs_per_minute",
+    "completion_series",
+    "mean_job_duration",
+    "slowdown",
+]
+
+
+def _finished(stats: Iterable[JobStats]) -> List[JobStats]:
+    return [s for s in stats if s.finished_at is not None and not s.failed]
+
+
+def makespan(stats: Sequence[JobStats]) -> float:
+    """Time from the first submission to the last completion."""
+    done = _finished(stats)
+    if not done:
+        return 0.0
+    start = min(s.submitted_at if s.submitted_at is not None else s.started_at for s in done)
+    end = max(s.finished_at for s in done)
+    return end - start
+
+
+def throughput_jobs_per_minute(stats: Sequence[JobStats]) -> float:
+    """Completed jobs per minute over the workload's makespan."""
+    done = _finished(stats)
+    span = makespan(stats)
+    if span <= 0:
+        return 0.0
+    return 60.0 * len(done) / span
+
+
+def completion_series(stats: Sequence[JobStats], step: float = 60.0) -> TimeSeries:
+    """Completions per *step*-second interval over time."""
+    done = sorted(s.finished_at for s in _finished(stats))
+    out = TimeSeries(name="completions")
+    if not done:
+        return out
+    edges = np.arange(0.0, done[-1] + step, step)
+    counts, _ = np.histogram(done, bins=edges)
+    for t, c in zip(edges[:-1], counts):
+        out.record(float(t), float(c))
+    return out
+
+
+def mean_job_duration(stats: Sequence[JobStats]) -> float:
+    done = [s.duration for s in _finished(stats) if s.duration is not None]
+    return float(np.mean(done)) if done else 0.0
+
+
+def slowdown(stats: JobStats, standalone_duration: float) -> Optional[float]:
+    """Execution time relative to the standalone run (Figure 12 metric)."""
+    if stats.duration is None or standalone_duration <= 0:
+        return None
+    return stats.duration / standalone_duration

@@ -1,0 +1,86 @@
+"""Metric collection primitives: time series, counters, gauges."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["TimeSeries", "MetricsRegistry"]
+
+
+@dataclass
+class TimeSeries:
+    """An append-only (time, value) series with numpy views."""
+
+    name: str = ""
+    times: List[float] = field(default_factory=list)
+    values: List[float] = field(default_factory=list)
+
+    def record(self, t: float, v: float) -> None:
+        if self.times and t < self.times[-1]:
+            raise ValueError(f"time went backwards: {t} < {self.times[-1]}")
+        self.times.append(float(t))
+        self.values.append(float(v))
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def as_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        return np.asarray(self.times), np.asarray(self.values)
+
+    # -- summaries --------------------------------------------------------
+    def mean(self) -> float:
+        return float(np.mean(self.values)) if self.values else 0.0
+
+    def max(self) -> float:
+        return float(np.max(self.values)) if self.values else 0.0
+
+    def last(self) -> Optional[float]:
+        return self.values[-1] if self.values else None
+
+    def window_mean(self, t0: float, t1: float) -> float:
+        """Mean of samples with t0 <= t < t1."""
+        t, v = self.as_arrays()
+        mask = (t >= t0) & (t < t1)
+        return float(np.mean(v[mask])) if mask.any() else 0.0
+
+    def resample(self, step: float) -> "TimeSeries":
+        """Bucket-average onto a regular grid (for plotting/comparison)."""
+        if step <= 0:
+            raise ValueError("step must be > 0")
+        out = TimeSeries(name=self.name)
+        if not self.times:
+            return out
+        t, v = self.as_arrays()
+        start, end = t[0], t[-1]
+        edges = np.arange(start, end + step, step)
+        idx = np.digitize(t, edges) - 1
+        for i in range(len(edges)):
+            mask = idx == i
+            if mask.any():
+                out.record(float(edges[i]), float(v[mask].mean()))
+        return out
+
+
+class MetricsRegistry:
+    """A named bag of counters and time series."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, float] = {}
+        self.series: Dict[str, TimeSeries] = {}
+
+    def incr(self, name: str, amount: float = 1.0) -> None:
+        self.counters[name] = self.counters.get(name, 0.0) + amount
+
+    def counter(self, name: str) -> float:
+        return self.counters.get(name, 0.0)
+
+    def timeseries(self, name: str) -> TimeSeries:
+        if name not in self.series:
+            self.series[name] = TimeSeries(name=name)
+        return self.series[name]
+
+    def record(self, name: str, t: float, v: float) -> None:
+        self.timeseries(name).record(t, v)

@@ -1,0 +1,64 @@
+"""Export measured results as CSV / JSON for external plotting.
+
+The bench harness prints ASCII tables; this module writes the same data
+in machine-readable form so figures can be regenerated with any plotting
+tool (nothing in this repository depends on matplotlib).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import Any, Iterable, Mapping, Sequence, Union
+
+from .collector import TimeSeries
+
+__all__ = ["rows_to_csv", "series_to_csv", "results_to_json", "write_text"]
+
+Cell = Union[str, float, int, bool, None]
+
+
+def rows_to_csv(
+    headers: Sequence[str], rows: Iterable[Sequence[Cell]]
+) -> str:
+    """Render header + rows as CSV text."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(headers)
+    for row in rows:
+        writer.writerow(["" if c is None else c for c in row])
+    return buf.getvalue()
+
+
+def series_to_csv(series: TimeSeries, value_name: str = "value") -> str:
+    """Render a time series as two-column CSV."""
+    return rows_to_csv(
+        ["time_s", value_name], zip(series.times, series.values)
+    )
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, TimeSeries):
+        return {"name": value.name, "times": value.times, "values": value.values}
+    if hasattr(value, "__dict__"):
+        return {k: _jsonable(v) for k, v in vars(value).items()}
+    if isinstance(value, Mapping):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+def results_to_json(results: Any, indent: int = 2) -> str:
+    """Serialize experiment result objects (dataclasses, TimeSeries,
+    nested containers) to JSON text."""
+    return json.dumps(_jsonable(results), indent=indent, default=str)
+
+
+def write_text(path: Union[str, Path], text: str) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text)
+    return path

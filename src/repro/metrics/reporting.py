@@ -1,0 +1,82 @@
+"""Plain-text reporting: the tables and series the bench harness prints.
+
+Every benchmark regenerates its paper table/figure as rows/series printed
+through these helpers, so `pytest benchmarks/ --benchmark-only -s` shows
+the reproduced numbers next to the timing results.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Union
+
+from .collector import TimeSeries
+
+__all__ = ["ascii_table", "format_series", "format_percent", "banner"]
+
+Cell = Union[str, float, int, None]
+
+
+def _fmt(cell: Cell, precision: int) -> str:
+    if cell is None:
+        return "-"
+    if isinstance(cell, bool):
+        return "yes" if cell else "no"
+    if isinstance(cell, float):
+        return f"{cell:.{precision}f}"
+    return str(cell)
+
+
+def ascii_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    precision: int = 2,
+    title: Optional[str] = None,
+) -> str:
+    """Render a fixed-width table."""
+    str_rows = [[_fmt(c, precision) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "| " + " | ".join(c.ljust(w) for c, w in zip(cells, widths)) + " |"
+
+    sep = "+-" + "-+-".join("-" * w for w in widths) + "-+"
+    out: List[str] = []
+    if title:
+        out.append(title)
+    out.append(sep)
+    out.append(line(list(headers)))
+    out.append(sep)
+    for row in str_rows:
+        out.append(line(row))
+    out.append(sep)
+    return "\n".join(out)
+
+
+def format_series(
+    series: TimeSeries, precision: int = 2, max_points: int = 20
+) -> str:
+    """Render a time series as aligned `t: v` pairs, downsampled to at most
+    *max_points* evenly spaced samples."""
+    n = len(series)
+    if n == 0:
+        return f"{series.name or 'series'}: (empty)"
+    idx = range(n) if n <= max_points else [int(i * n / max_points) for i in range(max_points)]
+    pairs = [
+        f"t={series.times[i]:.0f}s: {series.values[i]:.{precision}f}" for i in idx
+    ]
+    head = f"{series.name or 'series'} ({n} samples)"
+    return head + "\n  " + "\n  ".join(pairs)
+
+
+def format_percent(value: float, precision: int = 1) -> str:
+    return f"{100.0 * value:.{precision}f}%"
+
+
+def banner(text: str, width: int = 72) -> str:
+    """Section banner for bench output."""
+    pad = max(0, width - len(text) - 2)
+    left = pad // 2
+    return f"{'=' * left} {text} {'=' * (pad - left)}"

@@ -1,0 +1,67 @@
+"""Discrete-event simulation kernel.
+
+A from-scratch generator-coroutine DES in the style of SimPy. Simulation
+processes are generators that yield :class:`~repro.sim.events.Event`
+objects; the :class:`~repro.sim.environment.Environment` advances virtual
+time and resumes them. All higher layers of this project — the Kubernetes
+control plane, the GPU devices, the KubeShare controllers — run as
+processes on this kernel, giving fully deterministic, seedable runs.
+
+Example
+-------
+>>> from repro.sim import Environment
+>>> env = Environment()
+>>> def hello(env):
+...     yield env.timeout(3)
+...     return env.now
+>>> proc = env.process(hello(env))
+>>> env.run()
+>>> proc.value
+3.0
+"""
+
+from .environment import EmptySchedule, Environment
+from .events import (
+    AllOf,
+    AnyOf,
+    Condition,
+    ConditionValue,
+    Event,
+    Interrupt,
+    PENDING,
+    StopProcess,
+    Timeout,
+)
+from .process import Process, ProcessGenerator
+from .resources import (
+    Container,
+    FilterStore,
+    PriorityItem,
+    PriorityResource,
+    PriorityStore,
+    Resource,
+    Store,
+)
+
+__all__ = [
+    "Environment",
+    "EmptySchedule",
+    "Event",
+    "Timeout",
+    "Condition",
+    "ConditionValue",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "StopProcess",
+    "PENDING",
+    "Process",
+    "ProcessGenerator",
+    "Resource",
+    "PriorityResource",
+    "Container",
+    "Store",
+    "FilterStore",
+    "PriorityStore",
+    "PriorityItem",
+]

@@ -1,0 +1,153 @@
+"""The simulation environment: virtual clock and event queue."""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Iterable, Optional, Union
+
+from .events import (
+    AllOf,
+    AnyOf,
+    Event,
+    NORMAL,
+    PENDING,
+    StopProcess,
+    Timeout,
+)
+from .process import Process, ProcessGenerator
+
+__all__ = ["Environment", "EmptySchedule"]
+
+
+class EmptySchedule(Exception):
+    """Raised by :meth:`Environment.step` when no events remain."""
+
+
+class _StopSimulation(Exception):
+    """Internal: raised to stop :meth:`Environment.run` at ``until``."""
+
+    @classmethod
+    def callback(cls, event: Event) -> None:
+        if event._ok:
+            raise cls(event._value)
+        raise event._value
+
+
+Until = Union[None, float, int, Event]
+
+
+class Environment:
+    """Execution environment for a discrete-event simulation.
+
+    Time is a float in arbitrary units (we use **seconds** throughout this
+    project). Events are processed in ``(time, priority, insertion order)``
+    order, which makes runs fully deterministic.
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now: float = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._eid = count()
+        self._active_proc: Optional[Process] = None
+
+    # -- introspection ---------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed (``None`` between steps)."""
+        return self._active_proc
+
+    # -- factories --------------------------------------------------------
+    def process(self, generator: ProcessGenerator, name: Optional[str] = None) -> Process:
+        """Start a new process from *generator*."""
+        return Process(self, generator, name=name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event that fires after *delay* time units."""
+        return Timeout(self, delay, value)
+
+    def event(self) -> Event:
+        """A fresh, untriggered event."""
+        return Event(self)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def exit(self, value: Any = None) -> None:
+        """Exit the active process, returning *value* (legacy style)."""
+        raise StopProcess(value)
+
+    # -- scheduling --------------------------------------------------------
+    def schedule(self, event: Event, priority: int = NORMAL, delay: float = 0.0) -> None:
+        """Enqueue *event* to be processed after *delay*."""
+        heapq.heappush(
+            self._queue, (self._now + delay, priority, next(self._eid), event)
+        )
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the next event; raises :class:`EmptySchedule` if none."""
+        try:
+            self._now, _, _, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule() from None
+
+        callbacks, event.callbacks = event.callbacks, None
+        if callbacks is None:  # pragma: no cover - double-processing guard
+            return
+        for callback in callbacks:
+            callback(event)
+
+        if not event._ok and not event._defused:
+            # An unhandled failure crashes the simulation, exactly like an
+            # uncaught exception would crash a program.
+            exc = event._value
+            if isinstance(exc, BaseException):
+                raise exc
+            raise RuntimeError(exc)  # pragma: no cover - defensive
+
+    def run(self, until: Until = None) -> Any:
+        """Run until the queue is empty, time *until*, or event *until*.
+
+        Returns the value of the *until* event when one is given.
+        """
+        if until is not None:
+            if isinstance(until, Event):
+                if until.callbacks is None:
+                    return until._value if until._value is not PENDING else None
+                until.callbacks.append(_StopSimulation.callback)
+            else:
+                at = float(until)
+                if at < self._now:
+                    raise ValueError(
+                        f"until ({at}) must not be before the current time ({self._now})"
+                    )
+                stop = Event(self)
+                stop._ok = True
+                stop._value = None
+                stop.callbacks.append(_StopSimulation.callback)
+                # Priority below NORMAL so events at exactly `at` still run.
+                heapq.heappush(self._queue, (at, NORMAL + 1, next(self._eid), stop))
+
+        try:
+            while True:
+                self.step()
+        except _StopSimulation as stop:
+            return stop.args[0]
+        except EmptySchedule:
+            if isinstance(until, Event) and until._value is PENDING:
+                raise RuntimeError(
+                    f"no scheduled events left but {until!r} was not triggered"
+                ) from None
+        return None

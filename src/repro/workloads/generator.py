@@ -1,0 +1,129 @@
+"""Workload generation (paper §5.3).
+
+Figure 8's workloads are "a set of model inference jobs [whose]
+inter-arrival time follows a Poisson process, and the job GPU usage demand
+is randomly generated from a normal distribution". This module generates
+exactly that, seeded and reproducible, with the three knobs the paper
+sweeps: job frequency, demand mean, and demand variance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..gpu.device import V100_MEMORY
+from .jobs import InferenceJob
+
+__all__ = ["JobArrival", "InferenceWorkload", "WorkloadGenerator"]
+
+
+@dataclass(frozen=True)
+class JobArrival:
+    """One job in a generated workload."""
+
+    name: str
+    arrival_time: float
+    demand: float
+    mem_fraction: float
+    duration: float
+
+    def to_job(self, request_work: float = 0.015, batch_requests: int = 50) -> InferenceJob:
+        return InferenceJob.from_demand(
+            self.name,
+            demand=self.demand,
+            duration=self.duration,
+            request_work=request_work,
+            model_memory=int(self.mem_fraction * V100_MEMORY),
+            batch_requests=batch_requests,
+        )
+
+
+@dataclass
+class InferenceWorkload:
+    """A generated workload plus its generating parameters."""
+
+    jobs: List[JobArrival]
+    jobs_per_minute: float
+    demand_mean: float
+    demand_std: float
+    seed: int
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+    @property
+    def total_demand(self) -> float:
+        return sum(j.demand for j in self.jobs)
+
+
+class WorkloadGenerator:
+    """Seeded generator for Figure 8 style inference workloads."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self.rng = np.random.default_rng(seed)
+
+    def poisson_arrivals(self, jobs_per_minute: float, n_jobs: int) -> np.ndarray:
+        """Cumulative arrival times for a Poisson process (seconds)."""
+        if jobs_per_minute <= 0:
+            raise ValueError("jobs_per_minute must be > 0")
+        if n_jobs <= 0:
+            raise ValueError("n_jobs must be > 0")
+        gaps = self.rng.exponential(60.0 / jobs_per_minute, size=n_jobs)
+        return np.cumsum(gaps)
+
+    def normal_demands(
+        self,
+        mean: float,
+        std: float,
+        n_jobs: int,
+        lo: float = 0.05,
+        hi: float = 0.95,
+    ) -> np.ndarray:
+        """Per-job GPU demands ~ N(mean, std²), clipped to [lo, hi]."""
+        if not 0.0 < mean < 1.0:
+            raise ValueError("mean must be in (0,1)")
+        if std < 0:
+            raise ValueError("std must be >= 0")
+        demands = self.rng.normal(mean, std, size=n_jobs)
+        return np.clip(demands, lo, hi)
+
+    def inference_workload(
+        self,
+        n_jobs: int = 100,
+        jobs_per_minute: float = 12.0,
+        demand_mean: float = 0.3,
+        demand_std: float = 0.1,
+        duration: float = 120.0,
+        mem_fraction: float = 0.25,
+        name_prefix: str = "inf",
+    ) -> InferenceWorkload:
+        """Generate a Figure 8 workload.
+
+        ``mem_fraction`` is each job's loaded-model memory as a fraction of
+        device memory; the default 0.25 matches a ~4 GB DeepLab-V3 serving
+        footprint on a 16 GB V100, which is what bounds co-location to ~4
+        jobs per GPU in the paper's plateau (see EXPERIMENTS.md).
+        """
+        arrivals = self.poisson_arrivals(jobs_per_minute, n_jobs)
+        demands = self.normal_demands(demand_mean, demand_std, n_jobs)
+        jobs = [
+            JobArrival(
+                name=f"{name_prefix}-{i:04d}",
+                arrival_time=float(arrivals[i]),
+                demand=float(demands[i]),
+                mem_fraction=mem_fraction,
+                duration=duration,
+            )
+            for i in range(n_jobs)
+        ]
+        return InferenceWorkload(
+            jobs=jobs,
+            jobs_per_minute=jobs_per_minute,
+            demand_mean=demand_mean,
+            demand_std=demand_std,
+            seed=self.seed,
+        )

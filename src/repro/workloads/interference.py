@@ -1,0 +1,69 @@
+"""Job profiles for the §5.5 interference study (Figures 12 & 13).
+
+Two job kinds share one GPU:
+
+* **Job A over-requests**: it asks for more GPU than it actually uses
+  (request 0.45, actual demand 0.30), making it resilient to contention —
+  its true appetite always fits in its guarantee.
+* **Job B under-requests**: it asks for less than it actually uses when
+  alone (request 0.45, actual demand 0.75). Two Bs on one GPU can each be
+  granted only ~0.50, so both slow down by ~1.5x — the Figure 12 signature
+  — whereas pairings involving A leave enough residual for B to run at its
+  full appetite (<10% degradation).
+
+The anti-affinity label on Job B is how §5.5's "KubeShare with
+anti-affinity" setting prevents two Bs from sharing a device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..gpu.device import V100_MEMORY
+from .jobs import InferenceJob
+
+__all__ = ["InterferenceProfile", "JOB_A", "JOB_B", "ANTI_AFFINITY_LABEL"]
+
+ANTI_AFFINITY_LABEL = "job-b-no-share"
+
+
+@dataclass(frozen=True)
+class InterferenceProfile:
+    """Resource request vs. actual appetite of one job kind."""
+
+    kind: str
+    gpu_request: float
+    gpu_limit: float
+    gpu_mem: float
+    actual_demand: float
+    #: GPU work volume per job (seconds of full-device compute). Sized so
+    #: both kinds run for the same ~80 s standalone — the paper varies the
+    #: jobs' resource appetite, not their length.
+    work: float = 60.0
+
+    @property
+    def standalone_duration(self) -> float:
+        """Execution time alone on a GPU (the Figure 12 baseline)."""
+        return self.work / self.actual_demand
+
+    def job(self, name: str, batch_requests: int = 5) -> InferenceJob:
+        return InferenceJob.from_demand(
+            name,
+            demand=self.actual_demand,
+            duration=self.standalone_duration,
+            model_memory=int(self.gpu_mem * V100_MEMORY),
+            batch_requests=batch_requests,
+        )
+
+
+#: Job A: requests more than it needs (resilient to interference).
+JOB_A = InterferenceProfile(
+    kind="A", gpu_request=0.45, gpu_limit=0.5, gpu_mem=0.2, actual_demand=0.30,
+    work=24.0,
+)
+
+#: Job B: requests less than it actually uses alone (interference-prone).
+JOB_B = InterferenceProfile(
+    kind="B", gpu_request=0.45, gpu_limit=1.0, gpu_mem=0.2, actual_demand=0.75,
+    work=60.0,
+)

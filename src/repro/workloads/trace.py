@@ -1,0 +1,60 @@
+"""Workload trace export / replay.
+
+Generated workloads can be serialized to JSON-lines so an experiment is
+reproducible byte-for-byte independent of the generator's RNG, and so
+external traces can be replayed through the same harness.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, List, Union
+
+from .generator import InferenceWorkload, JobArrival
+
+__all__ = ["dump_trace", "load_trace", "dumps_trace", "loads_trace"]
+
+_FIELDS = ("name", "arrival_time", "demand", "mem_fraction", "duration")
+
+
+def dumps_trace(jobs: Iterable[JobArrival]) -> str:
+    """Serialize jobs to JSON-lines text."""
+    lines = []
+    for job in jobs:
+        lines.append(json.dumps({f: getattr(job, f) for f in _FIELDS}))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def loads_trace(text: str) -> List[JobArrival]:
+    """Parse JSON-lines text back into job arrivals."""
+    jobs = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            raw = json.loads(line)
+        except json.JSONDecodeError as err:
+            raise ValueError(f"trace line {lineno}: invalid JSON ({err})") from None
+        missing = [f for f in _FIELDS if f not in raw]
+        if missing:
+            raise ValueError(f"trace line {lineno}: missing fields {missing}")
+        jobs.append(JobArrival(**{f: raw[f] for f in _FIELDS}))
+    return jobs
+
+
+def dump_trace(
+    workload: Union[InferenceWorkload, Iterable[JobArrival]],
+    path: Union[str, Path],
+) -> Path:
+    """Write a workload (or plain job list) to *path* as JSON-lines."""
+    jobs = workload.jobs if isinstance(workload, InferenceWorkload) else list(workload)
+    path = Path(path)
+    path.write_text(dumps_trace(jobs))
+    return path
+
+
+def load_trace(path: Union[str, Path]) -> List[JobArrival]:
+    """Read a JSON-lines trace back into job arrivals."""
+    return loads_trace(Path(path).read_text())

@@ -1,0 +1,151 @@
+"""Variable-rate inference serving.
+
+Figure 5's premise is that serving GPU usage tracks the client request
+rate; real serving traffic is not constant, so this module provides an
+inference job whose request rate follows a schedule (step changes or a
+sinusoidal diurnal pattern). Useful for exercising KubeShare's *elastic*
+allocation: a bursty job borrows residual capacity up to its ``gpu_limit``
+during peaks and releases it in troughs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Generator, List, Optional, Sequence, Tuple
+
+from ..gpu.device import V100_MEMORY
+from .jobs import JobStats
+
+__all__ = ["RateSchedule", "VariableRateInferenceJob", "diurnal_schedule"]
+
+
+@dataclass(frozen=True)
+class RateSchedule:
+    """Piecewise-constant request rate: (start_time, requests/s) steps."""
+
+    steps: Tuple[Tuple[float, float], ...]
+
+    def __post_init__(self) -> None:
+        if not self.steps:
+            raise ValueError("schedule needs at least one step")
+        times = [t for t, _ in self.steps]
+        if times != sorted(times) or times[0] != 0.0:
+            raise ValueError("steps must start at t=0 and be time-ordered")
+        if any(rate < 0 for _, rate in self.steps):
+            raise ValueError("rates must be >= 0")
+
+    def rate_at(self, t: float) -> float:
+        rate = self.steps[0][1]
+        for start, r in self.steps:
+            if t >= start:
+                rate = r
+            else:
+                break
+        return rate
+
+    def mean_rate(self, horizon: float) -> float:
+        """Time-averaged rate over [0, horizon)."""
+        total = 0.0
+        for i, (start, rate) in enumerate(self.steps):
+            end = self.steps[i + 1][0] if i + 1 < len(self.steps) else horizon
+            end = min(end, horizon)
+            if end > start:
+                total += rate * (end - start)
+        return total / horizon if horizon > 0 else 0.0
+
+
+def diurnal_schedule(
+    period: float,
+    base_rate: float,
+    amplitude: float,
+    resolution: int = 24,
+) -> RateSchedule:
+    """A sinusoidal day/night pattern sampled into *resolution* steps."""
+    if not 0 <= amplitude <= base_rate:
+        raise ValueError("need 0 <= amplitude <= base_rate")
+    steps = []
+    for i in range(resolution):
+        t = i * period / resolution
+        rate = base_rate + amplitude * math.sin(2 * math.pi * i / resolution)
+        steps.append((t, max(0.0, rate)))
+    return RateSchedule(tuple(steps))
+
+
+@dataclass
+class VariableRateInferenceJob:
+    """Inference serving with a time-varying client request rate.
+
+    Requests arrive per the schedule; each costs ``request_work`` seconds
+    of full-device compute. The job serves for ``duration`` seconds of
+    arrivals (a backlogged server keeps draining afterwards).
+    """
+
+    name: str
+    schedule: RateSchedule
+    duration: float = 120.0
+    request_work: float = 0.015
+    model_memory: int = int(0.25 * V100_MEMORY)
+    batch_requests: int = 5
+
+    def arrival_times(self) -> List[float]:
+        """Deterministic request arrival instants over [0, duration)."""
+        out: List[float] = []
+        t = 0.0
+        while t < self.duration:
+            rate = self.schedule.rate_at(t)
+            if rate <= 0:
+                # jump to the next schedule step with a positive rate
+                nxt = next(
+                    (s for s, r in self.schedule.steps if s > t and r > 0), None
+                )
+                if nxt is None:
+                    break
+                t = nxt
+                continue
+            out.append(t)
+            t += 1.0 / rate
+        return out
+
+    @property
+    def peak_demand(self) -> float:
+        return min(1.0, max(r for _, r in self.schedule.steps) * self.request_work)
+
+    def workload(self, stats: Optional[JobStats] = None) -> Callable:
+        stats = stats or JobStats(self.name)
+        job = self
+
+        def run(ctx) -> Generator:
+            stats.started_at = ctx.env.now
+            api = ctx.cuda()
+            cu = api.cu_ctx_create()
+            arrivals = job.arrival_times()
+            try:
+                api.cu_mem_alloc(cu, job.model_memory)
+                start = ctx.env.now
+                i = 0
+                while i < len(arrivals):
+                    batch_end = min(i + job.batch_requests, len(arrivals))
+                    due = start + arrivals[batch_end - 1]
+                    wait = due - ctx.env.now
+                    if wait > 0:
+                        yield ctx.env.timeout(wait)
+                    work = (batch_end - i) * job.request_work
+                    yield from api.cu_launch_kernel(cu, work)
+                    stats.work_done += work
+                    stats.steps_done = batch_end
+                    i = batch_end
+                stats.progress.append((ctx.env.now, stats.work_done))
+            except Exception as err:
+                stats.failed = True
+                stats.failure = repr(err)
+                raise
+            finally:
+                if not cu.destroyed:
+                    api.cu_ctx_destroy(cu)
+                stats.finished_at = ctx.env.now
+            return stats
+
+        run.__name__ = f"variable-inference:{self.name}"
+        run.stats = stats
+        return run

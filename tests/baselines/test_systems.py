@@ -1,0 +1,186 @@
+"""Unit/integration tests for the baseline GPU-sharing systems."""
+
+import pytest
+
+from repro.baselines import (
+    AliyunGPUShare,
+    DeepomaticSharedPlugin,
+    GaiaGPU,
+    GPURequirements,
+    KubeShareSystem,
+    NativeKubernetes,
+)
+from repro.cluster.objects import GPU_RESOURCE, PodPhase
+from repro.sim import Environment
+from repro.workloads.jobs import InferenceJob, TrainingJob
+
+ALL_SYSTEMS = [
+    NativeKubernetes,
+    DeepomaticSharedPlugin,
+    AliyunGPUShare,
+    GaiaGPU,
+    KubeShareSystem,
+]
+
+
+def build(system_cls, nodes=2, gpus_per_node=2):
+    env = Environment()
+    cluster = system_cls.make_cluster(env, nodes=nodes, gpus_per_node=gpus_per_node)
+    system = system_cls(cluster)
+    cluster.start()
+    system.start()
+    return env, cluster, system
+
+
+def reqs(request=0.3, limit=0.6, mem=0.25):
+    return GPURequirements(request=request, limit=limit, mem=mem)
+
+
+class TestRequirementsValidation:
+    def test_ordering_enforced(self):
+        with pytest.raises(ValueError):
+            GPURequirements(request=0.7, limit=0.5, mem=0.2)
+
+    def test_mem_range(self):
+        with pytest.raises(ValueError):
+            GPURequirements(request=0.1, limit=0.5, mem=0.0)
+
+
+@pytest.mark.parametrize("system_cls", ALL_SYSTEMS, ids=lambda c: c.name)
+class TestCommonInterface:
+    def test_single_job_completes(self, system_cls):
+        env, cluster, system = build(system_cls)
+        job = InferenceJob.from_demand("j0", demand=0.3, duration=10.0)
+        system.submit("j0", job.workload(), reqs())
+        done = env.process(system.wait_all())
+        env.run(until=done)
+        stats = system.stats()[0]
+        assert not stats.failed
+        assert stats.duration == pytest.approx(10.0, rel=0.1)
+
+    def test_six_jobs_complete(self, system_cls):
+        env, cluster, system = build(system_cls)
+        for i in range(6):
+            job = InferenceJob.from_demand(f"j{i}", demand=0.3, duration=10.0)
+            system.submit(f"j{i}", job.workload(), reqs())
+        done = env.process(system.wait_all())
+        env.run(until=done)
+        assert sum(1 for s in system.stats() if s.failed) == 0
+
+
+class TestNativeExclusivity:
+    def test_one_job_per_gpu(self):
+        env, cluster, system = build(NativeKubernetes, nodes=1, gpus_per_node=2)
+        for i in range(2):
+            system.submit(f"j{i}", None, reqs())
+        env.run(until=10)
+        pods = cluster.api.pods()
+        devices = [
+            p.status.container_env.get("NVIDIA_VISIBLE_DEVICES")
+            for p in pods
+            if p.status.phase is PodPhase.RUNNING
+        ]
+        assert len(devices) == 2
+        assert len(set(devices)) == 2  # no sharing, ever
+
+    def test_excess_jobs_queue(self):
+        env, cluster, system = build(NativeKubernetes, nodes=1, gpus_per_node=2)
+        for i in range(3):
+            system.submit(f"j{i}", None, reqs())
+        env.run(until=10)
+        phases = [system.job_phase(h) for h in system.handles]
+        assert phases.count(PodPhase.RUNNING) == 2
+        assert phases.count(PodPhase.PENDING) == 1
+
+
+class TestDeepomatic:
+    def test_fractional_units_requested(self):
+        env, cluster, system = build(DeepomaticSharedPlugin, nodes=1, gpus_per_node=1)
+        system.submit("j0", None, reqs(request=0.3))
+        env.run(until=5)
+        pod = cluster.api.get("Pod", "j0")
+        assert pod.spec.resource_requests()[GPU_RESOURCE] == 30
+
+    def test_no_isolation_env_injected(self):
+        env, cluster, system = build(DeepomaticSharedPlugin, nodes=1, gpus_per_node=1)
+        system.submit("j0", None, reqs())
+        env.run(until=5)
+        pod = cluster.api.get("Pod", "j0")
+        assert "LD_PRELOAD" not in pod.status.container_env
+
+    def test_slices_interleave_across_gpus(self):
+        """Round-robin unit picking spreads one pod's slices over multiple
+        physical GPUs (the Figure 3a fragmentation)."""
+        env, cluster, system = build(DeepomaticSharedPlugin, nodes=1, gpus_per_node=2)
+        system.submit("j0", None, reqs(request=0.5))
+        env.run(until=5)
+        pod = cluster.api.get("Pod", "j0")
+        visible = pod.status.container_env["NVIDIA_VISIBLE_DEVICES"].split(",")
+        assert len(visible) == 2
+
+
+class TestExtenderSystems:
+    def test_aliyun_binds_node_and_device(self):
+        env, cluster, system = build(AliyunGPUShare, nodes=2, gpus_per_node=2)
+        system.submit("j0", None, reqs(mem=0.25))
+        env.run(until=5)
+        pod = cluster.api.get("Pod", "j0")
+        assert pod.spec.node_name is not None  # extender pre-binds
+        visible = pod.status.container_env["NVIDIA_VISIBLE_DEVICES"]
+        assert "," not in visible  # a single physical device
+
+    def test_aliyun_binpacks_by_memory(self):
+        env, cluster, system = build(AliyunGPUShare, nodes=1, gpus_per_node=2)
+        for i in range(3):
+            system.submit(f"j{i}", None, reqs(mem=0.3))
+        env.run(until=5)
+        devices = [
+            cluster.api.get("Pod", f"j{i}").status.container_env[
+                "NVIDIA_VISIBLE_DEVICES"
+            ]
+            for i in range(3)
+        ]
+        assert len(set(devices)) == 1  # all packed onto the fullest device
+
+    def test_aliyun_memory_isolation_only(self):
+        env, cluster, system = build(AliyunGPUShare, nodes=1, gpus_per_node=1)
+        system.submit("j0", None, reqs())
+        env.run(until=5)
+        env_vars = cluster.api.get("Pod", "j0").status.container_env
+        assert env_vars["KUBESHARE_ISOLATION"] == "memory"
+
+    def test_aliyun_queues_when_memory_exhausted(self):
+        env, cluster, system = build(AliyunGPUShare, nodes=1, gpus_per_node=1)
+        system.submit("j0", None, reqs(mem=0.7))
+        system.submit("j1", None, reqs(mem=0.7))
+        env.run(until=5)
+        assert system.job_phase(system.handles[0]) is PodPhase.RUNNING
+        assert cluster.api.get("Pod", "j1") is None  # parked in extender
+
+    def test_aliyun_retries_after_release(self):
+        env, cluster, system = build(AliyunGPUShare, nodes=1, gpus_per_node=1)
+
+        def quick(ctx):
+            yield ctx.env.timeout(3.0)
+
+        system.submit("j0", quick, reqs(mem=0.7))
+        system.submit("j1", quick, reqs(mem=0.7))
+        done = env.process(system.wait_all())
+        env.run(until=done)
+        assert all(not s.failed for s in system.stats())
+
+    def test_gaiagpu_tracks_compute_too(self):
+        env, cluster, system = build(GaiaGPU, nodes=1, gpus_per_node=1)
+        system.submit("j0", None, reqs(request=0.6, limit=0.8))
+        system.submit("j1", None, reqs(request=0.6, limit=0.8))
+        env.run(until=5)
+        # second job cannot fit: 0.6 + 0.6 > 1.0 compute
+        assert cluster.api.get("Pod", "j1") is None
+
+    def test_gaiagpu_injects_compute_isolation(self):
+        env, cluster, system = build(GaiaGPU, nodes=1, gpus_per_node=1)
+        system.submit("j0", None, reqs())
+        env.run(until=5)
+        env_vars = cluster.api.get("Pod", "j0").status.container_env
+        assert env_vars["KUBESHARE_ISOLATION"] == "fluid"
+        assert env_vars["KUBESHARE_GPU_REQUEST"] == "0.3"

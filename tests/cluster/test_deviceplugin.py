@@ -1,0 +1,123 @@
+"""Unit tests for the device-plugin framework (paper §2.2 / Figure 2)."""
+
+import pytest
+
+from repro.cluster.deviceplugin import (
+    DeviceManager,
+    InsufficientDevices,
+    NvidiaDevicePlugin,
+    ScalingFactorGPUPlugin,
+)
+
+UUIDS = ["GPU-a", "GPU-b"]
+
+
+class TestNvidiaPlugin:
+    def test_advertises_one_unit_per_gpu(self):
+        plugin = NvidiaDevicePlugin(UUIDS)
+        assert plugin.list_devices() == UUIDS
+
+    def test_allocate_returns_visible_devices_env(self):
+        plugin = NvidiaDevicePlugin(UUIDS)
+        resp = plugin.allocate(["GPU-b"])
+        assert resp.env == {"NVIDIA_VISIBLE_DEVICES": "GPU-b"}
+
+    def test_allocate_unknown_uuid_raises(self):
+        plugin = NvidiaDevicePlugin(UUIDS)
+        with pytest.raises(InsufficientDevices):
+            plugin.allocate(["GPU-zzz"])
+
+
+class TestScalingFactorPlugin:
+    def test_advertises_factor_units_per_gpu(self):
+        plugin = ScalingFactorGPUPlugin(UUIDS, factor=100)
+        assert len(plugin.list_devices()) == 200
+
+    def test_factor_validation(self):
+        with pytest.raises(ValueError):
+            ScalingFactorGPUPlugin(UUIDS, factor=0)
+
+    def test_allocate_maps_slices_to_unique_uuids(self):
+        plugin = ScalingFactorGPUPlugin(UUIDS, factor=10)
+        resp = plugin.allocate(["GPU-a::0", "GPU-a::3", "GPU-b::1"])
+        assert resp.env["NVIDIA_VISIBLE_DEVICES"] == "GPU-a,GPU-b"
+
+    def test_allocate_unknown_slice_raises(self):
+        plugin = ScalingFactorGPUPlugin(UUIDS, factor=10)
+        with pytest.raises(InsufficientDevices):
+            plugin.allocate(["GPU-zzz::0"])
+
+
+class TestDeviceManager:
+    def make(self, policy="packed", factor=4):
+        dm = DeviceManager(policy=policy)
+        dm.register(ScalingFactorGPUPlugin(UUIDS, factor=factor))
+        return dm
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            DeviceManager(policy="chaotic")
+
+    def test_capacity_from_plugin(self):
+        dm = self.make()
+        assert dm.capacity() == {"nvidia.com/gpu": 8.0}
+
+    def test_packed_policy_clusters_same_gpu(self):
+        dm = self.make(policy="packed")
+        resp = dm.allocate("pod1", "nvidia.com/gpu", 3)
+        # sorted ids: all from GPU-a first
+        uuids = {d.rsplit("::", 1)[0] for d in resp.device_ids}
+        assert uuids == {"GPU-a"}
+
+    def test_roundrobin_policy_spreads_across_gpus(self):
+        dm = self.make(policy="roundrobin")
+        resp = dm.allocate("pod1", "nvidia.com/gpu", 2)
+        uuids = {d.rsplit("::", 1)[0] for d in resp.device_ids}
+        assert uuids == {"GPU-a", "GPU-b"}  # the Figure 3a spread
+
+    def test_allocate_reduces_free_count(self):
+        dm = self.make()
+        assert dm.free_count("nvidia.com/gpu") == 8
+        dm.allocate("pod1", "nvidia.com/gpu", 3)
+        assert dm.free_count("nvidia.com/gpu") == 5
+
+    def test_overallocation_raises(self):
+        dm = self.make()
+        with pytest.raises(InsufficientDevices):
+            dm.allocate("pod1", "nvidia.com/gpu", 9)
+
+    def test_unknown_resource_raises(self):
+        dm = self.make()
+        with pytest.raises(InsufficientDevices):
+            dm.allocate("pod1", "example.com/fpga", 1)
+
+    def test_pinned_device_ids_allocated_exactly(self):
+        dm = self.make()
+        resp = dm.allocate(
+            "pod1", "nvidia.com/gpu", 2, device_ids=["GPU-b::1", "GPU-b::2"]
+        )
+        assert resp.device_ids == ["GPU-b::1", "GPU-b::2"]
+        assert resp.env["NVIDIA_VISIBLE_DEVICES"] == "GPU-b"
+
+    def test_pinned_ids_must_be_free(self):
+        dm = self.make()
+        dm.allocate("pod1", "nvidia.com/gpu", 2, device_ids=["GPU-a::0", "GPU-a::1"])
+        with pytest.raises(InsufficientDevices):
+            dm.allocate("pod2", "nvidia.com/gpu", 1, device_ids=["GPU-a::0"])
+
+    def test_release_pod_returns_units(self):
+        dm = self.make()
+        dm.allocate("pod1", "nvidia.com/gpu", 4)
+        dm.release_pod("pod1")
+        assert dm.free_count("nvidia.com/gpu") == 8
+
+    def test_release_unknown_pod_is_noop(self):
+        dm = self.make()
+        dm.release_pod("ghost")
+        assert dm.free_count("nvidia.com/gpu") == 8
+
+    def test_pod_devices_reports_holdings(self):
+        dm = self.make()
+        dm.allocate("pod1", "nvidia.com/gpu", 2)
+        held = dm.pod_devices("pod1")["nvidia.com/gpu"]
+        assert len(held) == 2

@@ -1,0 +1,197 @@
+"""Integration tests for kube-scheduler + kubelet + runtime on a cluster."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig
+from repro.cluster.objects import (
+    GPU_RESOURCE,
+    ContainerSpec,
+    ObjectMeta,
+    Pod,
+    PodPhase,
+    PodSpec,
+)
+from repro.sim import Environment
+
+
+def gpu_pod(name, gpus=1, cpu=1.0, workload=None, node_selector=None):
+    return Pod(
+        metadata=ObjectMeta(name=name),
+        spec=PodSpec(
+            containers=[
+                ContainerSpec(requests={"cpu": cpu, GPU_RESOURCE: gpus})
+            ],
+            workload=workload,
+            node_selector=node_selector or {},
+        ),
+    )
+
+
+def finish_quickly(ctx):
+    yield ctx.env.timeout(1.0)
+    return "ok"
+
+
+class TestScheduling:
+    def test_pod_gets_bound_and_runs(self, small_cluster):
+        c = small_cluster
+        c.submit(gpu_pod("p1", workload=finish_quickly))
+        done = c.env.process(
+            c.wait_for_phase("p1", [PodPhase.SUCCEEDED, PodPhase.FAILED])
+        )
+        c.env.run(until=done)
+        pod = c.api.get("Pod", "p1")
+        assert pod.status.phase is PodPhase.SUCCEEDED
+        assert pod.spec.node_name in {"node00", "node01"}
+        assert "NVIDIA_VISIBLE_DEVICES" in pod.status.container_env
+
+    def test_least_allocated_spreads_pods(self, small_cluster):
+        c = small_cluster
+        for i in range(2):
+            c.submit(gpu_pod(f"p{i}", workload=None))
+        waits = [
+            c.env.process(c.wait_for_phase(f"p{i}", [PodPhase.RUNNING]))
+            for i in range(2)
+        ]
+        c.env.run(until=c.env.all_of(waits))
+        nodes = {c.api.get("Pod", f"p{i}").spec.node_name for i in range(2)}
+        assert len(nodes) == 2  # spread, not packed
+
+    def test_queueing_when_gpus_exhausted(self, small_cluster):
+        c = small_cluster
+
+        def short(ctx):
+            yield ctx.env.timeout(5.0)
+
+        # 4 GPUs total; submit 5 single-GPU pods.
+        for i in range(5):
+            c.submit(gpu_pod(f"p{i}", workload=short))
+        done = c.env.process(c.wait_all_terminal([f"p{i}" for i in range(5)]))
+        c.env.run(until=done)
+        finishes = sorted(
+            c.api.get("Pod", f"p{i}").status.finish_time for i in range(5)
+        )
+        # The 5th pod had to wait for a release: clearly later than the rest.
+        assert finishes[4] > finishes[3] + 2.0
+
+    def test_node_selector_respected(self, env):
+        cluster = Cluster(env, ClusterConfig(nodes=2, gpus_per_node=1))
+        cluster.nodes[1].kubelet.labels["zone"] = "west"
+        cluster.start()
+        cluster.submit(
+            gpu_pod("picky", workload=None, node_selector={"zone": "west"})
+        )
+        wait = env.process(cluster.wait_for_phase("picky", [PodPhase.RUNNING]))
+        env.run(until=wait)
+        assert cluster.api.get("Pod", "picky").spec.node_name == "node01"
+
+    def test_impossible_request_stays_pending(self, small_cluster):
+        c = small_cluster
+        c.submit(gpu_pod("greedy", gpus=3))  # nodes only have 2 GPUs
+        c.env.run(until=5)
+        pod = c.api.get("Pod", "greedy")
+        assert pod.status.phase is PodPhase.PENDING
+        assert not pod.bound
+
+    def test_prebound_pod_skips_scheduler(self, small_cluster):
+        c = small_cluster
+        pod = gpu_pod("pinned", workload=None)
+        pod.spec.node_name = "node01"
+        c.submit(pod)
+        wait = c.env.process(c.wait_for_phase("pinned", [PodPhase.RUNNING]))
+        c.env.run(until=wait)
+        assert c.scheduler.binds_total == 0
+
+
+class TestKubelet:
+    def test_failing_workload_marks_pod_failed(self, small_cluster):
+        c = small_cluster
+
+        def crash(ctx):
+            yield ctx.env.timeout(0.5)
+            raise ValueError("bad model")
+
+        c.submit(gpu_pod("crasher", workload=crash))
+        done = c.env.process(
+            c.wait_for_phase("crasher", [PodPhase.SUCCEEDED, PodPhase.FAILED])
+        )
+        c.env.run(until=done)
+        pod = c.api.get("Pod", "crasher")
+        assert pod.status.phase is PodPhase.FAILED
+        assert "bad model" in pod.status.message
+
+    def test_fractional_extended_request_fails_admission(self, small_cluster):
+        c = small_cluster
+        pod = Pod(
+            metadata=ObjectMeta(name="frac"),
+            spec=PodSpec(
+                containers=[ContainerSpec(requests={GPU_RESOURCE: 0.5})],
+            ),
+        )
+        pod.spec.node_name = "node00"  # bypass scheduler fit checks
+        c.submit(pod)
+        done = c.env.process(
+            c.wait_for_phase("frac", [PodPhase.FAILED, PodPhase.RUNNING])
+        )
+        c.env.run(until=done)
+        assert c.api.get("Pod", "frac").status.phase is PodPhase.FAILED
+
+    def test_deleting_running_pod_releases_gpu(self, small_cluster):
+        c = small_cluster
+        c.submit(gpu_pod("svc", workload=None))  # runs forever
+        wait = c.env.process(c.wait_for_phase("svc", [PodPhase.RUNNING]))
+        c.env.run(until=wait)
+        node = c.node(c.api.get("Pod", "svc").spec.node_name)
+        assert node.device_manager.free_count(GPU_RESOURCE) == 1
+        c.api.delete("Pod", "svc")
+        c.env.run(until=c.env.now + 2)
+        assert node.device_manager.free_count(GPU_RESOURCE) == 2
+
+    def test_gpu_released_on_completion(self, small_cluster):
+        c = small_cluster
+        c.submit(gpu_pod("quick", workload=finish_quickly))
+        done = c.env.process(c.wait_for_phase("quick", [PodPhase.SUCCEEDED]))
+        c.env.run(until=done)
+        total_free = sum(
+            n.device_manager.free_count(GPU_RESOURCE) for n in c.nodes
+        )
+        assert total_free == 4
+
+    def test_container_env_from_spec_preserved(self, small_cluster):
+        c = small_cluster
+        pod = gpu_pod("envy", workload=finish_quickly)
+        pod.spec.containers[0].env["MY_FLAG"] = "42"
+        c.submit(pod)
+        done = c.env.process(c.wait_for_phase("envy", [PodPhase.SUCCEEDED]))
+        c.env.run(until=done)
+        env_vars = c.api.get("Pod", "envy").status.container_env
+        assert env_vars["MY_FLAG"] == "42"
+        assert "NVIDIA_VISIBLE_DEVICES" in env_vars
+
+
+class TestRuntimeLatency:
+    def test_start_latency_applied(self, small_cluster):
+        c = small_cluster
+        c.submit(gpu_pod("timed", workload=None))
+        wait = c.env.process(c.wait_for_phase("timed", [PodPhase.RUNNING]))
+        c.env.run(until=wait)
+        pod = c.api.get("Pod", "timed")
+        lat = c.config.runtime_latency
+        assert pod.status.start_time >= lat.base + lat.setup
+
+    def test_concurrent_starts_contend_for_setup_slots(self, env):
+        cluster = Cluster(env, ClusterConfig(nodes=1, gpus_per_node=4)).start()
+        for i in range(4):
+            cluster.submit(gpu_pod(f"p{i}", workload=None))
+        waits = [
+            env.process(cluster.wait_for_phase(f"p{i}", [PodPhase.RUNNING]))
+            for i in range(4)
+        ]
+        env.run(until=env.all_of(waits))
+        starts = sorted(
+            cluster.api.get("Pod", f"p{i}").status.start_time for i in range(4)
+        )
+        lat = cluster.config.runtime_latency
+        # Only `setup_slots` containers set up at once: the last of 4 pods on
+        # one node waits a full extra setup round.
+        assert starts[3] >= starts[0] + lat.setup - 1e-6

@@ -1,0 +1,97 @@
+"""Unit tests for the Kubernetes object model."""
+
+from repro.cluster.objects import (
+    ContainerSpec,
+    LabelSelector,
+    ObjectMeta,
+    Pod,
+    PodPhase,
+    PodSpec,
+    Quantities,
+    group_by_node,
+)
+
+
+class TestQuantities:
+    def test_add(self):
+        assert Quantities.add({"cpu": 1.0}, {"cpu": 2.0, "mem": 4.0}) == {
+            "cpu": 3.0,
+            "mem": 4.0,
+        }
+
+    def test_sub(self):
+        out = Quantities.sub({"cpu": 3.0}, {"cpu": 1.0, "gpu": 1.0})
+        assert out == {"cpu": 2.0, "gpu": -1.0}
+
+    def test_fits_true_when_available(self):
+        assert Quantities.fits({"cpu": 1.0}, {"cpu": 1.0})
+
+    def test_fits_false_when_exceeds(self):
+        assert not Quantities.fits({"cpu": 2.0}, {"cpu": 1.0})
+
+    def test_fits_missing_resource_is_zero(self):
+        assert not Quantities.fits({"gpu": 1.0}, {"cpu": 8.0})
+
+    def test_fits_tolerates_float_noise(self):
+        assert Quantities.fits({"cpu": 0.1 + 0.2}, {"cpu": 0.3})
+
+    def test_nonneg(self):
+        assert Quantities.nonneg({"a": 0.0, "b": 1.0})
+        assert not Quantities.nonneg({"a": -0.5})
+
+
+class TestObjectMeta:
+    def test_key_combines_namespace_and_name(self):
+        meta = ObjectMeta(name="p", namespace="ns")
+        assert meta.key == "ns/p"
+
+    def test_uids_are_unique(self):
+        assert ObjectMeta(name="a").uid != ObjectMeta(name="b").uid
+
+
+class TestPod:
+    def test_defaults(self):
+        pod = Pod(metadata=ObjectMeta(name="p"))
+        assert pod.status.phase is PodPhase.PENDING
+        assert not pod.bound
+        assert pod.kind == "Pod"
+
+    def test_resource_requests_sum_containers(self):
+        spec = PodSpec(
+            containers=[
+                ContainerSpec(requests={"cpu": 1.0}),
+                ContainerSpec(requests={"cpu": 2.0, "nvidia.com/gpu": 1}),
+            ]
+        )
+        assert spec.resource_requests() == {"cpu": 3.0, "nvidia.com/gpu": 1}
+
+    def test_clone_is_deep_but_shares_workload(self):
+        def wl(ctx):
+            yield None
+
+        pod = Pod(metadata=ObjectMeta(name="p", labels={"a": "1"}))
+        pod.spec.workload = wl
+        dup = pod.clone()
+        dup.metadata.labels["a"] = "2"
+        assert pod.metadata.labels["a"] == "1"
+        assert dup.spec.workload is wl
+        assert pod.spec.workload is wl  # original not clobbered
+
+    def test_group_by_node_skips_unbound(self):
+        p1 = Pod(metadata=ObjectMeta(name="a"))
+        p1.spec.node_name = "n1"
+        p2 = Pod(metadata=ObjectMeta(name="b"))
+        grouped = group_by_node([p1, p2])
+        assert list(grouped) == ["n1"]
+        assert grouped["n1"][0].name == "a"
+
+
+class TestLabelSelector:
+    def test_empty_selector_matches_everything(self):
+        assert LabelSelector().matches({"any": "thing"})
+
+    def test_exact_match_required(self):
+        sel = LabelSelector({"app": "web"})
+        assert sel.matches({"app": "web", "tier": "fe"})
+        assert not sel.matches({"app": "db"})
+        assert not sel.matches({})

@@ -1,0 +1,127 @@
+"""Property-based tests for the control-plane data structures."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.controller import WorkQueue
+from repro.cluster.etcd import Etcd, WatchEventType
+from repro.sim import Environment
+
+# -- etcd: replaying the watch stream reconstructs the final state ----------
+
+ops_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(["put", "delete"]),
+        st.sampled_from(["/a", "/b", "/c", "/d/e"]),
+        st.integers(0, 100),
+    ),
+    max_size=60,
+)
+
+
+class TestEtcdProperties:
+    @given(ops=ops_strategy)
+    @settings(max_examples=200, deadline=None)
+    def test_watch_stream_replays_to_final_state(self, ops):
+        env = Environment()
+        etcd = Etcd(env)
+        watch = etcd.watch("")
+        for op, key, value in ops:
+            if op == "put":
+                etcd.put(key, value)
+            else:
+                etcd.delete(key)
+        replayed = {}
+        for ev in watch.events.items:
+            if ev.type is WatchEventType.PUT:
+                replayed[ev.kv.key] = ev.kv.value
+            else:
+                replayed.pop(ev.kv.key, None)
+        actual = {kv.key: kv.value for kv in etcd.range("")}
+        assert replayed == actual
+
+    @given(ops=ops_strategy)
+    @settings(max_examples=200, deadline=None)
+    def test_revisions_strictly_increase(self, ops):
+        env = Environment()
+        etcd = Etcd(env)
+        watch = etcd.watch("")
+        for op, key, value in ops:
+            if op == "put":
+                etcd.put(key, value)
+            else:
+                etcd.delete(key)
+        revisions = [ev.kv.mod_revision for ev in watch.events.items]
+        assert revisions == sorted(set(revisions))
+
+
+# -- workqueue: no key is ever lost, and no key is double-processed -----------
+
+queue_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["add", "work"]),
+        st.sampled_from(["k1", "k2", "k3"]),
+    ),
+    max_size=80,
+)
+
+
+class TestWorkQueueProperties:
+    @given(ops=queue_ops)
+    @settings(max_examples=200, deadline=None)
+    def test_every_added_key_eventually_processed(self, ops):
+        env = Environment()
+        queue = WorkQueue(env)
+        added = set()
+        processed = []
+
+        def worker():
+            while True:
+                key = yield queue.get()
+                queue.checkout(key)
+                processed.append(key)
+                yield env.timeout(0.01)
+                queue.done(key)
+
+        env.process(worker())
+        adds = [(i * 0.005, key) for i, (op, key) in enumerate(ops) if op == "add"]
+
+        def driver():
+            for at, key in adds:
+                delay = at - env.now
+                if delay > 0:
+                    yield env.timeout(delay)
+                queue.add(key)
+                added.add(key)
+
+        env.process(driver())
+        env.run(until=10.0)
+        assert added <= set(processed)
+
+    @given(keys=st.lists(st.sampled_from(["a", "b"]), min_size=1, max_size=20))
+    @settings(max_examples=100, deadline=None)
+    def test_no_concurrent_processing_of_same_key(self, keys):
+        env = Environment()
+        queue = WorkQueue(env)
+        inflight = set()
+
+        def worker():
+            while True:
+                key = yield queue.get()
+                queue.checkout(key)
+                assert key not in inflight, "double-processing!"
+                inflight.add(key)
+                yield env.timeout(0.05)
+                inflight.discard(key)
+                queue.done(key)
+
+        env.process(worker())
+        env.process(worker())  # two workers
+
+        def driver():
+            for key in keys:
+                queue.add(key)
+                yield env.timeout(0.01)
+
+        env.process(driver())
+        env.run(until=5.0)

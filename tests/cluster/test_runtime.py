@@ -1,0 +1,147 @@
+"""Unit tests for the container runtime (start latency, stop, workloads)."""
+
+import pytest
+
+from repro.cluster.runtime import ContainerContext, ContainerRuntime, RuntimeLatency
+from repro.sim import Environment
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def runtime(env):
+    return ContainerRuntime(
+        env, "node0", latency=RuntimeLatency(base=0.5, setup=1.0, setup_slots=1)
+    )
+
+
+def ctx_for(env, name="pod"):
+    return ContainerContext(
+        env=env, pod_name=name, pod_uid=f"uid-{name}", node_name="node0"
+    )
+
+
+class TestStartLatency:
+    def test_single_start_pays_base_plus_setup(self, env, runtime):
+        def starter():
+            handle = yield env.process(
+                runtime.start_container(ctx_for(env), None)
+            )
+            return (env.now, handle)
+
+        p = env.process(starter())
+        env.run(until=p)
+        started_at, handle = p.value
+        assert started_at == pytest.approx(1.5)
+        assert handle.running
+
+    def test_concurrent_starts_serialize_on_setup_slots(self, env, runtime):
+        times = []
+
+        def starter(i):
+            yield env.process(
+                runtime.start_container(ctx_for(env, f"p{i}"), None)
+            )
+            times.append(env.now)
+
+        for i in range(3):
+            env.process(starter(i))
+        env.run()
+        assert times == pytest.approx([1.5, 2.5, 3.5])
+
+    def test_started_total_counts(self, env, runtime):
+        def starter():
+            yield env.process(runtime.start_container(ctx_for(env), None))
+
+        env.process(starter())
+        env.run()
+        assert runtime.started_total == 1
+
+
+class TestWorkloadExecution:
+    def test_workload_value_recorded(self, env, runtime):
+        def wl(ctx):
+            yield ctx.env.timeout(2.0)
+            return {"answer": 42}
+
+        def starter():
+            handle = yield env.process(runtime.start_container(ctx_for(env), wl))
+            ok = yield handle.wait()
+            return (ok, handle.exit_value, handle.finished_at)
+
+        p = env.process(starter())
+        env.run(until=p)
+        ok, value, finished = p.value
+        assert ok and value == {"answer": 42}
+        assert finished == pytest.approx(3.5)
+
+    def test_crashing_workload_reports_failure(self, env, runtime):
+        def wl(ctx):
+            yield ctx.env.timeout(0.1)
+            raise RuntimeError("segfault")
+
+        def starter():
+            handle = yield env.process(runtime.start_container(ctx_for(env), wl))
+            ok = yield handle.wait()
+            return (ok, handle.exit_value)
+
+        p = env.process(starter())
+        env.run(until=p)
+        ok, value = p.value
+        assert ok is False
+        assert isinstance(value, RuntimeError)
+
+    def test_stop_interrupts_service_workload(self, env, runtime):
+        def starter():
+            handle = yield env.process(
+                runtime.start_container(ctx_for(env, "svc"), None)
+            )
+            return handle
+
+        p = env.process(starter())
+        env.run(until=p)
+        handle = p.value
+
+        def stopper():
+            yield env.timeout(5.0)
+            yield env.process(runtime.stop_container("uid-svc"))
+
+        env.process(stopper())
+        env.run()
+        assert not handle.running
+        assert handle.exit_ok  # graceful stop
+        assert "uid-svc" not in runtime.containers
+
+    def test_stop_unknown_container_is_noop(self, env, runtime):
+        def stopper():
+            gone = yield env.process(runtime.stop_container("ghost"))
+            return gone
+
+        p = env.process(stopper())
+        env.run(until=p)
+        assert p.value is None
+
+
+class TestContainerContext:
+    def test_visible_gpus_parsing(self, env):
+        class FakeGPU:
+            pass
+
+        g1, g2 = FakeGPU(), FakeGPU()
+        ctx = ContainerContext(
+            env=env, pod_name="p", pod_uid="u", node_name="n",
+            env_vars={"NVIDIA_VISIBLE_DEVICES": "g1"},
+            gpu_registry={"g1": g1, "g2": g2},
+        )
+        assert ctx.visible_gpus() == [g1]
+        ctx.env_vars["NVIDIA_VISIBLE_DEVICES"] = "all"
+        assert set(ctx.visible_gpus()) == {g1, g2}
+        ctx.env_vars["NVIDIA_VISIBLE_DEVICES"] = "none"
+        assert ctx.visible_gpus() == []
+        ctx.env_vars["NVIDIA_VISIBLE_DEVICES"] = "g1,g2"
+        assert ctx.visible_gpus() == [g1, g2]
+        ctx.env_vars["NVIDIA_VISIBLE_DEVICES"] = "g1,ghost"
+        assert ctx.visible_gpus() == [g1]

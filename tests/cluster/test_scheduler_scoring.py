@@ -1,0 +1,101 @@
+"""Unit tests for kube-scheduler filter/score internals."""
+
+import pytest
+
+from repro.cluster.apiserver import APIServer
+from repro.cluster.objects import (
+    GPU_RESOURCE,
+    ContainerSpec,
+    ObjectMeta,
+    Pod,
+    PodSpec,
+)
+from repro.cluster.scheduler import KubeScheduler
+from repro.sim import Environment
+
+
+@pytest.fixture
+def sched():
+    env = Environment()
+    s = KubeScheduler(env, APIServer(env))
+    s._node_ready = {"n1": True, "n2": True}
+    s._node_labels = {"n1": {}, "n2": {}}
+    return s
+
+
+def pod(requests, node_selector=None):
+    return Pod(
+        metadata=ObjectMeta(name="p"),
+        spec=PodSpec(
+            containers=[ContainerSpec(requests=requests)],
+            node_selector=node_selector or {},
+        ),
+    )
+
+
+class TestSelectNode:
+    def test_least_allocated_prefers_most_free_gpu(self, sched):
+        sched._node_free = {
+            "n1": {"cpu": 10.0, GPU_RESOURCE: 1.0},
+            "n2": {"cpu": 10.0, GPU_RESOURCE: 3.0},
+        }
+        assert sched._select_node(pod({GPU_RESOURCE: 1})) == "n2"
+
+    def test_cpu_breaks_gpu_ties(self, sched):
+        sched._node_free = {
+            "n1": {"cpu": 4.0, GPU_RESOURCE: 2.0},
+            "n2": {"cpu": 16.0, GPU_RESOURCE: 2.0},
+        }
+        assert sched._select_node(pod({GPU_RESOURCE: 1})) == "n2"
+
+    def test_infeasible_node_filtered(self, sched):
+        sched._node_free = {
+            "n1": {"cpu": 10.0, GPU_RESOURCE: 0.0},
+            "n2": {"cpu": 10.0, GPU_RESOURCE: 1.0},
+        }
+        assert sched._select_node(pod({GPU_RESOURCE: 1})) == "n2"
+
+    def test_no_feasible_node_returns_none(self, sched):
+        sched._node_free = {"n1": {"cpu": 0.5}, "n2": {"cpu": 0.5}}
+        assert sched._select_node(pod({"cpu": 1.0})) is None
+
+    def test_not_ready_node_skipped(self, sched):
+        sched._node_free = {
+            "n1": {"cpu": 10.0, GPU_RESOURCE: 4.0},
+            "n2": {"cpu": 10.0, GPU_RESOURCE: 1.0},
+        }
+        sched._node_ready["n1"] = False
+        assert sched._select_node(pod({GPU_RESOURCE: 1})) == "n2"
+
+    def test_node_selector_filters(self, sched):
+        sched._node_free = {
+            "n1": {"cpu": 10.0},
+            "n2": {"cpu": 10.0},
+        }
+        sched._node_labels["n2"] = {"zone": "west"}
+        assert sched._select_node(pod({"cpu": 1}, {"zone": "west"})) == "n2"
+
+    def test_deterministic_tiebreak(self, sched):
+        sched._node_free = {
+            "n2": {"cpu": 10.0, GPU_RESOURCE: 2.0},
+            "n1": {"cpu": 10.0, GPU_RESOURCE: 2.0},
+        }
+        assert sched._select_node(pod({GPU_RESOURCE: 1})) == "n1"
+
+
+class TestMostAllocatedScoring:
+    def test_binpack_prefers_fullest_node(self):
+        env = Environment()
+        s = KubeScheduler(env, APIServer(env), score="most_allocated")
+        s._node_ready = {"n1": True, "n2": True}
+        s._node_labels = {"n1": {}, "n2": {}}
+        s._node_free = {
+            "n1": {"cpu": 10.0, GPU_RESOURCE: 1.0},
+            "n2": {"cpu": 10.0, GPU_RESOURCE: 3.0},
+        }
+        assert s._select_node(pod({GPU_RESOURCE: 1})) == "n1"
+
+    def test_unknown_policy_rejected(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            KubeScheduler(env, APIServer(env), score="chaotic")

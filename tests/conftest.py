@@ -1,0 +1,25 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig
+from repro.sim import Environment
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def small_cluster(env):
+    """A started 2-node / 2-GPU-per-node cluster (4 GPUs total)."""
+    cluster = Cluster(env, ClusterConfig(nodes=2, gpus_per_node=2))
+    return cluster.start()
+
+
+def run_process(env, gen, **kwargs):
+    """Run *gen* as a process to completion and return its value."""
+    proc = env.process(gen, **kwargs)
+    env.run(until=proc)
+    return proc.value

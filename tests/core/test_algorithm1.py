@@ -1,0 +1,267 @@
+"""Unit + property tests for Algorithm 1 (locality & resource aware
+scheduling, paper §4.3)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.scheduler import (
+    Decision,
+    DeviceView,
+    RequestView,
+    schedule_request,
+)
+
+
+def dev(gpuid, util=1.0, mem=1.0, aff=(), anti=(), excl=None, idle=None):
+    view = DeviceView(
+        gpuid=gpuid,
+        util=util,
+        mem=mem,
+        aff=set(aff),
+        anti_aff=set(anti),
+        excl=excl,
+    )
+    view.idle = (
+        idle
+        if idle is not None
+        else (util == 1.0 and mem == 1.0 and not aff and not anti and excl is None)
+    )
+    return view
+
+
+class TestAffinityStep:
+    """Lines 1-14: requests with an affinity label."""
+
+    def test_joins_device_with_matching_label(self):
+        devices = [dev("d1", util=0.5, mem=0.5, aff={"team"})]
+        d = schedule_request(RequestView(util=0.2, mem=0.2, aff="team"), devices)
+        assert d.gpuid == "d1" and not d.is_new
+
+    def test_rejected_on_exclusion_mismatch(self):
+        devices = [dev("d1", aff={"team"}, excl="other", idle=False)]
+        d = schedule_request(RequestView(util=0.1, mem=0.1, aff="team"), devices)
+        assert d.rejected
+        assert "exclusion" in d.reason
+
+    def test_rejected_when_anti_affinity_already_present(self):
+        devices = [dev("d1", aff={"team"}, anti={"solo"}, idle=False)]
+        d = schedule_request(
+            RequestView(util=0.1, mem=0.1, aff="team", anti_aff="solo"), devices
+        )
+        assert d.rejected
+
+    def test_rejected_on_insufficient_resources(self):
+        devices = [dev("d1", util=0.1, mem=0.9, aff={"team"}, idle=False)]
+        d = schedule_request(RequestView(util=0.5, mem=0.1, aff="team"), devices)
+        assert d.rejected
+        assert "capacity" in d.reason
+
+    def test_new_label_prefers_idle_device(self):
+        devices = [
+            dev("busy", util=0.5, mem=0.5, idle=False),
+            dev("idle", util=1.0, mem=1.0),
+        ]
+        d = schedule_request(RequestView(util=0.2, mem=0.2, aff="fresh"), devices)
+        assert d.gpuid == "idle"
+
+    def test_new_label_creates_device_when_none_idle(self):
+        devices = [dev("busy", util=0.5, mem=0.5, idle=False)]
+        d = schedule_request(RequestView(util=0.2, mem=0.2, aff="fresh"), devices)
+        assert d.is_new
+        assert d.gpuid not in ("busy",)
+
+    def test_affinity_label_recorded_on_chosen_device(self):
+        devices = [dev("idle")]
+        schedule_request(
+            RequestView(util=0.2, mem=0.2, aff="t", anti_aff="x", excl="e"), devices
+        )
+        chosen = devices[0]
+        assert "t" in chosen.aff
+        assert "x" in chosen.anti_aff
+        assert chosen.excl == "e"
+        assert not chosen.idle
+
+    def test_sequential_affinity_requests_pack_together(self):
+        devices = [dev("idle1"), dev("idle2")]
+        d1 = schedule_request(RequestView(util=0.3, mem=0.3, aff="t"), devices)
+        d2 = schedule_request(RequestView(util=0.3, mem=0.3, aff="t"), devices)
+        assert d1.gpuid == d2.gpuid
+
+
+class TestFilterStep:
+    """Lines 15-20: candidate filtering for label-free requests."""
+
+    def test_exclusion_mismatch_filtered(self):
+        devices = [dev("d1", util=0.9, mem=0.9, excl="teamA", idle=False)]
+        d = schedule_request(RequestView(util=0.1, mem=0.1, excl="teamB"), devices)
+        assert d.is_new
+
+    def test_matching_exclusion_allowed(self):
+        devices = [dev("d1", util=0.9, mem=0.9, excl="teamA", idle=False)]
+        d = schedule_request(RequestView(util=0.1, mem=0.1, excl="teamA"), devices)
+        assert d.gpuid == "d1"
+
+    def test_unlabeled_request_avoids_exclusive_device(self):
+        devices = [dev("d1", util=0.9, mem=0.9, excl="teamA", idle=False)]
+        d = schedule_request(RequestView(util=0.1, mem=0.1), devices)
+        assert d.is_new
+
+    def test_anti_affinity_filters_device(self):
+        devices = [dev("d1", util=0.9, mem=0.9, anti={"solo"}, idle=False)]
+        d = schedule_request(RequestView(util=0.1, mem=0.1, anti_aff="solo"), devices)
+        assert d.is_new
+
+    def test_resource_shortage_filters_device(self):
+        devices = [dev("d1", util=0.05, mem=0.9, idle=False)]
+        d = schedule_request(RequestView(util=0.1, mem=0.1), devices)
+        assert d.is_new
+
+    def test_idle_device_passes_unconditionally(self):
+        # An idle vGPU has no containers: stale labels don't filter it.
+        devices = [dev("d1", util=1.0, mem=1.0, idle=True)]
+        d = schedule_request(RequestView(util=0.5, mem=0.5, excl="x"), devices)
+        assert d.gpuid == "d1"
+
+
+class TestPlacementStep:
+    """Lines 21-26: best fit on unlabeled, worst fit on labeled."""
+
+    def test_best_fit_among_unlabeled(self):
+        devices = [
+            dev("loose", util=0.9, mem=0.9, idle=False),
+            dev("tight", util=0.3, mem=0.3, idle=False),
+        ]
+        d = schedule_request(RequestView(util=0.2, mem=0.2), devices)
+        assert d.gpuid == "tight"
+
+    def test_unlabeled_preferred_over_labeled(self):
+        devices = [
+            dev("labeled", util=0.9, mem=0.9, aff={"t"}, idle=False),
+            dev("plain", util=0.3, mem=0.3, idle=False),
+        ]
+        d = schedule_request(RequestView(util=0.2, mem=0.2), devices)
+        assert d.gpuid == "plain"
+
+    def test_worst_fit_among_labeled_when_no_plain_fits(self):
+        devices = [
+            dev("lab1", util=0.4, mem=0.4, aff={"a"}, idle=False),
+            dev("lab2", util=0.8, mem=0.8, aff={"b"}, idle=False),
+        ]
+        d = schedule_request(RequestView(util=0.2, mem=0.2), devices)
+        # worst fit: the labeled device with the most leftover
+        assert d.gpuid == "lab2"
+
+    def test_new_device_as_last_resort(self):
+        devices = [dev("full", util=0.05, mem=0.05, idle=False)]
+        d = schedule_request(RequestView(util=0.5, mem=0.5), devices)
+        assert d.is_new
+
+    def test_resources_deducted_from_chosen_view(self):
+        devices = [dev("d1", util=1.0, mem=1.0, idle=True)]
+        schedule_request(RequestView(util=0.3, mem=0.4), devices)
+        assert devices[0].util == pytest.approx(0.7)
+        assert devices[0].mem == pytest.approx(0.6)
+
+    def test_deterministic_tiebreak_by_gpuid(self):
+        devices = [
+            dev("b", util=0.5, mem=0.5, idle=False),
+            dev("a", util=0.5, mem=0.5, idle=False),
+        ]
+        d = schedule_request(RequestView(util=0.2, mem=0.2), devices)
+        assert d.gpuid == "a"
+
+
+# -- property tests ---------------------------------------------------------
+
+label_strategy = st.one_of(st.none(), st.sampled_from(["red", "blue", "green"]))
+
+request_strategy = st.builds(
+    RequestView,
+    util=st.floats(0.01, 0.6),
+    mem=st.floats(0.01, 0.6),
+    aff=label_strategy,
+    anti_aff=label_strategy,
+    excl=label_strategy,
+)
+
+
+@st.composite
+def request_sequences(draw):
+    return draw(st.lists(request_strategy, min_size=1, max_size=30))
+
+
+class TestSequenceProperties:
+    """Invariants over arbitrary request sequences (fresh pool)."""
+
+    @given(requests=request_sequences())
+    @settings(max_examples=150, deadline=None)
+    def test_capacity_never_violated(self, requests):
+        devices = []
+        for r in requests:
+            schedule_request(r, devices)
+        for d in devices:
+            assert d.util >= -1e-9
+            assert d.mem >= -1e-9
+
+    @given(requests=request_sequences())
+    @settings(max_examples=150, deadline=None)
+    def test_exclusion_never_mixed(self, requests):
+        devices = []
+        placements = []
+        for r in requests:
+            decision = schedule_request(r, devices)
+            if not decision.rejected:
+                placements.append((r, decision.gpuid))
+        by_dev = {}
+        for r, gpuid in placements:
+            by_dev.setdefault(gpuid, []).append(r)
+        for gpuid, rs in by_dev.items():
+            excls = {r.excl for r in rs}
+            assert len(excls) == 1, f"mixed exclusion labels on {gpuid}: {excls}"
+
+    @given(requests=request_sequences())
+    @settings(max_examples=150, deadline=None)
+    def test_anti_affinity_never_colocated(self, requests):
+        devices = []
+        placements = []
+        for r in requests:
+            decision = schedule_request(r, devices)
+            if not decision.rejected:
+                placements.append((r, decision.gpuid))
+        by_dev = {}
+        for r, gpuid in placements:
+            by_dev.setdefault(gpuid, []).append(r)
+        for gpuid, rs in by_dev.items():
+            antis = [r.anti_aff for r in rs if r.anti_aff is not None]
+            assert len(antis) == len(set(antis)), (
+                f"anti-affinity label co-located on {gpuid}"
+            )
+
+    @given(requests=request_sequences())
+    @settings(max_examples=150, deadline=None)
+    def test_affinity_always_colocated(self, requests):
+        devices = []
+        placements = []
+        for r in requests:
+            decision = schedule_request(r, devices)
+            if not decision.rejected:
+                placements.append((r, decision.gpuid))
+        by_label = {}
+        for r, gpuid in placements:
+            if r.aff is not None:
+                by_label.setdefault(r.aff, set()).add(gpuid)
+        for label, gpuids in by_label.items():
+            assert len(gpuids) == 1, f"affinity {label} spread over {gpuids}"
+
+    @given(requests=request_sequences())
+    @settings(max_examples=100, deadline=None)
+    def test_label_free_requests_never_rejected(self, requests):
+        devices = []
+        for r in requests:
+            if r.aff is None:
+                decision = schedule_request(r, devices)
+                # a fresh device can always be created
+                assert not decision.rejected
+            else:
+                schedule_request(r, devices)

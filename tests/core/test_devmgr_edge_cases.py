@@ -1,0 +1,191 @@
+"""Edge-case tests for KubeShare-DevMgr and KubeShare-Sched controllers."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig
+from repro.cluster.objects import PodPhase
+from repro.core import HybridPolicy, KubeShare
+from repro.core.devmgr import PLACEHOLDER_PREFIX
+from repro.core.scheduler import build_device_views
+from repro.core.sharepod import SharePod, SharePodSpec
+from repro.core.vgpu import VGPU, VGPUPhase, VGPUPool
+from repro.cluster.objects import ObjectMeta
+
+TERMINAL = (PodPhase.SUCCEEDED, PodPhase.FAILED)
+
+
+def train(work):
+    def wl(ctx):
+        api = ctx.cuda()
+        cu = api.cu_ctx_create()
+        try:
+            yield from api.cu_launch_kernel(cu, work)
+        finally:
+            api.cu_ctx_destroy(cu)
+
+    return wl
+
+
+class TestBuildDeviceViews:
+    def test_derives_labels_and_residuals(self):
+        pool = VGPUPool()
+        pool.add(VGPU(gpuid="g1", phase=VGPUPhase.ACTIVE, uuid="GPU-1"))
+        sp = SharePod(
+            metadata=ObjectMeta(name="s1"),
+            spec=SharePodSpec(
+                gpu_request=0.4, gpu_limit=0.8, gpu_mem=0.3, gpu_id="g1",
+                sched_affinity="team", sched_anti_affinity="solo",
+                sched_exclusion="tenant",
+            ),
+        )
+        views = build_device_views(pool, [sp])
+        assert len(views) == 1
+        v = views[0]
+        assert v.util == pytest.approx(0.6)
+        assert v.mem == pytest.approx(0.7)
+        assert v.aff == {"team"}
+        assert v.anti_aff == {"solo"}
+        assert v.excl == "tenant"
+        assert not v.idle
+
+    def test_terminal_sharepods_do_not_count(self):
+        pool = VGPUPool()
+        pool.add(VGPU(gpuid="g1", phase=VGPUPhase.IDLE, uuid="GPU-1"))
+        sp = SharePod(
+            metadata=ObjectMeta(name="done"),
+            spec=SharePodSpec(gpu_request=0.9, gpu_limit=1.0, gpu_mem=0.9, gpu_id="g1"),
+        )
+        sp.status.phase = PodPhase.SUCCEEDED
+        views = build_device_views(pool, [sp])
+        assert views[0].idle
+        assert views[0].util == pytest.approx(1.0)
+
+    def test_assigned_but_unmaterialized_gpuid_gets_a_view(self):
+        pool = VGPUPool()  # empty: DevMgr has not created the vGPU yet
+        sp = SharePod(
+            metadata=ObjectMeta(name="inflight"),
+            spec=SharePodSpec(gpu_request=0.5, gpu_limit=1.0, gpu_mem=0.5,
+                              gpu_id="vgpu-new"),
+        )
+        views = build_device_views(pool, [sp])
+        assert [v.gpuid for v in views] == ["vgpu-new"]
+        assert views[0].util == pytest.approx(0.5)
+
+    def test_unscheduled_sharepods_ignored(self):
+        sp = SharePod(
+            metadata=ObjectMeta(name="pending"),
+            spec=SharePodSpec(gpu_request=0.5, gpu_limit=1.0, gpu_mem=0.5),
+        )
+        assert build_device_views(VGPUPool(), [sp]) == []
+
+
+class TestDevMgrLifecycle:
+    @pytest.fixture
+    def stack(self, env):
+        cluster = Cluster(env, ClusterConfig(nodes=1, gpus_per_node=2)).start()
+        ks = KubeShare(cluster, isolation="token").start()
+        return cluster, ks
+
+    def test_gpuid_uuid_mapping_recorded(self, stack):
+        cluster, ks = stack
+        ks.submit(ks.make_sharepod(
+            "j", gpu_request=0.5, gpu_limit=1.0, gpu_mem=0.5, workload=None
+        ))
+        wait = cluster.env.process(ks.wait_for_phase("j", [PodPhase.RUNNING]))
+        cluster.env.run(until=wait)
+        sp = ks.get("j")
+        assert ks.pool.gpuid_to_uuid(sp.spec.gpu_id) == sp.status.gpu_uuid
+
+    def test_timings_recorded_for_fig10(self, stack):
+        cluster, ks = stack
+        ks.submit(ks.make_sharepod(
+            "j", gpu_request=0.5, gpu_limit=1.0, gpu_mem=0.5, workload=None
+        ))
+        wait = cluster.env.process(ks.wait_for_phase("j", [PodPhase.RUNNING]))
+        cluster.env.run(until=wait)
+        timing = ks.devmgr.timings["default/j"]
+        assert (
+            timing["sharepod_created"]
+            <= timing["vgpu_requested"]
+            <= timing["vgpu_ready"]
+            <= timing["pod_created"]
+            <= timing["pod_running"]
+        )
+
+    def test_hybrid_policy_releases_after_ttl(self, env):
+        cluster = Cluster(env, ClusterConfig(nodes=1, gpus_per_node=1)).start()
+        ks = KubeShare(
+            cluster, isolation="token",
+            policy=HybridPolicy(max_idle=2, idle_ttl=5.0),
+        ).start()
+        ks.submit(ks.make_sharepod(
+            "j", gpu_request=0.5, gpu_limit=1.0, gpu_mem=0.5,
+            workload=train(1.0),
+        ))
+        done = env.process(ks.wait_all_terminal(["j"]))
+        env.run(until=done)
+        assert len(ks.pool) == 1  # kept warm initially
+        env.run(until=env.now + 6.0)
+        assert len(ks.pool) == 0  # TTL expired → released
+
+    def test_ttl_cancelled_by_reuse(self, env):
+        cluster = Cluster(env, ClusterConfig(nodes=1, gpus_per_node=1)).start()
+        ks = KubeShare(
+            cluster, isolation="token",
+            policy=HybridPolicy(max_idle=2, idle_ttl=8.0),
+        ).start()
+        ks.submit(ks.make_sharepod(
+            "j1", gpu_request=0.5, gpu_limit=1.0, gpu_mem=0.5,
+            workload=train(1.0),
+        ))
+        done = env.process(ks.wait_all_terminal(["j1"]))
+        env.run(until=done)
+        # reuse the idle vGPU before the TTL fires
+        ks.submit(ks.make_sharepod(
+            "j2", gpu_request=0.5, gpu_limit=1.0, gpu_mem=0.5, workload=None
+        ))
+        wait = env.process(ks.wait_for_phase("j2", [PodPhase.RUNNING]))
+        env.run(until=wait)
+        env.run(until=env.now + 10.0)
+        assert len(ks.pool) == 1  # still alive: the TTL must not kill it
+
+    def test_two_sharepods_same_new_vgpu_single_placeholder(self, stack):
+        """Concurrent sharePods packed on one new GPUID must not race into
+        creating two placeholders."""
+        cluster, ks = stack
+        for i in range(3):
+            ks.submit(ks.make_sharepod(
+                f"j{i}", gpu_request=0.3, gpu_limit=0.6, gpu_mem=0.25,
+                workload=None,
+            ))
+        cluster.env.run(until=10)
+        holders = [
+            p for p in cluster.api.pods() if p.name.startswith(PLACEHOLDER_PREFIX)
+        ]
+        assert len(holders) == 1
+        assert ks.devmgr.vgpus_created_total == 1
+        for i in range(3):
+            assert ks.get(f"j{i}").status.phase is PodPhase.RUNNING
+
+    def test_deleting_one_of_two_keeps_vgpu(self, stack):
+        cluster, ks = stack
+        for i in range(2):
+            ks.submit(ks.make_sharepod(
+                f"j{i}", gpu_request=0.3, gpu_limit=0.6, gpu_mem=0.25,
+                workload=None,
+            ))
+        cluster.env.run(until=10)
+        ks.delete("j0")
+        cluster.env.run(until=cluster.env.now + 3)
+        assert len(ks.pool) == 1  # j1 still attached
+        assert ks.get("j1").status.phase is PodPhase.RUNNING
+
+    def test_sched_wall_times_recorded(self, stack):
+        cluster, ks = stack
+        ks.submit(ks.make_sharepod(
+            "j", gpu_request=0.3, gpu_limit=0.6, gpu_mem=0.3, workload=None
+        ))
+        cluster.env.run(until=5)
+        assert len(ks.sched.algo_wall_times) >= 1
+        n, seconds = ks.sched.algo_wall_times[0]
+        assert n >= 1 and seconds >= 0.0

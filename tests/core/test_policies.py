@@ -1,0 +1,49 @@
+"""Unit tests for vGPU pool policies (§4.4)."""
+
+import pytest
+
+from repro.core.policies import HybridPolicy, OnDemandPolicy, ReservationPolicy
+from repro.core.vgpu import VGPU, VGPUPhase, VGPUPool
+
+
+def pool_with_idle(n):
+    pool = VGPUPool()
+    for i in range(n):
+        pool.add(VGPU(gpuid=f"g{i}", phase=VGPUPhase.IDLE))
+    return pool
+
+
+class TestOnDemand:
+    def test_always_releases(self):
+        pool = pool_with_idle(1)
+        assert OnDemandPolicy().release_on_idle(pool, pool.get("g0"))
+
+
+class TestReservation:
+    def test_unbounded_keeps_everything(self):
+        pool = pool_with_idle(10)
+        policy = ReservationPolicy(max_idle=None)
+        assert not policy.release_on_idle(pool, pool.get("g0"))
+        assert policy.idle_ttl is None
+
+    def test_bounded_releases_beyond_max(self):
+        policy = ReservationPolicy(max_idle=2)
+        assert not policy.release_on_idle(pool_with_idle(2), VGPU(gpuid="x"))
+        assert policy.release_on_idle(pool_with_idle(3), VGPU(gpuid="x"))
+
+    def test_negative_max_rejected(self):
+        with pytest.raises(ValueError):
+            ReservationPolicy(max_idle=-1)
+
+
+class TestHybrid:
+    def test_combines_count_and_ttl(self):
+        policy = HybridPolicy(max_idle=1, idle_ttl=10.0)
+        assert policy.idle_ttl == 10.0
+        assert not policy.release_on_idle(pool_with_idle(1), VGPU(gpuid="x"))
+        assert policy.release_on_idle(pool_with_idle(2), VGPU(gpuid="x"))
+        assert policy.release_on_ttl(pool_with_idle(1), VGPU(gpuid="x"))
+
+    def test_ttl_validation(self):
+        with pytest.raises(ValueError):
+            HybridPolicy(idle_ttl=0)

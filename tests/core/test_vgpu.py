@@ -1,0 +1,80 @@
+"""Unit tests for vGPU objects and the pool (§4.4)."""
+
+import pytest
+
+from repro.core.vgpu import VGPU, VGPUPhase, VGPUPool, new_gpuid
+
+
+class TestGpuId:
+    def test_ids_are_unique_and_hashed(self):
+        ids = {new_gpuid() for _ in range(100)}
+        assert len(ids) == 100
+        assert all(i.startswith("vgpu-") for i in ids)
+
+
+class TestVGPU:
+    def test_fresh_vgpu_is_creating_and_idle(self):
+        v = VGPU(gpuid="g1")
+        assert v.phase is VGPUPhase.CREATING
+        assert not v.materialized
+        assert v.idle
+
+    def test_materialized_once_uuid_known(self):
+        v = VGPU(gpuid="g1", uuid="GPU-abc")
+        assert v.materialized
+
+    def test_idle_tracks_attachments(self):
+        v = VGPU(gpuid="g1")
+        v.attached.add("default/sp1")
+        assert not v.idle
+
+
+class TestPool:
+    def test_add_and_get(self):
+        pool = VGPUPool()
+        v = pool.add(VGPU(gpuid="g1"))
+        assert pool.get("g1") is v
+        assert "g1" in pool
+        assert len(pool) == 1
+
+    def test_duplicate_add_rejected(self):
+        pool = VGPUPool()
+        pool.add(VGPU(gpuid="g1"))
+        with pytest.raises(ValueError):
+            pool.add(VGPU(gpuid="g1"))
+
+    def test_remove(self):
+        pool = VGPUPool()
+        pool.add(VGPU(gpuid="g1"))
+        removed = pool.remove("g1")
+        assert removed.gpuid == "g1"
+        assert pool.remove("g1") is None
+
+    def test_list_sorted_by_gpuid(self):
+        pool = VGPUPool()
+        pool.add(VGPU(gpuid="b"))
+        pool.add(VGPU(gpuid="a"))
+        assert [v.gpuid for v in pool.list()] == ["a", "b"]
+
+    def test_idle_vgpus_excludes_attached_and_deleting(self):
+        pool = VGPUPool()
+        busy = pool.add(VGPU(gpuid="busy"))
+        busy.attached.add("x")
+        dying = pool.add(VGPU(gpuid="dying"))
+        dying.phase = VGPUPhase.DELETING
+        pool.add(VGPU(gpuid="free", phase=VGPUPhase.IDLE))
+        assert [v.gpuid for v in pool.idle_vgpus()] == ["free"]
+
+    def test_uuid_lookups(self):
+        pool = VGPUPool()
+        pool.add(VGPU(gpuid="g1", uuid="GPU-1", placeholder_pod="vgpu-holder-g1"))
+        assert pool.by_uuid("GPU-1").gpuid == "g1"
+        assert pool.by_uuid("GPU-zzz") is None
+        assert pool.by_placeholder("vgpu-holder-g1").gpuid == "g1"
+        assert pool.by_placeholder("other") is None
+
+    def test_gpuid_to_uuid_mapping(self):
+        pool = VGPUPool()
+        pool.add(VGPU(gpuid="g1", uuid="GPU-1"))
+        assert pool.gpuid_to_uuid("g1") == "GPU-1"
+        assert pool.gpuid_to_uuid("ghost") is None

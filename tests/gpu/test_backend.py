@@ -1,0 +1,226 @@
+"""Unit tests for the token backend daemon (§4.5 token scheduling)."""
+
+import pytest
+
+from repro.gpu.backend import TokenBackend
+from repro.sim import Environment
+
+DEV = "GPU-0"
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def backend(env):
+    return TokenBackend(env, quota=0.1, window=1.0, handoff_overhead=0.0)
+
+
+class TestValidation:
+    def test_bad_quota(self, env):
+        with pytest.raises(ValueError):
+            TokenBackend(env, quota=0)
+
+    def test_window_smaller_than_quota(self, env):
+        with pytest.raises(ValueError):
+            TokenBackend(env, quota=0.1, window=0.05)
+
+    def test_register_validates_ranges(self, backend):
+        with pytest.raises(ValueError):
+            backend.register(DEV, "c", request=-0.1, limit=0.5)
+        with pytest.raises(ValueError):
+            backend.register(DEV, "c", request=0.1, limit=0.0)
+
+    def test_acquire_requires_registration(self, env, backend):
+        def proc():
+            yield from backend.acquire(DEV, "ghost")
+
+        env.process(proc())
+        with pytest.raises(KeyError):
+            env.run()
+
+
+class TestTokenProtocol:
+    def test_single_client_gets_token_immediately(self, env, backend):
+        backend.register(DEV, "c1", 0.5, 1.0)
+
+        def proc():
+            token = yield from backend.acquire(DEV, "c1")
+            return (env.now, token.quota)
+
+        p = env.process(proc())
+        env.run()
+        grant_time, quota = p.value
+        # handoff_overhead=0 still pays the minimal decision delay (quota/1000)
+        assert grant_time == pytest.approx(0.0, abs=backend.quota * 1e-3 + 1e-9)
+        assert quota == 0.1
+
+    def test_token_expires_after_quota(self, env, backend):
+        backend.register(DEV, "c1", 0.5, 1.0)
+        tokens = {}
+
+        def proc():
+            token = yield from backend.acquire(DEV, "c1")
+            tokens["t"] = token
+            yield env.timeout(0.2)
+
+        env.process(proc())
+        env.run()
+        assert not tokens["t"].valid
+
+    def test_release_passes_token_to_waiter(self, env, backend):
+        backend.register(DEV, "a", 0.5, 1.0)
+        backend.register(DEV, "b", 0.5, 1.0)
+        times = {}
+
+        def holder():
+            token = yield from backend.acquire(DEV, "a")
+            yield env.timeout(0.03)
+            backend.release(token)
+
+        def waiter():
+            yield env.timeout(0.01)
+            yield from backend.acquire(DEV, "b")
+            times["b"] = env.now
+
+        env.process(holder())
+        env.process(waiter())
+        env.run()
+        # two minimal decision delays: the holder's grant and the re-grant
+        assert times["b"] == pytest.approx(0.03, abs=2 * backend.quota * 1e-3 + 1e-6)
+
+    def test_handoff_overhead_delays_grant(self, env):
+        backend = TokenBackend(env, quota=0.1, handoff_overhead=0.005)
+        backend.register(DEV, "c1", 0.5, 1.0)
+
+        def proc():
+            yield from backend.acquire(DEV, "c1")
+            return env.now
+
+        p = env.process(proc())
+        env.run()
+        assert p.value == pytest.approx(0.005)
+
+    def test_stats_count_grants(self, env, backend):
+        backend.register(DEV, "c1", 0.5, 1.0)
+
+        def proc():
+            for _ in range(3):
+                token = yield from backend.acquire(DEV, "c1")
+                yield env.timeout(0.02)
+                backend.release(token)
+
+        env.process(proc())
+        env.run()
+        assert backend.stats(DEV)["grants"] == 3
+
+    def test_unregister_removes_queued_requests(self, env, backend):
+        backend.register(DEV, "a", 0.5, 1.0)
+        backend.register(DEV, "b", 0.5, 1.0)
+
+        def holder():
+            yield from backend.acquire(DEV, "a")
+            yield env.timeout(0.01)
+            backend.unregister(DEV, "b")
+
+        def doomed():
+            yield from backend.acquire(DEV, "b")
+
+        env.process(holder())
+        env.process(doomed())
+        env.run(until=1.0)
+        assert backend.stats(DEV)["queued"] == 0
+
+
+class TestSchedulingPolicy:
+    def test_below_request_client_prioritized(self, env, backend):
+        """Step 2: the client farthest below its gpu_request goes first."""
+        backend.register(DEV, "low", request=0.8, limit=1.0)
+        backend.register(DEV, "high", request=0.1, limit=1.0)
+        order = []
+
+        def holder():
+            token = yield from backend.acquire(DEV, "high")
+            yield env.timeout(0.05)
+            # both queue now; on release, 'low' must win (0.8 - 0 > 0.1 - x)
+            backend.release(token)
+
+        def client(name, delay):
+            yield env.timeout(delay)
+            yield from backend.acquire(DEV, name)
+            order.append(name)
+
+        env.process(holder())
+        env.process(client("high", 0.01))
+        env.process(client("low", 0.02))
+        env.run(until=0.5)
+        assert order[0] == "low"
+
+    def test_limit_filter_blocks_overuser(self, env):
+        """Step 1: a client at its gpu_limit must wait for its usage to
+        decay below the limit."""
+        backend = TokenBackend(env, quota=0.1, window=0.5, handoff_overhead=0.0)
+        backend.register(DEV, "capped", request=0.1, limit=0.3)
+        grants = []
+
+        def proc():
+            for _ in range(4):
+                token = yield from backend.acquire(DEV, "capped")
+                grants.append(env.now)
+                yield env.timeout(token.remaining(env.now))
+
+        env.process(proc())
+        env.run(until=3.0)
+        # after the first two grants usage=0.2/0.5=0.4 > 0.3 ⇒ throttled;
+        # further grants spread out instead of back-to-back.
+        assert grants[1] - grants[0] == pytest.approx(0.1, abs=0.03)
+        assert grants[2] - grants[1] > 0.15
+
+    def test_usage_tracking_sliding_window(self, env, backend):
+        backend.register(DEV, "c1", 0.5, 1.0)
+
+        def proc():
+            token = yield from backend.acquire(DEV, "c1")
+            yield env.timeout(token.remaining(env.now))  # hold 0.1 of 1.0 win
+            yield env.timeout(0.1)
+
+        env.process(proc())
+        env.run()
+        usage = backend.usage(DEV, "c1")
+        assert usage == pytest.approx(0.1, abs=0.02)
+
+    def test_usage_decays_to_zero(self, env, backend):
+        backend.register(DEV, "c1", 0.5, 1.0)
+
+        def proc():
+            token = yield from backend.acquire(DEV, "c1")
+            yield env.timeout(0.05)
+            backend.release(token)
+            yield env.timeout(2.0)  # window is 1.0
+
+        env.process(proc())
+        env.run()
+        assert backend.usage(DEV, "c1") == pytest.approx(0.0, abs=1e-9)
+
+    def test_residual_shared_by_lowest_usage(self, env):
+        """Step 3: everyone at their request ⇒ lowest usage wins; the
+        long-run shares converge to the elastic allocation."""
+        backend = TokenBackend(env, quota=0.05, window=1.0, handoff_overhead=0.0)
+        backend.register(DEV, "a", request=0.2, limit=1.0)
+        backend.register(DEV, "b", request=0.2, limit=1.0)
+        held = {"a": 0.0, "b": 0.0}
+
+        def hog(name):
+            while True:
+                token = yield from backend.acquire(DEV, name)
+                hold = token.remaining(env.now)
+                yield env.timeout(hold)
+                held[name] += hold
+
+        env.process(hog("a"))
+        env.process(hog("b"))
+        env.run(until=20.0)
+        assert held["a"] == pytest.approx(held["b"], rel=0.05)
+        assert held["a"] + held["b"] == pytest.approx(20.0, rel=0.02)

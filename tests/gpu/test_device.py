@@ -1,0 +1,233 @@
+"""Unit tests for the GPU device: memory ledger + fluid compute engine."""
+
+import pytest
+
+from repro.gpu.device import GPUDevice, GpuOutOfMemory, V100_MEMORY
+from repro.sim import Environment
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def gpu(env):
+    return GPUDevice(env, uuid="GPU-t", node_name="n0")
+
+
+class TestMemoryLedger:
+    def test_alloc_and_free(self, gpu):
+        gpu.alloc_memory("c1", 4 * 2**30)
+        assert gpu.memory_used == 4 * 2**30
+        gpu.free_memory("c1", 4 * 2**30)
+        assert gpu.memory_used == 0
+
+    def test_oom_on_physical_exhaustion(self, gpu):
+        gpu.alloc_memory("c1", V100_MEMORY)
+        with pytest.raises(GpuOutOfMemory):
+            gpu.alloc_memory("c2", 1)
+
+    def test_free_all_for_owner(self, gpu):
+        gpu.alloc_memory("c1", 100)
+        gpu.alloc_memory("c1", 200)
+        gpu.free_memory("c1")
+        assert gpu.memory_of("c1") == 0
+
+    def test_overfree_raises(self, gpu):
+        gpu.alloc_memory("c1", 100)
+        with pytest.raises(ValueError):
+            gpu.free_memory("c1", 200)
+
+    def test_negative_alloc_rejected(self, gpu):
+        with pytest.raises(ValueError):
+            gpu.alloc_memory("c1", -5)
+
+    def test_per_owner_accounting(self, gpu):
+        gpu.alloc_memory("a", 10)
+        gpu.alloc_memory("b", 20)
+        assert gpu.memory_of("a") == 10
+        assert gpu.memory_of("b") == 20
+        assert gpu.memory_free == gpu.memory - 30
+
+
+class TestComputeEngine:
+    def test_single_session_runs_at_full_rate(self, env, gpu):
+        s = gpu.open_session("job")
+
+        def proc():
+            yield from s.run(5.0)
+            return env.now
+
+        p = env.process(proc())
+        env.run()
+        assert p.value == pytest.approx(5.0)
+
+    def test_limit_caps_rate(self, env, gpu):
+        s = gpu.open_session("job", limit=0.5)
+
+        def proc():
+            yield from s.run(5.0)
+            return env.now
+
+        p = env.process(proc())
+        env.run()
+        assert p.value == pytest.approx(10.0)
+
+    def test_demand_caps_rate(self, env, gpu):
+        s = gpu.open_session("job")
+
+        def proc():
+            yield from s.run(3.0, demand=0.3)
+            return env.now
+
+        p = env.process(proc())
+        env.run()
+        assert p.value == pytest.approx(10.0)
+
+    def test_two_saturating_sessions_share_fairly(self, env, gpu):
+        done = {}
+
+        def proc(name):
+            s = gpu.open_session(name)
+            yield from s.run(5.0)
+            done[name] = env.now
+            s.close()
+
+        env.process(proc("a"))
+        env.process(proc("b"))
+        env.run()
+        # both at 0.5 until first completes; total work 10 => both ~10.0
+        assert done["a"] == pytest.approx(10.0)
+        assert done["b"] == pytest.approx(10.0)
+
+    def test_departure_speeds_up_remaining(self, env, gpu):
+        done = {}
+
+        def proc(name, work):
+            s = gpu.open_session(name)
+            yield from s.run(work)
+            done[name] = env.now
+            s.close()
+
+        env.process(proc("small", 1.0))
+        env.process(proc("big", 5.0))
+        env.run()
+        # share 0.5 until small finishes at t=2, then big runs alone:
+        # big did 1.0 by t=2, then 4.0 more at rate 1 => t=6.
+        assert done["small"] == pytest.approx(2.0)
+        assert done["big"] == pytest.approx(6.0)
+
+    def test_request_guarantee_respected(self, env, gpu):
+        done = {}
+
+        def proc(name, request, limit, work):
+            s = gpu.open_session(name, request=request, limit=limit)
+            yield from s.run(work)
+            done[name] = env.now
+            s.close()
+
+        # guaranteed 0.7 vs best-effort: guaranteed job gets its floor
+        env.process(proc("vip", 0.7, 1.0, 7.0))
+        env.process(proc("be", 0.0, 1.0, 10.0))
+        env.run()
+        assert done["vip"] == pytest.approx(10.0)
+
+    def test_isolated_sessions_escape_contention(self, env):
+        gpu = GPUDevice(env, "GPU-c", "n0", contention_per_peer=0.25)
+        done = {}
+
+        def proc(name, isolated):
+            s = gpu.open_session(name, isolated=isolated)
+            yield from s.run(2.0)
+            done[name] = env.now
+            s.close()
+
+        env.process(proc("iso", True))
+        env.process(proc("raw", False))
+        env.run()
+        # both get 0.5 shares but the unisolated one pays the 1.25 factor
+        assert done["iso"] < done["raw"]
+
+    def test_unisolated_overcommit_contention(self, env):
+        gpu = GPUDevice(env, "GPU-c", "n0", contention_per_peer=0.2)
+        done = {}
+
+        def proc(name):
+            s = gpu.open_session(name, isolated=False)
+            yield from s.run(3.0)
+            done[name] = env.now
+            s.close()
+
+        env.process(proc("a"))
+        env.process(proc("b"))
+        env.run()
+        # fair share 0.5, contention eff = 1/1.2 => rate 0.4167 => ~7.2s+
+        assert done["a"] > 6.0 + 1.0
+
+    def test_closed_session_rejects_run(self, env, gpu):
+        s = gpu.open_session("x")
+        s.close()
+        with pytest.raises(RuntimeError):
+            next(iter(s.run(1.0)))
+
+    def test_param_validation(self, env, gpu):
+        with pytest.raises(ValueError):
+            gpu.open_session("x", request=1.5)
+        with pytest.raises(ValueError):
+            gpu.open_session("x", limit=0.0)
+
+    def test_set_params_rebalances(self, env, gpu):
+        done = {}
+
+        def throttled():
+            s = gpu.open_session("t", limit=0.25)
+            env.process(adjuster(s))
+            yield from s.run(2.0)
+            done["t"] = env.now
+
+        def adjuster(s):
+            yield env.timeout(4.0)  # 1.0 work done at rate 0.25
+            s.set_params(limit=1.0)
+
+        env.process(throttled())
+        env.run()
+        assert done["t"] == pytest.approx(5.0)
+
+
+class TestUtilizationAccounting:
+    def test_busy_time_integrates_rates(self, env, gpu):
+        s = gpu.open_session("job", limit=0.5)
+
+        def proc():
+            yield from s.run(2.0)  # 4 seconds at 0.5
+
+        env.process(proc())
+        env.run()
+        assert gpu.busy_time() == pytest.approx(2.0)
+        assert env.now == pytest.approx(4.0)
+
+    def test_granted_time_per_session(self, env, gpu):
+        s1 = gpu.open_session("a")
+        s2 = gpu.open_session("b")
+
+        def proc(s, work):
+            yield from s.run(work)
+
+        env.process(proc(s1, 1.0))
+        env.process(proc(s2, 1.0))
+        env.run()
+        assert s1.granted_time() == pytest.approx(1.0)
+        assert s2.granted_time() == pytest.approx(1.0)
+
+    def test_utilization_since(self, env, gpu):
+        s = gpu.open_session("job")
+        t0, b0 = env.now, gpu.busy_time()
+
+        def proc():
+            yield from s.run(3.0)
+            yield env.timeout(3.0)  # idle second half
+
+        env.process(proc())
+        env.run()
+        assert gpu.utilization_since(t0, b0) == pytest.approx(0.5)

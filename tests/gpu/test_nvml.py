@@ -1,0 +1,86 @@
+"""Unit tests for the NVML-style utilization sampler."""
+
+import pytest
+
+from repro.gpu.device import GPUDevice
+from repro.gpu.nvml import NVMLSampler
+from repro.sim import Environment
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+def busy(env, gpu, work, delay=0.0):
+    def proc():
+        if delay:
+            yield env.timeout(delay)
+        s = gpu.open_session("w")
+        yield from s.run(work)
+        s.close()
+
+    env.process(proc())
+
+
+class TestSampler:
+    def test_interval_validation(self, env):
+        with pytest.raises(ValueError):
+            NVMLSampler(env, [], interval=0)
+
+    def test_idle_device_samples_zero(self, env):
+        gpu = GPUDevice(env, "g0", "n0")
+        sampler = NVMLSampler(env, [gpu], interval=1.0).start()
+        env.run(until=5)
+        series = sampler.device_utilization("g0")
+        assert series.values == [0.0] * len(series.values)
+
+    def test_busy_device_samples_one(self, env):
+        gpu = GPUDevice(env, "g0", "n0")
+        busy(env, gpu, work=5.0)
+        sampler = NVMLSampler(env, [gpu], interval=1.0).start()
+        env.run(until=4)
+        series = sampler.device_utilization("g0")
+        assert all(v == pytest.approx(1.0) for v in series.values)
+
+    def test_partial_utilization(self, env):
+        gpu = GPUDevice(env, "g0", "n0")
+
+        def proc():
+            s = gpu.open_session("w", limit=0.5)
+            yield from s.run(5.0)
+            s.close()
+
+        env.process(proc())
+        sampler = NVMLSampler(env, [gpu], interval=1.0).start()
+        env.run(until=5)
+        assert sampler.device_utilization("g0").mean() == pytest.approx(0.5)
+
+    def test_average_utilization_across_devices(self, env):
+        g0 = GPUDevice(env, "g0", "n0")
+        g1 = GPUDevice(env, "g1", "n0")
+        busy(env, g0, work=10.0)
+        sampler = NVMLSampler(env, [g0, g1], interval=1.0).start()
+        env.run(until=5)
+        assert sampler.average_utilization().values[-1] == pytest.approx(0.5)
+        assert sampler.average_utilization(active_only=True).values[-1] == pytest.approx(1.0)
+
+    def test_active_gpu_count(self, env):
+        g0 = GPUDevice(env, "g0", "n0")
+        g1 = GPUDevice(env, "g1", "n0")
+        busy(env, g0, work=10.0)
+        busy(env, g1, work=2.0)
+        sampler = NVMLSampler(env, [g0, g1], interval=1.0).start()
+        env.run(until=6)
+        counts = sampler.active_gpus().values
+        assert counts[0] == 2.0  # both busy in the first interval
+        assert counts[-1] == 1.0  # g1 finished at t=2
+
+    def test_stop_halts_sampling(self, env):
+        gpu = GPUDevice(env, "g0", "n0")
+        sampler = NVMLSampler(env, [gpu], interval=1.0).start()
+        env.run(until=2)
+        sampler.stop()
+        n = len(sampler.device_utilization("g0").values)
+        env.run(until=10)
+        assert len(sampler.device_utilization("g0").values) == n

@@ -1,0 +1,139 @@
+"""Unit + property tests for the elastic share solver (§4.5 steady state)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu.sharing import ShareEntry, elastic_shares
+
+
+class TestValidation:
+    def test_request_out_of_range(self):
+        with pytest.raises(ValueError):
+            ShareEntry(request=1.5, cap=1.0)
+        with pytest.raises(ValueError):
+            ShareEntry(request=-0.1, cap=1.0)
+
+    def test_negative_cap(self):
+        with pytest.raises(ValueError):
+            ShareEntry(request=0.1, cap=-0.1)
+
+    def test_cap_clipped_to_one(self):
+        assert ShareEntry(request=0.0, cap=2.0).cap == 1.0
+
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            elastic_shares([ShareEntry(0.1, 0.5)], capacity=0.0)
+
+    def test_empty(self):
+        assert elastic_shares([]).size == 0
+
+
+class TestPaperScenarios:
+    """The Figure 6 staircase, computed in closed form."""
+
+    def test_single_job_capped_by_limit(self):
+        alloc = elastic_shares([ShareEntry(0.3, 0.6)])
+        assert alloc == pytest.approx([0.6])
+
+    def test_two_jobs_split_residual_fairly(self):
+        alloc = elastic_shares([ShareEntry(0.3, 0.6), ShareEntry(0.4, 0.6)])
+        assert alloc == pytest.approx([0.5, 0.5])
+
+    def test_three_jobs_each_at_request(self):
+        alloc = elastic_shares(
+            [ShareEntry(0.3, 0.6), ShareEntry(0.4, 0.6), ShareEntry(0.3, 0.5)]
+        )
+        assert alloc == pytest.approx([0.3, 0.4, 0.3])
+
+    def test_job_departure_redistributes(self):
+        alloc = elastic_shares([ShareEntry(0.3, 0.6), ShareEntry(0.4, 0.6)])
+        assert alloc.sum() == pytest.approx(1.0)
+
+    def test_idle_entry_gets_nothing(self):
+        alloc = elastic_shares([ShareEntry(0.3, 0.0), ShareEntry(0.2, 1.0)])
+        assert alloc[0] == 0.0
+        assert alloc[1] == pytest.approx(1.0)
+
+    def test_interference_jobs(self):
+        """Fig 12's A+B: A capped by its 0.3 demand, B soaks the rest."""
+        alloc = elastic_shares([ShareEntry(0.45, 0.30), ShareEntry(0.45, 0.75)])
+        assert alloc[0] == pytest.approx(0.30)
+        assert alloc[1] == pytest.approx(0.70)
+
+    def test_two_underrequesting_jobs_squeezed(self):
+        """Fig 12's B+B: floors 0.45 each, fair residual → 0.5 each."""
+        alloc = elastic_shares([ShareEntry(0.45, 0.75), ShareEntry(0.45, 0.75)])
+        assert alloc == pytest.approx([0.5, 0.5])
+
+    def test_undersubscribed_runs_at_demand(self):
+        alloc = elastic_shares([ShareEntry(0.1, 0.2), ShareEntry(0.1, 0.3)])
+        assert alloc == pytest.approx([0.2, 0.3])
+
+    def test_overcommitted_floors_scale_proportionally(self):
+        alloc = elastic_shares([ShareEntry(0.8, 1.0), ShareEntry(0.8, 1.0)])
+        assert alloc == pytest.approx([0.5, 0.5])
+
+
+entries_strategy = st.lists(
+    st.builds(
+        ShareEntry,
+        request=st.floats(0.0, 1.0, allow_nan=False),
+        cap=st.floats(0.0, 1.0, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+class TestProperties:
+    @given(entries=entries_strategy)
+    @settings(max_examples=300, deadline=None)
+    def test_never_exceeds_caps_or_capacity(self, entries):
+        alloc = elastic_shares(entries)
+        caps = np.array([e.cap for e in entries])
+        assert (alloc <= caps + 1e-7).all()
+        assert alloc.sum() <= 1.0 + 1e-6
+
+    @given(entries=entries_strategy)
+    @settings(max_examples=300, deadline=None)
+    def test_guarantees_requests_when_feasible(self, entries):
+        floors = np.array([min(e.request, e.cap) for e in entries])
+        if floors.sum() > 1.0:
+            return  # infeasible guarantee: proportional degradation mode
+        alloc = elastic_shares(entries)
+        assert (alloc >= floors - 1e-7).all()
+
+    @given(entries=entries_strategy)
+    @settings(max_examples=300, deadline=None)
+    def test_work_conserving(self, entries):
+        """Capacity is fully used whenever demand saturates it."""
+        caps = np.array([e.cap for e in entries])
+        alloc = elastic_shares(entries)
+        expected = min(1.0, caps.sum())
+        floors = np.array([min(e.request, e.cap) for e in entries])
+        if floors.sum() <= 1.0:
+            assert alloc.sum() == pytest.approx(expected, abs=1e-6)
+
+    @given(entries=entries_strategy)
+    @settings(max_examples=300, deadline=None)
+    def test_nonnegative(self, entries):
+        assert (elastic_shares(entries) >= -1e-12).all()
+
+    @given(entries=entries_strategy)
+    @settings(max_examples=200, deadline=None)
+    def test_water_filling_fairness(self, entries):
+        """Above their floors, no entry with slack sits below another's
+        allocation (equal water level up to caps)."""
+        alloc = elastic_shares(entries)
+        floors = np.array([min(e.request, e.cap) for e in entries])
+        caps = np.array([e.cap for e in entries])
+        if floors.sum() > 1.0:
+            return
+        for i in range(len(entries)):
+            for j in range(len(entries)):
+                # if i could still grow (below cap) it must not be under
+                # j's above-floor allocation level
+                if alloc[i] < caps[i] - 1e-6 and alloc[j] > floors[j] + 1e-6:
+                    assert alloc[i] >= alloc[j] - 1e-6

@@ -1,0 +1,189 @@
+"""Tests for the optional GPU memory over-commitment (swap) extension."""
+
+import pytest
+
+from repro.gpu.backend import TokenBackend
+from repro.gpu.device import GPUDevice, GpuOutOfMemory, V100_MEMORY
+from repro.gpu.frontend import ENV_MEM_OVERCOMMIT
+from repro.gpu.standalone import kubeshare_env_vars, standalone_context
+from repro.gpu.swap import SwapManager
+from repro.sim import Environment
+
+GB = 2**30
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def gpu(env):
+    return GPUDevice(env, uuid="GPU-s", node_name="n0", memory=16 * GB)
+
+
+@pytest.fixture
+def swap(env):
+    return SwapManager(env, bandwidth=8 * GB)  # 8 GB/s => easy math
+
+
+def overcommit_ctx(env, gpu, swap, mem=1.0, name=None, isolation="fluid"):
+    env_vars = kubeshare_env_vars(0.2, 1.0, mem, isolation)
+    env_vars[ENV_MEM_OVERCOMMIT] = "1"
+    return standalone_context(
+        env, [gpu], env_vars=env_vars,
+        backend=TokenBackend(env, handoff_overhead=0.0),
+        swap=swap, name=name,
+    )
+
+
+class TestSwapManagerUnit:
+    def test_bandwidth_validation(self, env):
+        with pytest.raises(ValueError):
+            SwapManager(env, bandwidth=0)
+
+    def test_make_room_noop_when_fits(self, env, gpu, swap):
+        swap.make_room(gpu, "a", 4 * GB)
+        assert swap.stats(gpu)["swapouts"] == 0
+
+    def test_eviction_frees_device_memory(self, env, gpu, swap):
+        gpu.alloc_memory("victim", 12 * GB)
+        swap.note_alloc(gpu, "victim", 12 * GB)
+        swap.make_room(gpu, "newcomer", 8 * GB)
+        assert gpu.memory_free >= 8 * GB
+        # only the shortfall is evicted: 8 GB needed - 4 GB already free
+        assert swap.swapped_bytes(gpu, "victim") == 4 * GB
+
+    def test_lru_victim_choice(self, env, gpu, swap):
+        for owner, t in (("old", 0.0), ("recent", 5.0)):
+            gpu.alloc_memory(owner, 6 * GB)
+            swap.note_alloc(gpu, owner, 6 * GB)
+            swap._owner(gpu, owner).last_active = t
+        swap.make_room(gpu, "newcomer", 6 * GB)  # needs 2 GB evicted
+        assert swap.swapped_bytes(gpu, "old") == 2 * GB
+        assert swap.swapped_bytes(gpu, "recent") == 0
+
+    def test_oom_when_nothing_evictable(self, env, gpu, swap):
+        gpu.alloc_memory("me", 10 * GB)
+        swap.note_alloc(gpu, "me", 10 * GB)
+        with pytest.raises(GpuOutOfMemory):
+            swap.make_room(gpu, "me", 10 * GB)  # own bytes are not victims
+
+    def test_ensure_resident_costs_transfer_time(self, env, gpu, swap):
+        gpu.alloc_memory("victim", 12 * GB)
+        swap.note_alloc(gpu, "victim", 12 * GB)
+        swap.make_room(gpu, "newcomer", 8 * GB)  # victim loses 8 GB
+
+        def proc():
+            yield from swap.ensure_resident(gpu, "victim")
+            return env.now
+
+        # freeing room for the swap-in requires evicting the newcomer...
+        gpu.alloc_memory("newcomer", 8 * GB)
+        swap.note_alloc(gpu, "newcomer", 8 * GB)
+        p = env.process(proc())
+        env.run()
+        # 8 GB back in at 8 GB/s ⇒ at least 1 s
+        assert p.value >= 1.0
+        assert swap.swapped_bytes(gpu, "victim") == 0
+        assert swap.stats(gpu)["swapins"] == 1
+
+
+class TestOvercommitThroughLibrary:
+    def test_two_containers_overcommit_succeeds(self, env, gpu, swap):
+        """Two containers each holding 60% of device memory coexist —
+        impossible without the extension (cf. test_frontend's
+        no-overcommit test)."""
+        backend = TokenBackend(env, handoff_overhead=0.0)
+
+        def job(name, order):
+            env_vars = kubeshare_env_vars(0.2, 1.0, 0.6, "fluid")
+            env_vars[ENV_MEM_OVERCOMMIT] = "1"
+            ctx = standalone_context(
+                env, [gpu], env_vars=env_vars, backend=backend,
+                swap=swap, name=name,
+            )
+            api = ctx.cuda()
+            cu = api.cu_ctx_create()
+            yield env.timeout(order)  # stagger so eviction has a victim
+            api.cu_mem_alloc(cu, int(0.6 * gpu.memory))
+            yield from api.cu_launch_kernel(cu, 0.5)
+            yield env.timeout(1.0)
+            # a second burst: evicted pages must swap back in first
+            yield from api.cu_launch_kernel(cu, 0.5)
+            api.cu_ctx_destroy(cu)
+            return env.now
+
+        p1 = env.process(job("j1", 0.0))
+        p2 = env.process(job("j2", 0.1))
+        env.run()
+        assert swap.stats(gpu)["swapouts"] >= 1
+        assert swap.stats(gpu)["swapins"] >= 1
+
+    def test_quota_still_enforced_with_overcommit(self, env, gpu, swap):
+        ctx = overcommit_ctx(env, gpu, swap, mem=0.25)
+        api = ctx.cuda()
+        cu = api.cu_ctx_create()
+        with pytest.raises(GpuOutOfMemory, match="quota"):
+            api.cu_mem_alloc(cu, int(0.3 * gpu.memory))
+
+    def test_physical_memory_never_exceeded(self, env, gpu, swap):
+        backend = TokenBackend(env, handoff_overhead=0.0)
+        apis = []
+        for i in range(3):
+            env_vars = kubeshare_env_vars(0.2, 1.0, 0.5, "fluid")
+            env_vars[ENV_MEM_OVERCOMMIT] = "1"
+            ctx = standalone_context(
+                env, [gpu], env_vars=env_vars, backend=backend,
+                swap=swap, name=f"c{i}",
+            )
+            api = ctx.cuda()
+            cu = api.cu_ctx_create()
+            api.cu_mem_alloc(cu, int(0.5 * gpu.memory))
+            apis.append((api, cu))
+        assert gpu.memory_used <= gpu.memory
+
+    def test_free_of_partially_swapped_pointer(self, env, gpu, swap):
+        backend = TokenBackend(env, handoff_overhead=0.0)
+        env_vars = kubeshare_env_vars(0.2, 1.0, 0.8, "fluid")
+        env_vars[ENV_MEM_OVERCOMMIT] = "1"
+        ctx1 = standalone_context(env, [gpu], env_vars=dict(env_vars),
+                                  backend=backend, swap=swap, name="v")
+        ctx2 = standalone_context(env, [gpu], env_vars=dict(env_vars),
+                                  backend=backend, swap=swap, name="e")
+        api1, api2 = ctx1.cuda(), ctx2.cuda()
+        cu1, cu2 = api1.cu_ctx_create(), api2.cu_ctx_create()
+        ptr = api1.cu_mem_alloc(cu1, int(0.8 * gpu.memory))
+        api2.cu_mem_alloc(cu2, int(0.8 * gpu.memory))  # evicts most of cu1
+        assert swap.swapped_bytes(gpu, cu1.owner) > 0
+        api1.cu_mem_free(cu1, ptr)  # must not corrupt the ledger
+        assert gpu.memory_of(cu1.owner) == 0
+        assert swap.swapped_bytes(gpu, cu1.owner) == 0
+
+    def test_swap_in_before_compute(self, env, gpu, swap):
+        """A container whose pages were evicted pays the transfer cost
+        before its kernels run."""
+        backend = TokenBackend(env, handoff_overhead=0.0)
+        durations = {}
+
+        def job(name, alloc_frac, start, work):
+            env_vars = kubeshare_env_vars(0.2, 1.0, 0.9, "fluid")
+            env_vars[ENV_MEM_OVERCOMMIT] = "1"
+            ctx = standalone_context(env, [gpu], env_vars=env_vars,
+                                     backend=backend, swap=swap, name=name)
+            api = ctx.cuda()
+            cu = api.cu_ctx_create()
+            yield env.timeout(start)
+            api.cu_mem_alloc(cu, int(alloc_frac * gpu.memory))
+            yield from api.cu_launch_kernel(cu, 0.1)
+            yield env.timeout(5.0)  # go idle (eviction target)
+            t0 = env.now
+            yield from api.cu_launch_kernel(cu, work)
+            durations[name] = env.now - t0
+            api.cu_ctx_destroy(cu)
+
+        env.process(job("victim", 0.7, 0.0, 0.5))
+        env.process(job("evictor", 0.7, 1.0, 0.5))
+        env.run()
+        # the victim's second launch includes a swap-in delay
+        assert durations["victim"] > 0.5 + 0.2

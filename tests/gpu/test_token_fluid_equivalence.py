@@ -1,0 +1,78 @@
+"""Token mode converges to the fluid (elastic-shares) steady state.
+
+DESIGN.md's substitution argument for running cluster-scale experiments in
+fluid mode rests on this equivalence: the discrete 100 ms token scheduler's
+long-run per-container usage matches the closed-form elastic allocation.
+"""
+
+import pytest
+
+from repro.gpu.backend import TokenBackend
+from repro.gpu.device import GPUDevice
+from repro.gpu.sharing import ShareEntry, elastic_shares
+from repro.gpu.standalone import kubeshare_env_vars, standalone_context
+from repro.sim import Environment, Interrupt
+
+HORIZON = 60.0
+
+
+def run_token_mode(specs):
+    """specs: list of (request, limit). Returns long-run usage fractions of
+    saturating jobs under token isolation."""
+    env = Environment()
+    gpu = GPUDevice(env, uuid="GPU-eq", node_name="n0")
+    backend = TokenBackend(env, quota=0.1, window=2.0, handoff_overhead=0.0)
+    done_work = {}
+
+    def job(idx, request, limit):
+        ctx = standalone_context(
+            env,
+            [gpu],
+            env_vars=kubeshare_env_vars(request, limit, 0.3, "token"),
+            backend=backend,
+            name=f"eq-{idx}",
+        )
+        api = ctx.cuda()
+        cu = api.cu_ctx_create()
+        session = cu.session
+        try:
+            yield from api.cu_launch_kernel(cu, 10_000.0)  # never finishes
+        except Interrupt:
+            pass
+        finally:
+            done_work[idx] = session.granted_time()
+
+    procs = [
+        env.process(job(i, request, limit))
+        for i, (request, limit) in enumerate(specs)
+    ]
+    env.run(until=HORIZON)
+    for p in procs:
+        if p.is_alive:
+            p.interrupt("horizon")
+    env.run(until=HORIZON + 1)
+    return [done_work[i] / HORIZON for i in range(len(specs))]
+
+
+CASES = [
+    # single job capped by its limit
+    [(0.3, 0.6)],
+    # fair residual split (Fig 6 phase 2)
+    [(0.3, 0.6), (0.4, 0.6)],
+    # fully committed: everyone at their request (Fig 6 phase 3)
+    [(0.3, 0.6), (0.4, 0.6), (0.3, 0.5)],
+    # strongly asymmetric requests
+    [(0.7, 1.0), (0.1, 1.0)],
+    # limits bind for some, not others
+    [(0.2, 0.25), (0.2, 1.0)],
+]
+
+
+@pytest.mark.parametrize("specs", CASES, ids=[str(c) for c in CASES])
+def test_token_long_run_matches_elastic_shares(specs):
+    measured = run_token_mode(specs)
+    expected = elastic_shares(
+        [ShareEntry(request=r, cap=l) for r, l in specs]
+    )
+    for got, want in zip(measured, expected):
+        assert got == pytest.approx(want, abs=0.05)

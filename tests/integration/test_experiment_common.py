@@ -1,0 +1,68 @@
+"""Tests for the shared experiment harness (`repro.experiments.common`)."""
+
+import pytest
+
+from repro.baselines import KubeShareSystem, NativeKubernetes
+from repro.experiments.common import default_requirements, run_inference_workload
+from repro.workloads.generator import JobArrival, WorkloadGenerator
+
+
+class TestDefaultRequirements:
+    def test_request_equals_demand_with_headroom_limit(self):
+        job = JobArrival("j", 0.0, demand=0.5, mem_fraction=0.25, duration=60.0)
+        reqs = default_requirements(job)
+        assert reqs.request == 0.5
+        assert reqs.limit == pytest.approx(0.6)
+        assert reqs.mem == 0.25
+
+    def test_limit_capped_at_one(self):
+        job = JobArrival("j", 0.0, demand=0.9, mem_fraction=0.25, duration=60.0)
+        assert default_requirements(job).limit == 1.0
+
+
+class TestRunner:
+    def make_workload(self, n=6):
+        return WorkloadGenerator(9).inference_workload(
+            n_jobs=n, jobs_per_minute=60.0, demand_mean=0.3,
+            demand_std=0.05, duration=15.0,
+        )
+
+    def test_completes_and_reports(self):
+        result = run_inference_workload(
+            NativeKubernetes, self.make_workload(), nodes=1, gpus_per_node=2
+        )
+        assert result.system == "Kubernetes"
+        assert result.failed_jobs == 0
+        assert len(result.stats) == 6
+        assert result.throughput_jobs_per_min > 0
+        assert result.makespan > 0
+        assert result.sampler is None
+
+    def test_sampler_attached_when_requested(self):
+        result = run_inference_workload(
+            NativeKubernetes, self.make_workload(4), nodes=1, gpus_per_node=2,
+            sample_utilization=True, sample_interval=2.0,
+        )
+        assert result.sampler is not None
+        series = result.sampler.average_utilization()
+        assert len(series.times) > 0
+
+    def test_anti_affinity_fn_reaches_kubeshare(self):
+        result = run_inference_workload(
+            KubeShareSystem, self.make_workload(2), nodes=1, gpus_per_node=2,
+            anti_affinity_fn=lambda job: "spread",
+        )
+        system = result.extras["system"]
+        ks = system.kubeshare
+        uuids = {ks.get(h.name).status.gpu_uuid for h in system.handles}
+        assert len(uuids) == 2  # the label forced separate devices
+
+    def test_deterministic_given_seed(self):
+        r1 = run_inference_workload(
+            NativeKubernetes, self.make_workload(), nodes=1, gpus_per_node=2
+        )
+        r2 = run_inference_workload(
+            NativeKubernetes, self.make_workload(), nodes=1, gpus_per_node=2
+        )
+        assert r1.makespan == r2.makespan
+        assert r1.throughput_jobs_per_min == r2.throughput_jobs_per_min

@@ -1,0 +1,38 @@
+"""Unit tests for the Figure 3 fragmentation experiment."""
+
+import pytest
+
+from repro.experiments import fig3
+
+
+class TestRoundRobin:
+    def test_spreads_in_arrival_order(self):
+        result = fig3.round_robin_assign((0.5, 0.4, 0.3), n_gpus=2)
+        assert result.per_gpu == {"GPU0": pytest.approx(0.8), "GPU1": 0.4}
+
+    def test_overcommits_default_demands(self):
+        result = fig3.round_robin_assign(fig3.DEFAULT_DEMANDS)
+        assert result.overcommitted_gpus >= 1
+        assert result.active_gpus == 4
+
+
+class TestAlgorithm1Assignment:
+    def test_never_overcommits(self):
+        result = fig3.algorithm1_assign(fig3.DEFAULT_DEMANDS)
+        assert result.overcommitted_gpus == 0
+        assert result.max_commitment <= 1.0 + 1e-9
+
+    def test_uses_fewer_gpus_than_round_robin(self):
+        rr, a1 = fig3.run()
+        assert a1.active_gpus < rr.active_gpus
+
+    def test_conserves_total_demand(self):
+        rr, a1 = fig3.run()
+        total = sum(fig3.DEFAULT_DEMANDS)
+        assert sum(rr.per_gpu.values()) == pytest.approx(total)
+        assert sum(a1.per_gpu.values()) == pytest.approx(total)
+
+    def test_main_prints_table(self, capsys):
+        fig3.main()
+        out = capsys.readouterr().out
+        assert "round-robin" in out and "Algorithm 1" in out

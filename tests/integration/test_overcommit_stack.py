@@ -1,0 +1,83 @@
+"""Memory over-commitment through the full KubeShare stack.
+
+The swap extension is library-level; KubeShare-Sched still accounts
+gpu_mem conservatively, so over-committed co-location is requested
+explicitly by pinning the GPUID (first-class identity makes this possible
+— §4.2's "explicitly identified and selected by the users").
+"""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig
+from repro.cluster.objects import PodPhase
+from repro.core import KubeShare
+from repro.gpu.frontend import ENV_MEM_OVERCOMMIT
+
+
+def heavy_train(mem_fraction, work):
+    def wl(ctx):
+        api = ctx.cuda()
+        cu = api.cu_ctx_create()
+        try:
+            api.cu_mem_alloc(cu, int(mem_fraction * cu.device.memory))
+            yield from api.cu_launch_kernel(cu, work)
+        finally:
+            api.cu_ctx_destroy(cu)
+
+    return wl
+
+
+@pytest.fixture
+def stack(env):
+    cluster = Cluster(env, ClusterConfig(nodes=1, gpus_per_node=2)).start()
+    ks = KubeShare(cluster, isolation="token").start()
+    return cluster, ks
+
+
+def submit_overcommit(ks, name, gpu_id=None, mem=0.7, work=2.0):
+    sp = ks.make_sharepod(
+        name, gpu_request=0.4, gpu_limit=1.0, gpu_mem=mem,
+        workload=heavy_train(mem, work), gpu_id=gpu_id,
+    )
+    sp.spec.pod_spec.containers[0].env[ENV_MEM_OVERCOMMIT] = "1"
+    ks.submit(sp)
+
+
+class TestOvercommitThroughKubeShare:
+    def test_pinned_overcommit_pair_completes(self, env, stack):
+        cluster, ks = stack
+        submit_overcommit(ks, "first")
+        wait = env.process(ks.wait_for_phase("first", [PodPhase.RUNNING]))
+        env.run(until=wait)
+        gpuid = ks.get("first").spec.gpu_id
+        # Explicitly co-locate a second 70%-memory job on the same vGPU.
+        submit_overcommit(ks, "second", gpu_id=gpuid)
+        done = env.process(ks.wait_all_terminal(["first", "second"]))
+        env.run(until=done)
+        assert ks.get("first").status.phase is PodPhase.SUCCEEDED
+        assert ks.get("second").status.phase is PodPhase.SUCCEEDED
+        assert ks.get("second").status.gpu_uuid == ks.get("first").status.gpu_uuid
+        # real swap traffic occurred on that node
+        node = cluster.nodes[0]
+        gpu = cluster.gpu_by_uuid(ks.get("first").status.gpu_uuid)
+        assert node.swap.stats(gpu)["bytes_swapped"] > 0
+
+    def test_without_extension_second_job_ooms(self, env, stack):
+        cluster, ks = stack
+        sp = ks.make_sharepod(
+            "first", gpu_request=0.4, gpu_limit=1.0, gpu_mem=0.7,
+            workload=heavy_train(0.7, 5.0),
+        )
+        ks.submit(sp)
+        wait = env.process(ks.wait_for_phase("first", [PodPhase.RUNNING]))
+        env.run(until=wait)
+        gpuid = ks.get("first").spec.gpu_id
+        sp2 = ks.make_sharepod(
+            "second", gpu_request=0.4, gpu_limit=1.0, gpu_mem=0.7,
+            workload=heavy_train(0.7, 1.0), gpu_id=gpuid,
+        )
+        ks.submit(sp2)
+        done = env.process(ks.wait_all_terminal(["first", "second"]))
+        env.run(until=done)
+        assert ks.get("second").status.phase is PodPhase.FAILED
+        assert "OutOfMemory" in ks.get("second").status.message

@@ -1,0 +1,47 @@
+"""Smoke tests for the runall CLI and example scripts' importability."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.experiments.runall import EXPERIMENTS, main
+
+
+class TestRunAllCli:
+    def test_experiment_registry_covers_every_module(self):
+        assert set(EXPERIMENTS) == {
+            "table1", "fig3", "fig5", "fig6", "fig7", "fig8",
+            "fig9", "fig10", "fig11", "fig12", "fig13",
+        }
+
+    def test_single_fast_experiment(self, capsys):
+        assert main(["fig5"]) == 0
+        out = capsys.readouterr().out
+        assert "fig5" in out
+        assert "client req/s" in out
+
+    def test_quick_flag_accepted(self, capsys):
+        assert main(["--quick", "table1"]) == 0
+        assert "KubeShare" in capsys.readouterr().out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figZZ"])
+
+
+class TestExamplesRun:
+    @pytest.mark.parametrize(
+        "script",
+        ["quickstart.py", "interference_mitigation.py", "replicated_inference.py"],
+    )
+    def test_example_exits_cleanly(self, script):
+        result = subprocess.run(
+            [sys.executable, f"examples/{script}"],
+            capture_output=True,
+            text=True,
+            timeout=300,
+            cwd="/root/repo",
+        )
+        assert result.returncode == 0, result.stderr
+        assert result.stdout.strip()

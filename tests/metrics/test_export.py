@@ -1,0 +1,54 @@
+"""Tests for CSV/JSON result export."""
+
+import json
+from dataclasses import dataclass
+
+from repro.metrics.collector import TimeSeries
+from repro.metrics.export import (
+    results_to_json,
+    rows_to_csv,
+    series_to_csv,
+    write_text,
+)
+
+
+class TestCsv:
+    def test_rows(self):
+        text = rows_to_csv(["a", "b"], [[1, 2.5], ["x", None]])
+        lines = text.strip().splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == "1,2.5"
+        assert lines[2] == "x,"
+
+    def test_series(self):
+        ts = TimeSeries("util")
+        ts.record(0.0, 0.5)
+        ts.record(1.0, 0.7)
+        text = series_to_csv(ts, value_name="util")
+        assert text.splitlines()[0] == "time_s,util"
+        assert "1.0,0.7" in text
+
+
+class TestJson:
+    def test_dataclass_and_series_roundtrip(self):
+        @dataclass
+        class Result:
+            name: str
+            series: TimeSeries
+
+        ts = TimeSeries("x")
+        ts.record(0, 1.0)
+        payload = json.loads(results_to_json(Result("r", ts)))
+        assert payload["name"] == "r"
+        assert payload["series"]["values"] == [1.0]
+
+    def test_nested_containers(self):
+        payload = json.loads(results_to_json({"a": [1, (2, 3)], "b": {"c": None}}))
+        assert payload == {"a": [1, [2, 3]], "b": {"c": None}}
+
+
+class TestWrite:
+    def test_creates_parent_dirs(self, tmp_path):
+        target = tmp_path / "deep" / "dir" / "out.csv"
+        write_text(target, "x,y\n")
+        assert target.read_text() == "x,y\n"

@@ -1,0 +1,123 @@
+"""Unit tests for workload generation and trace round-tripping."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.generator import WorkloadGenerator
+from repro.workloads.interference import JOB_A, JOB_B
+from repro.workloads.trace import dumps_trace, load_trace, loads_trace, dump_trace
+
+
+class TestArrivals:
+    def test_poisson_mean_interarrival(self):
+        gen = WorkloadGenerator(seed=1)
+        arrivals = gen.poisson_arrivals(jobs_per_minute=30.0, n_jobs=5000)
+        gaps = np.diff(np.concatenate([[0.0], arrivals]))
+        assert gaps.mean() == pytest.approx(2.0, rel=0.05)
+
+    def test_arrivals_monotone(self):
+        arrivals = WorkloadGenerator(0).poisson_arrivals(10.0, 100)
+        assert (np.diff(arrivals) >= 0).all()
+
+    def test_validation(self):
+        gen = WorkloadGenerator(0)
+        with pytest.raises(ValueError):
+            gen.poisson_arrivals(0, 10)
+        with pytest.raises(ValueError):
+            gen.poisson_arrivals(10, 0)
+
+
+class TestDemands:
+    def test_mean_and_clipping(self):
+        gen = WorkloadGenerator(seed=2)
+        demands = gen.normal_demands(mean=0.3, std=0.1, n_jobs=5000)
+        assert demands.mean() == pytest.approx(0.3, abs=0.02)
+        assert demands.min() >= 0.05
+        assert demands.max() <= 0.95
+
+    def test_zero_std_is_constant(self):
+        demands = WorkloadGenerator(0).normal_demands(0.4, 0.0, 10)
+        assert (demands == 0.4).all()
+
+    def test_validation(self):
+        gen = WorkloadGenerator(0)
+        with pytest.raises(ValueError):
+            gen.normal_demands(0.0, 0.1, 10)
+        with pytest.raises(ValueError):
+            gen.normal_demands(0.3, -1.0, 10)
+
+
+class TestWorkload:
+    def test_reproducible_with_seed(self):
+        w1 = WorkloadGenerator(seed=7).inference_workload(n_jobs=20)
+        w2 = WorkloadGenerator(seed=7).inference_workload(n_jobs=20)
+        assert w1.jobs == w2.jobs
+
+    def test_different_seeds_differ(self):
+        w1 = WorkloadGenerator(seed=7).inference_workload(n_jobs=20)
+        w2 = WorkloadGenerator(seed=8).inference_workload(n_jobs=20)
+        assert w1.jobs != w2.jobs
+
+    def test_job_fields(self):
+        w = WorkloadGenerator(0).inference_workload(
+            n_jobs=5, demand_mean=0.3, mem_fraction=0.25, duration=60.0
+        )
+        assert len(w) == 5
+        job = w.jobs[0]
+        assert job.mem_fraction == 0.25
+        assert job.duration == 60.0
+        inference = job.to_job()
+        assert inference.demand == pytest.approx(job.demand)
+
+    def test_total_demand_aggregate(self):
+        w = WorkloadGenerator(0).inference_workload(n_jobs=10, demand_std=0.0)
+        assert w.total_demand == pytest.approx(10 * 0.3)
+
+
+class TestTrace:
+    def test_roundtrip_text(self):
+        w = WorkloadGenerator(3).inference_workload(n_jobs=8)
+        text = dumps_trace(w.jobs)
+        back = loads_trace(text)
+        assert back == w.jobs
+
+    def test_roundtrip_file(self, tmp_path):
+        w = WorkloadGenerator(3).inference_workload(n_jobs=4)
+        path = dump_trace(w, tmp_path / "trace.jsonl")
+        assert load_trace(path) == w.jobs
+
+    def test_empty_trace(self):
+        assert loads_trace("") == []
+        assert dumps_trace([]) == ""
+
+    def test_invalid_json_reports_line(self):
+        with pytest.raises(ValueError, match="line 2"):
+            loads_trace('{"name": "a", "arrival_time": 0, "demand": 0.1, '
+                        '"mem_fraction": 0.2, "duration": 10}\nnot-json')
+
+    def test_missing_fields_rejected(self):
+        with pytest.raises(ValueError, match="missing"):
+            loads_trace('{"name": "a"}')
+
+
+class TestInterferenceProfiles:
+    def test_job_a_over_requests(self):
+        assert JOB_A.gpu_request > JOB_A.actual_demand
+
+    def test_job_b_under_requests(self):
+        assert JOB_B.gpu_request < JOB_B.actual_demand
+
+    def test_both_request_under_half(self):
+        """§5.5: both kinds request < 50%, so any two can share a GPU."""
+        assert JOB_A.gpu_request < 0.5
+        assert JOB_B.gpu_request < 0.5
+        assert JOB_A.gpu_request + JOB_B.gpu_request <= 1.0
+
+    def test_equalized_standalone_durations(self):
+        assert JOB_A.standalone_duration == pytest.approx(
+            JOB_B.standalone_duration
+        )
+
+    def test_job_materialization(self):
+        job = JOB_B.job("b-0")
+        assert job.demand == pytest.approx(JOB_B.actual_demand)

@@ -1,0 +1,116 @@
+"""Tests for variable-rate inference workloads."""
+
+import pytest
+
+from repro.gpu.backend import TokenBackend
+from repro.gpu.device import GPUDevice
+from repro.gpu.standalone import kubeshare_env_vars, standalone_context
+from repro.sim import Environment
+from repro.workloads.variable import (
+    RateSchedule,
+    VariableRateInferenceJob,
+    diurnal_schedule,
+)
+
+
+class TestRateSchedule:
+    def test_rate_lookup(self):
+        sched = RateSchedule(((0.0, 10.0), (60.0, 30.0)))
+        assert sched.rate_at(0) == 10.0
+        assert sched.rate_at(59.9) == 10.0
+        assert sched.rate_at(60.0) == 30.0
+
+    def test_mean_rate(self):
+        sched = RateSchedule(((0.0, 10.0), (50.0, 30.0)))
+        assert sched.mean_rate(100.0) == pytest.approx(20.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RateSchedule(())
+        with pytest.raises(ValueError):
+            RateSchedule(((5.0, 10.0),))  # must start at 0
+        with pytest.raises(ValueError):
+            RateSchedule(((0.0, 10.0), (5.0, -1.0)))
+
+    def test_diurnal_shape(self):
+        sched = diurnal_schedule(period=240.0, base_rate=20.0, amplitude=10.0)
+        rates = [r for _, r in sched.steps]
+        assert max(rates) == pytest.approx(30.0, abs=1.0)
+        assert min(rates) >= 9.0
+        assert sched.mean_rate(240.0) == pytest.approx(20.0, abs=1.0)
+
+    def test_diurnal_validation(self):
+        with pytest.raises(ValueError):
+            diurnal_schedule(60.0, base_rate=5.0, amplitude=10.0)
+
+
+class TestVariableRateJob:
+    def test_arrival_times_follow_schedule(self):
+        job = VariableRateInferenceJob(
+            "v", RateSchedule(((0.0, 10.0), (10.0, 20.0))), duration=20.0
+        )
+        arrivals = job.arrival_times()
+        first_half = sum(1 for t in arrivals if t < 10.0)
+        second_half = sum(1 for t in arrivals if t >= 10.0)
+        assert first_half == pytest.approx(100, abs=2)
+        assert second_half == pytest.approx(200, abs=2)
+
+    def test_zero_rate_periods_skipped(self):
+        job = VariableRateInferenceJob(
+            "v", RateSchedule(((0.0, 10.0), (5.0, 0.0), (15.0, 10.0))),
+            duration=20.0,
+        )
+        arrivals = job.arrival_times()
+        assert not any(5.5 < t < 14.5 for t in arrivals)
+
+    def test_usage_tracks_rate_phases(self):
+        env = Environment()
+        gpu = GPUDevice(env, uuid="GPU-v", node_name="n0")
+        job = VariableRateInferenceJob(
+            "v", RateSchedule(((0.0, 10.0), (30.0, 40.0))), duration=60.0
+        )
+        ctx = standalone_context(env, [gpu])
+        proc = env.process(job.workload()(ctx))
+        busy_at_30 = {}
+
+        def sampler():
+            yield env.timeout(30.0)
+            busy_at_30["v"] = gpu.busy_time()
+
+        env.process(sampler())
+        env.run(until=proc)
+        low_phase = busy_at_30["v"] / 30.0
+        high_phase = (gpu.busy_time() - busy_at_30["v"]) / (env.now - 30.0)
+        assert low_phase == pytest.approx(10 * 0.015, abs=0.03)
+        assert high_phase == pytest.approx(40 * 0.015, abs=0.08)
+
+    def test_peak_demand(self):
+        job = VariableRateInferenceJob(
+            "v", RateSchedule(((0.0, 10.0), (5.0, 50.0))), duration=10.0
+        )
+        assert job.peak_demand == pytest.approx(0.75)
+
+    def test_elastic_burst_through_device_library(self):
+        """A bursty job under KubeShare uses residual capacity during its
+        peak, up to its gpu_limit, and still finishes its request volume."""
+        env = Environment()
+        gpu = GPUDevice(env, uuid="GPU-v", node_name="n0")
+        backend = TokenBackend(env)
+        job = VariableRateInferenceJob(
+            "v",
+            RateSchedule(((0.0, 10.0), (20.0, 45.0), (40.0, 10.0))),
+            duration=60.0,
+        )
+        ctx = standalone_context(
+            env, [gpu],
+            env_vars=kubeshare_env_vars(0.2, 0.8, 0.5, "token"),
+            backend=backend, name="bursty",
+        )
+        proc = env.process(job.workload()(ctx))
+        env.run(until=proc)
+        stats = proc.value
+        assert not stats.failed
+        expected_requests = len(job.arrival_times())
+        assert stats.steps_done == expected_requests
+        # ends shortly after the last arrival (no large backlog left)
+        assert env.now < 70.0

@@ -1,0 +1,13 @@
+"""Fault injection for the simulated cluster (chaos engineering).
+
+The chaos engine schedules node crashes, GPU failures, token-daemon
+restarts, container kills, and apiserver outage/latency windows in
+virtual time, deterministically (seeded RNG over sorted candidates).
+Used by benchmarks/test_chaos_recovery.py to show the recovery machinery
+restores throughput after losing a node that hosts active vGPUs.
+"""
+
+from .engine import ChaosEngine
+from .faults import Fault, FaultKind
+
+__all__ = ["Fault", "FaultKind", "ChaosEngine"]

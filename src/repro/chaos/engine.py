@@ -1,0 +1,274 @@
+"""The chaos engine: applies a fault schedule to a live simulated cluster.
+
+Deterministic by construction — the schedule is a sorted list of
+:class:`~repro.chaos.faults.Fault` records and every "pick a target"
+decision draws from a seeded RNG over *sorted* candidate names, so the
+same seed and schedule always hit the same victims at the same virtual
+times. That makes chaos runs replayable, bisectable, and usable as
+regression tests (benchmarks/test_chaos_recovery.py).
+
+Usage::
+
+    engine = ChaosEngine(cluster, kubeshare=ks, seed=7)
+    engine.node_crash(at=45.0)                       # engine picks a busy node
+    engine.node_restart(at=75.0)                     # restarts the crashed one
+    engine.gpu_failure(at=30.0, target="GPU-node01-2")
+    engine.start()
+
+or generate a random (but seeded) background schedule::
+
+    engine.random_faults(horizon=300.0, rate=1 / 60.0)
+    engine.start()
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Generator, List, Optional, Tuple
+
+from ..cluster.cluster import Cluster, WorkerNode
+from ..cluster.objects import GPU_RESOURCE
+from .faults import Fault, FaultKind
+
+__all__ = ["ChaosEngine"]
+
+
+class ChaosEngine:
+    """Schedules and applies faults against a :class:`Cluster` in virtual
+    time. ``kubeshare`` is optional — node/GPU faults work on any cluster."""
+
+    def __init__(self, cluster: Cluster, kubeshare=None, seed: int = 0) -> None:
+        self.cluster = cluster
+        self.kubeshare = kubeshare
+        self.env = cluster.env
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self.schedule: List[Fault] = []
+        #: (time, fault, resolved target, outcome) — what actually happened.
+        self.log: List[Tuple[float, Fault, Optional[str], str]] = []
+        self._proc = None
+
+    # -- schedule builders -------------------------------------------------
+    def add(self, fault: Fault) -> "ChaosEngine":
+        self.schedule.append(fault)
+        return self
+
+    def node_crash(self, at: float, target: Optional[str] = None) -> "ChaosEngine":
+        return self.add(Fault(at=at, kind=FaultKind.NODE_CRASH, target=target))
+
+    def node_restart(self, at: float, target: Optional[str] = None) -> "ChaosEngine":
+        return self.add(Fault(at=at, kind=FaultKind.NODE_RESTART, target=target))
+
+    def gpu_failure(self, at: float, target: Optional[str] = None) -> "ChaosEngine":
+        return self.add(Fault(at=at, kind=FaultKind.GPU_FAILURE, target=target))
+
+    def gpu_recovery(self, at: float, target: Optional[str] = None) -> "ChaosEngine":
+        return self.add(Fault(at=at, kind=FaultKind.GPU_RECOVERY, target=target))
+
+    def backend_restart(self, at: float, target: Optional[str] = None) -> "ChaosEngine":
+        return self.add(Fault(at=at, kind=FaultKind.BACKEND_RESTART, target=target))
+
+    def container_crash(self, at: float, target: Optional[str] = None) -> "ChaosEngine":
+        return self.add(Fault(at=at, kind=FaultKind.CONTAINER_CRASH, target=target))
+
+    def apiserver_outage(self, at: float, duration: float) -> "ChaosEngine":
+        return self.add(
+            Fault(at=at, kind=FaultKind.APISERVER_OUTAGE, duration=duration)
+        )
+
+    def apiserver_latency(
+        self, at: float, duration: float, extra: float
+    ) -> "ChaosEngine":
+        return self.add(
+            Fault(
+                at=at,
+                kind=FaultKind.APISERVER_LATENCY,
+                duration=duration,
+                value=extra,
+            )
+        )
+
+    def random_faults(
+        self,
+        horizon: float,
+        rate: float = 1 / 60.0,
+        kinds: Optional[List[FaultKind]] = None,
+        start: float = 0.0,
+    ) -> "ChaosEngine":
+        """Poisson-arrive faults of the given *kinds* until *horizon*.
+
+        Inter-arrival times and kind choices come from the engine's seeded
+        RNG, so the "random" schedule is reproducible."""
+        kinds = kinds or [
+            FaultKind.NODE_CRASH,
+            FaultKind.GPU_FAILURE,
+            FaultKind.BACKEND_RESTART,
+            FaultKind.CONTAINER_CRASH,
+        ]
+        t = start
+        while True:
+            t += -math.log(1.0 - self.rng.random()) / rate
+            if t >= horizon:
+                break
+            kind = self.rng.choice(kinds)
+            if kind is FaultKind.APISERVER_OUTAGE:
+                self.add(
+                    Fault(at=t, kind=kind, duration=self.rng.uniform(0.5, 3.0))
+                )
+            elif kind is FaultKind.APISERVER_LATENCY:
+                self.add(
+                    Fault(
+                        at=t,
+                        kind=kind,
+                        duration=self.rng.uniform(2.0, 10.0),
+                        value=self.rng.uniform(0.01, 0.1),
+                    )
+                )
+            else:
+                self.add(Fault(at=t, kind=kind))
+        return self
+
+    # -- execution ---------------------------------------------------------
+    def start(self) -> "ChaosEngine":
+        """Begin applying the schedule (idempotent)."""
+        if self._proc is None:
+            self._proc = self.env.process(self._run(), name="chaos-engine")
+        return self
+
+    def _run(self) -> Generator:
+        for fault in sorted(self.schedule, key=lambda f: (f.at, f.kind.value)):
+            if fault.at > self.env.now:
+                yield self.env.timeout(fault.at - self.env.now)
+            try:
+                target, outcome = self._apply(fault)
+            except Exception as err:  # noqa: BLE001 - chaos must not crash the sim
+                target, outcome = fault.target, f"error: {err!r}"
+            self.log.append((self.env.now, fault, target, outcome))
+
+    def _apply(self, fault: Fault) -> Tuple[Optional[str], str]:
+        kind = fault.kind
+        if kind is FaultKind.NODE_CRASH:
+            node = self._pick_node(fault.target, crashed=False, prefer_busy=True)
+            if node is None:
+                return None, "no-op: no live node"
+            node.crash()
+            return node.name, "crashed"
+        if kind is FaultKind.NODE_RESTART:
+            node = self._pick_node(fault.target, crashed=True)
+            if node is None:
+                return None, "no-op: no crashed node"
+            self.env.process(node.restart(), name=f"chaos-restart:{node.name}")
+            return node.name, "restarting"
+        if kind is FaultKind.GPU_FAILURE:
+            gpu = self._pick_gpu(fault.target, failed=False)
+            if gpu is None:
+                return None, "no-op: no healthy GPU"
+            node = self.cluster.node(gpu.node_name)
+            gpu.fail()
+            node.backend.fail_device(gpu.uuid)
+            if not node.crashed:
+                try:
+                    node.device_manager.set_device_health(
+                        GPU_RESOURCE, gpu.uuid, False
+                    )
+                except Exception:  # noqa: BLE001 - sliced plugins name units differently
+                    pass
+            return gpu.uuid, "failed"
+        if kind is FaultKind.GPU_RECOVERY:
+            gpu = self._pick_gpu(fault.target, failed=True)
+            if gpu is None:
+                return None, "no-op: no failed GPU"
+            node = self.cluster.node(gpu.node_name)
+            gpu.recover()
+            node.backend.revive_device(gpu.uuid)
+            if not node.crashed:
+                try:
+                    node.device_manager.set_device_health(
+                        GPU_RESOURCE, gpu.uuid, True
+                    )
+                except Exception:  # noqa: BLE001
+                    pass
+            return gpu.uuid, "recovered"
+        if kind is FaultKind.BACKEND_RESTART:
+            node = self._pick_node(fault.target, crashed=False)
+            if node is None:
+                return None, "no-op: no live node"
+            node.backend.restart()
+            return node.name, "backend restarted"
+        if kind is FaultKind.CONTAINER_CRASH:
+            picked = self._pick_container(fault.target)
+            if picked is None:
+                return None, "no-op: no running container"
+            node, uid, handle = picked
+            handle.kill("container crashed (chaos)")
+            node.runtime.containers.pop(uid, None)
+            return f"{node.name}/{handle.name}", "killed"
+        if kind is FaultKind.APISERVER_OUTAGE:
+            self.cluster.api.set_outage(fault.duration)
+            return None, f"outage for {fault.duration:.2f}s"
+        if kind is FaultKind.APISERVER_LATENCY:
+            self.cluster.api.extra_latency += fault.value
+            self.env.process(
+                self._end_latency_window(fault.value, fault.duration),
+                name="chaos-latency-window",
+            )
+            return None, f"+{fault.value:.3f}s latency for {fault.duration:.2f}s"
+        raise ValueError(f"unknown fault kind {kind!r}")  # pragma: no cover
+
+    def _end_latency_window(self, extra: float, duration: float) -> Generator:
+        yield self.env.timeout(duration)
+        self.cluster.api.extra_latency = max(
+            0.0, self.cluster.api.extra_latency - extra
+        )
+
+    # -- target resolution -------------------------------------------------
+    def _pick_node(
+        self,
+        target: Optional[str],
+        crashed: bool,
+        prefer_busy: bool = False,
+    ) -> Optional[WorkerNode]:
+        if target is not None:
+            node = self.cluster.node(target)
+            return node if node.crashed == crashed else None
+        candidates = sorted(
+            (n for n in self.cluster.nodes if n.crashed == crashed),
+            key=lambda n: n.name,
+        )
+        if not candidates:
+            return None
+        if prefer_busy:
+            busy = [n for n in candidates if n.runtime.containers]
+            if busy:
+                # Hit where it hurts: the node(s) hosting the most containers.
+                top = max(len(n.runtime.containers) for n in busy)
+                candidates = [n for n in busy if len(n.runtime.containers) == top]
+        return self.rng.choice(candidates)
+
+    def _pick_gpu(self, target: Optional[str], failed: bool):
+        if target is not None:
+            gpu = self.cluster.gpu_by_uuid(target)
+            return gpu if gpu.failed == failed else None
+        candidates = sorted(
+            (g for g in self.cluster.gpus if g.failed == failed),
+            key=lambda g: g.uuid,
+        )
+        return self.rng.choice(candidates) if candidates else None
+
+    def _pick_container(self, target: Optional[str]):
+        """Resolve a pod uid (or pick one) to (node, uid, handle)."""
+        entries = []
+        for node in sorted(self.cluster.nodes, key=lambda n: n.name):
+            if node.crashed:
+                continue
+            for uid in sorted(node.runtime.containers):
+                handle = node.runtime.containers[uid]
+                if handle.running:
+                    entries.append((node, uid, handle))
+        if target is not None:
+            for node, uid, handle in entries:
+                if uid == target:
+                    return node, uid, handle
+            return None
+        return self.rng.choice(entries) if entries else None

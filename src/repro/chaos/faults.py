@@ -1,0 +1,49 @@
+"""Fault vocabulary for the chaos engine.
+
+A :class:`Fault` is a scheduled event in virtual time: *when*, *what
+kind*, and an optional *target* (node name or GPU UUID). Schedules are
+plain sorted lists of faults, so they serialize trivially and replays are
+exact — the engine consumes them deterministically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+__all__ = ["FaultKind", "Fault"]
+
+
+class FaultKind(str, Enum):
+    #: a worker machine loses power (kubelet, containers, token daemon die).
+    NODE_CRASH = "node_crash"
+    #: a crashed machine powers back on with empty runtime state.
+    NODE_RESTART = "node_restart"
+    #: a physical GPU throws an uncorrectable ECC error.
+    GPU_FAILURE = "gpu_failure"
+    #: a failed GPU comes back after repair/reset.
+    GPU_RECOVERY = "gpu_recovery"
+    #: the per-node token daemon restarts, losing all client state.
+    BACKEND_RESTART = "backend_restart"
+    #: one container is killed (OOM-killer style), not its whole node.
+    CONTAINER_CRASH = "container_crash"
+    #: the apiserver rejects requests for ``duration`` seconds.
+    APISERVER_OUTAGE = "apiserver_outage"
+    #: the apiserver adds ``value`` seconds of latency for ``duration``.
+    APISERVER_LATENCY = "apiserver_latency"
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One scheduled fault."""
+
+    at: float
+    kind: FaultKind
+    #: node name, GPU UUID, or pod uid — kind-dependent; ``None`` lets the
+    #: engine pick a target from the live cluster with its seeded RNG.
+    target: Optional[str] = None
+    #: window length for outage/latency faults, seconds.
+    duration: float = 0.0
+    #: kind-specific magnitude (e.g. added latency in seconds).
+    value: float = 0.0

@@ -11,6 +11,7 @@ from .apiserver import (
     APIServer,
     Conflict,
     NotFound,
+    ServiceUnavailable,
     UnknownKind,
     translate_event,
 )
@@ -26,6 +27,7 @@ from .deviceplugin import (
 )
 from .etcd import CasFailure, Etcd, KeyValue, WatchEvent, WatchEventType
 from .kubelet import DEVICE_IDS_ANNOTATION, Kubelet
+from .nodelifecycle import NodeLifecycleController
 from .objects import (
     DEFAULT_NAMESPACE,
     GPU_RESOURCE,
@@ -48,6 +50,7 @@ __all__ = [
     "AlreadyExists",
     "Conflict",
     "NotFound",
+    "ServiceUnavailable",
     "UnknownKind",
     "translate_event",
     "Cluster",
@@ -69,6 +72,7 @@ __all__ = [
     "WatchEventType",
     "Kubelet",
     "DEVICE_IDS_ANNOTATION",
+    "NodeLifecycleController",
     "ContainerSpec",
     "LabelSelector",
     "Node",

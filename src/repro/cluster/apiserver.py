@@ -34,6 +34,7 @@ __all__ = [
     "Conflict",
     "AlreadyExists",
     "NotFound",
+    "ServiceUnavailable",
     "UnknownKind",
     "translate_event",
 ]
@@ -53,6 +54,10 @@ class NotFound(Exception):
 
 class UnknownKind(Exception):
     """Operation on a kind that is neither built-in nor a registered CRD."""
+
+
+class ServiceUnavailable(Exception):
+    """The apiserver is inside an outage window (chaos-injected 503)."""
 
 
 def _clone(obj: Any) -> Any:
@@ -85,6 +90,28 @@ class APIServer:
         self.env = env
         self.etcd = etcd or Etcd(env)
         self._kinds: set[str] = set(self.BUILTIN_KINDS)
+        #: chaos knobs: requests fail with :class:`ServiceUnavailable`
+        #: until ``down_until``; ``extra_latency`` is added by callers that
+        #: model their request round-trips explicitly.
+        self.down_until = 0.0
+        self.extra_latency = 0.0
+        self.outages_total = 0
+
+    # -- chaos -------------------------------------------------------------
+    def set_outage(self, duration: float) -> None:
+        """Begin (or extend) an outage window of *duration* seconds."""
+        self.down_until = max(self.down_until, self.env.now + duration)
+        self.outages_total += 1
+
+    @property
+    def available(self) -> bool:
+        return self.env.now >= self.down_until
+
+    def _gate(self) -> None:
+        if self.env.now < self.down_until:
+            raise ServiceUnavailable(
+                f"apiserver down until t={self.down_until:.3f}"
+            )
 
     # -- kind registry -----------------------------------------------------
     def register_crd(self, kind: str) -> None:
@@ -109,6 +136,7 @@ class APIServer:
     # -- CRUD ----------------------------------------------------------------
     def create(self, obj: Any) -> Any:
         """Persist a new object. Returns the stored copy."""
+        self._gate()
         self._check_kind(obj.kind)
         stored = _clone(obj)
         stored.metadata.creation_time = self.env.now
@@ -125,6 +153,7 @@ class APIServer:
         self, kind: str, name: str, namespace: str = DEFAULT_NAMESPACE
     ) -> Optional[Any]:
         """Fetch one object, or ``None`` if absent."""
+        self._gate()
         self._check_kind(kind)
         kv = self.etcd.get(self._key(kind, namespace, name))
         if kv is None:
@@ -140,6 +169,7 @@ class APIServer:
         selector: Optional[LabelSelector] = None,
     ) -> List[Any]:
         """All objects of *kind*, optionally namespace/selector filtered."""
+        self._gate()
         self._check_kind(kind)
         prefix = f"/registry/{kind}/" + (f"{namespace}/" if namespace else "")
         out = []
@@ -152,6 +182,7 @@ class APIServer:
 
     def update(self, obj: Any) -> Any:
         """Write back an object read earlier; optimistic-concurrency checked."""
+        self._gate()
         self._check_kind(obj.kind)
         key = self._obj_key(obj)
         stored = _clone(obj)
@@ -186,6 +217,7 @@ class APIServer:
 
     def delete(self, kind: str, name: str, namespace: str = DEFAULT_NAMESPACE) -> Any:
         """Remove an object; returns the last stored value."""
+        self._gate()
         self._check_kind(kind)
         prev = self.etcd.delete(self._key(kind, namespace, name))
         if prev is None:

@@ -18,6 +18,7 @@ from .apiserver import APIServer
 from .deviceplugin import DeviceManager, NvidiaDevicePlugin, ScalingFactorGPUPlugin
 from .etcd import Etcd
 from .kubelet import Kubelet
+from .nodelifecycle import NodeLifecycleController
 from .objects import Pod, PodPhase
 from .runtime import ContainerRuntime, RuntimeLatency
 from .scheduler import KubeScheduler
@@ -47,6 +48,12 @@ class ClusterConfig:
     token_handoff: float = 0.0015
     contention_per_peer: float = 0.05
     scheduler_score: str = "least_allocated"
+    #: node-health machinery (heartbeats + the lifecycle controller).
+    heartbeat_interval: float = 1.0
+    lease_duration: float = 4.0
+    node_monitor_interval: float = 0.5
+    #: disable to study what happens with *no* recovery machinery.
+    node_lifecycle: bool = True
 
 
 class WorkerNode:
@@ -101,13 +108,37 @@ class WorkerNode:
                 TokenBackend.SERVICE_NAME: self.backend,
                 SwapManager.SERVICE_NAME: self.swap,
             },
+            heartbeat_interval=config.heartbeat_interval,
         )
+        self.crashed = False
 
     def gpu(self, uuid: str) -> GPUDevice:
         for g in self.gpus:
             if g.uuid == uuid:
                 return g
         raise KeyError(uuid)
+
+    # -- failure & recovery -----------------------------------------------
+    def crash(self) -> None:
+        """The machine loses power: kubelet goes silent, every container
+        dies, the token daemon's state evaporates."""
+        if self.crashed:
+            return
+        self.crashed = True
+        self.kubelet.crash()
+        self.runtime.crash(reason=f"node {self.name} crashed")
+        self.backend.restart()
+
+    def restart(self) -> Generator:
+        """Process: power the machine back on with empty runtime state."""
+        if not self.crashed:
+            return
+        self.device_manager.reset_allocations()
+        for gpu in self.gpus:
+            if not gpu.failed:
+                gpu.reset()
+        self.crashed = False
+        yield from self.kubelet.restart()
 
 
 class Cluster:
@@ -127,6 +158,14 @@ class Cluster:
             WorkerNode(self.env, self.api, f"node{i:02d}", self.config)
             for i in range(self.config.nodes)
         ]
+        self.node_lifecycle: Optional[NodeLifecycleController] = None
+        if self.config.node_lifecycle:
+            self.node_lifecycle = NodeLifecycleController(
+                self.env,
+                self.api,
+                lease_duration=self.config.lease_duration,
+                monitor_interval=self.config.node_monitor_interval,
+            )
         self._started = False
 
     # -- lifecycle ---------------------------------------------------------
@@ -134,6 +173,8 @@ class Cluster:
         """Start scheduler and kubelets (registers Node objects)."""
         if not self._started:
             self.scheduler.start()
+            if self.node_lifecycle is not None:
+                self.node_lifecycle.start()
             for node in self.nodes:
                 node.kubelet.start()
             self._started = True

@@ -8,9 +8,10 @@ framework, following the *operator pattern* the paper adopts (§4.6).
 
 from __future__ import annotations
 
+import random
 from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
 
-from ..sim import Environment, Store
+from ..sim import Environment, Process, Store
 from .apiserver import APIServer, translate_event
 from .etcd import WatchEventType
 
@@ -34,6 +35,7 @@ class Informer:
         self.cache: Dict[str, Any] = {}
         self._handlers: List[Handler] = []
         self._proc = None
+        self._stream = None
 
     def add_handler(self, handler: Handler) -> None:
         self._handlers.append(handler)
@@ -44,8 +46,17 @@ class Informer:
             self._proc = self.env.process(self._run(), name=f"informer:{self.kind}")
         return self._proc
 
+    def stop(self) -> None:
+        """Stop the watch loop and close the etcd watch (no store leak)."""
+        if self._stream is not None:
+            self._stream.close()
+            self._stream = None
+        if self._proc is not None and self._proc.is_alive:
+            self._proc.kill()
+        self._proc = None
+
     def _run(self) -> Generator:
-        stream = self.api.watch(self.kind, replay=True)
+        self._stream = stream = self.api.watch(self.kind, replay=True)
         while True:
             raw = yield stream.get()
             etype, obj = translate_event(raw)
@@ -141,6 +152,11 @@ class Controller:
         self.informer.add_handler(self._on_event)
         self.queue = WorkQueue(env)
         self._failures: Dict[str, int] = {}
+        #: last backoff delay per key, for decorrelated jitter.
+        self._backoff: Dict[str, float] = {}
+        #: deterministic per-controller jitter stream (str seeding is
+        #: stable across runs, keeping simulations reproducible).
+        self._rng = random.Random(f"backoff:{self.name}")
         self._procs: list = []
         self.reconcile_errors: List[Tuple[float, str, str]] = []
 
@@ -154,7 +170,26 @@ class Controller:
             )
         return self
 
+    def stop(self) -> None:
+        """Stop informer and workers (with their in-flight reconciles)."""
+        self.informer.stop()
+        for proc in self._procs:
+            # A worker blocked on an in-flight reconcile must take the
+            # child down too, or the orphaned reconcile could later fail
+            # with nobody waiting and crash the simulation.
+            target = proc.target
+            if proc.is_alive:
+                proc.kill()
+            if isinstance(target, Process) and target.is_alive:
+                target.kill()
+        self._procs = []
+
     def _on_event(self, etype: WatchEventType, obj: Any) -> None:
+        if etype is WatchEventType.DELETE:
+            # The object is gone; drop its retry bookkeeping (satellite
+            # fix: these dicts grew monotonically across pod churn).
+            self._failures.pop(obj.metadata.key, None)
+            self._backoff.pop(obj.metadata.key, None)
         if self.filter(etype, obj):
             self.queue.add(obj.metadata.key)
 
@@ -173,6 +208,10 @@ class Controller:
         while True:
             key = yield self.queue.get()
             self.queue.checkout(key)
+            if self.api.extra_latency > 0:
+                # Chaos-injected control-plane latency: every reconcile's
+                # API round-trips slow down accordingly.
+                yield self.env.timeout(self.api.extra_latency)
             try:
                 yield self.env.process(
                     self.reconcile(key), name=f"{self.name}:reconcile"
@@ -181,12 +220,27 @@ class Controller:
                 self.reconcile_errors.append((self.env.now, key, repr(err)))
                 n = self._failures.get(key, 0) + 1
                 self._failures[key] = n
-                delay = min(self.retry_delay * (2 ** (n - 1)), self.max_retry_delay)
+                delay = self._next_backoff(key, n)
                 self.env.process(self._requeue_later(key, delay))
             else:
                 self._failures.pop(key, None)
+                self._backoff.pop(key, None)
             finally:
                 self.queue.done(key)
+
+    def _next_backoff(self, key: str, n: int) -> float:
+        """Bounded decorrelated jitter.
+
+        The delay is drawn from ``[expo, prev * 3]`` where ``expo`` is the
+        plain exponential schedule — never faster than exponential (so
+        retry storms still decay) but spread out, so a mass requeue after
+        a node failure doesn't re-hit the apiserver in lockstep.
+        """
+        expo = self.retry_delay * (2 ** (n - 1))
+        prev = self._backoff.get(key, self.retry_delay)
+        delay = min(self.max_retry_delay, self._rng.uniform(expo, max(expo, prev * 3)))
+        self._backoff[key] = delay
+        return delay
 
     def _requeue_later(self, key: str, delay: float) -> Generator:
         yield self.env.timeout(delay)

@@ -206,6 +206,15 @@ class DeviceManager:
     def is_healthy(self, resource: str, device_id: str) -> bool:
         return device_id not in self._unhealthy.get(resource, ())
 
+    def unhealthy_ids(self, resource: Optional[str] = None) -> List[str]:
+        """Currently-unhealthy device units (all resources by default)."""
+        if resource is not None:
+            return sorted(self._unhealthy.get(resource, ()))
+        return sorted(d for units in self._unhealthy.values() for d in units)
+
+    def health_listeners(self) -> List:
+        return list(self._health_listeners)
+
     def _is_allocated(self, resource: str, device_id: str) -> bool:
         return any(
             device_id in held.get(resource, ())
@@ -289,3 +298,13 @@ class DeviceManager:
 
     def pod_devices(self, pod_uid: str) -> Dict[str, List[str]]:
         return {k: list(v) for k, v in self._pod_allocations.get(pod_uid, {}).items()}
+
+    def reset_allocations(self) -> None:
+        """Drop all per-pod allocations and rebuild the free lists (node
+        reboot: no container survived, so nothing holds a device)."""
+        self._pod_allocations.clear()
+        for name, plugin in self._plugins.items():
+            unhealthy = self._unhealthy.get(name, set())
+            self._free[name] = [
+                d for d in plugin.list_devices() if d not in unhealthy
+            ]

@@ -48,10 +48,11 @@ class CasFailure(Exception):
 class _Watch:
     """One subscriber's view of a key prefix."""
 
-    def __init__(self, env: Environment, prefix: str) -> None:
+    def __init__(self, env: Environment, prefix: str, source: "Etcd" = None) -> None:
         self.prefix = prefix
         self.events: Store = Store(env)
         self.cancelled = False
+        self._source = source
 
     def get(self):
         """Event that fires with the next :class:`WatchEvent`."""
@@ -59,6 +60,13 @@ class _Watch:
 
     def cancel(self) -> None:
         self.cancelled = True
+
+    def close(self) -> None:
+        """Cancel and detach from the store immediately (not lazily at the
+        next notify), so stopped subscribers don't pin their event buffers."""
+        self.cancel()
+        if self._source is not None:
+            self._source.unwatch(self)
 
 
 class Etcd:
@@ -131,12 +139,20 @@ class Etcd:
         With ``replay=True`` the current contents are delivered first as
         synthetic PUT events (the "list then watch" pattern informers use).
         """
-        w = _Watch(self._env, prefix)
+        w = _Watch(self._env, prefix, source=self)
         self._watches.append(w)
         if replay:
             for kv in self.range(prefix):
                 w.events.put(WatchEvent(WatchEventType.PUT, kv, None))
         return w
+
+    def unwatch(self, watch: _Watch) -> None:
+        """Remove a subscriber eagerly (see :meth:`_Watch.close`)."""
+        watch.cancelled = True
+        try:
+            self._watches.remove(watch)
+        except ValueError:  # pragma: no cover - already removed
+            pass
 
     def _notify(self, event: WatchEvent) -> None:
         live = []

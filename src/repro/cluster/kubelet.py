@@ -15,8 +15,15 @@ from __future__ import annotations
 
 from typing import Any, Dict, Generator, Optional
 
-from ..sim import Environment
-from .apiserver import APIServer, NotFound, translate_event
+from ..sim import Environment, Process
+from .apiserver import (
+    AlreadyExists,
+    APIServer,
+    Conflict,
+    NotFound,
+    ServiceUnavailable,
+    translate_event,
+)
 from .etcd import WatchEventType
 from .deviceplugin import DeviceManager, InsufficientDevices
 from .objects import Node, NodeStatus, ObjectMeta, Pod, PodPhase
@@ -44,6 +51,7 @@ class Kubelet:
         labels: Optional[Dict[str, str]] = None,
         gpu_registry: Optional[Dict[str, Any]] = None,
         node_services: Optional[Dict[str, Any]] = None,
+        heartbeat_interval: float = 1.0,
     ) -> None:
         self.env = env
         self.api = api
@@ -57,40 +65,85 @@ class Kubelet:
         self.gpu_registry = dict(gpu_registry or {})
         #: name -> per-node daemon (e.g. the KubeShare token backend).
         self.node_services = dict(node_services or {})
+        self.heartbeat_interval = heartbeat_interval
         self._handled: set[str] = set()
         self._pod_procs: Dict[str, Any] = {}
         self._proc = None
+        self._hb_proc = None
+        self._stream = None
+        self.crashed = False
 
     # -- lifecycle ---------------------------------------------------------
     def start(self) -> "Kubelet":
         """Register the node and begin watching for pods."""
+        self.crashed = False
         capacity = {"cpu": self.cpu, "memory": self.memory}
         capacity.update(self.devices.capacity())
+        status = NodeStatus(
+            capacity=dict(capacity),
+            allocatable=dict(capacity),
+            ready=True,
+            last_heartbeat=self.env.now,
+            unhealthy_gpus=self.devices.unhealthy_ids(),
+        )
         node = Node(
             metadata=ObjectMeta(name=self.node_name, namespace="", labels=self.labels),
-            status=NodeStatus(capacity=dict(capacity), allocatable=dict(capacity)),
+            status=status,
         )
-        self.api.create(node)
-        self.devices.on_health_change(self._on_device_health_change)
+        try:
+            self.api.create(node)
+        except AlreadyExists:
+            # Node restart: the object survived the crash; refresh it.
+            def mutate(n: Node) -> None:
+                n.status = status
+
+            self.api.patch("Node", self.node_name, mutate, namespace="")
+        if self._on_device_health_change not in self.devices.health_listeners():
+            self.devices.on_health_change(self._on_device_health_change)
         self._proc = self.env.process(self._run(), name=f"kubelet:{self.node_name}")
+        self._hb_proc = self.env.process(
+            self._heartbeat(), name=f"kubelet-hb:{self.node_name}"
+        )
         return self._proc and self
+
+    def _heartbeat(self) -> Generator:
+        """Renew the node lease so the lifecycle controller keeps the node
+        Ready. Stops when the node crashes — missed renewals are exactly
+        how the control plane learns the node is gone."""
+        while True:
+            yield self.env.timeout(self.heartbeat_interval)
+
+            def mutate(n: Node) -> None:
+                n.status.last_heartbeat = self.env.now
+                n.status.ready = True
+
+            try:
+                self.api.patch("Node", self.node_name, mutate, namespace="")
+            except (NotFound, ServiceUnavailable, Conflict):
+                # Node object missing or apiserver down: keep trying; the
+                # lifecycle controller handles the consequences.
+                pass
 
     def _on_device_health_change(self, resource: str, device_id: str, healthy: bool) -> None:
         """Re-advertise node capacity after a ListAndWatch state change."""
+        if self.crashed:
+            return
         capacity = {"cpu": self.cpu, "memory": self.memory}
         capacity.update(self.devices.capacity())
+        unhealthy = self.devices.unhealthy_ids()
 
         def mutate(node: Node) -> None:
             node.status.capacity = dict(capacity)
             node.status.allocatable = dict(capacity)
+            node.status.unhealthy_gpus = unhealthy
 
         try:
             self.api.patch("Node", self.node_name, mutate, namespace="")
-        except NotFound:  # pragma: no cover - node being torn down
+        except (NotFound, ServiceUnavailable):  # pragma: no cover - teardown
             pass
 
     def _run(self) -> Generator:
-        stream = self.api.watch("Pod", replay=True)
+        self._stream = stream = self.api.watch("Pod", replay=True)
         while True:
             raw = yield stream.get()
             etype, pod = translate_event(raw)
@@ -180,6 +233,8 @@ class Kubelet:
             self.api.patch("Pod", pod.name, mutate, pod.metadata.namespace)
         except NotFound:
             pass  # pod deleted concurrently; teardown handles cleanup
+        except (ServiceUnavailable, Conflict):
+            pass  # apiserver outage / patch storm; state converges later
 
     # -- pod teardown -------------------------------------------------------------
     def _teardown(self, pod: Pod) -> Generator:
@@ -187,3 +242,57 @@ class Kubelet:
         self.devices.release_pod(pod.metadata.uid)
         self._handled.discard(pod.metadata.uid)
         self._pod_procs.pop(pod.metadata.uid, None)
+
+    # -- node failure / recovery -----------------------------------------------
+    def crash(self) -> None:
+        """The node loses power: every kubelet process stops instantly.
+
+        Nothing is reported to the apiserver — the node just goes silent,
+        which is what makes heartbeats necessary in the first place.
+        """
+        if self.crashed:
+            return
+        self.crashed = True
+        if self._stream is not None:
+            self._stream.close()
+            self._stream = None
+        for proc in (self._proc, self._hb_proc):
+            if proc is not None and proc.is_alive:
+                proc.kill()
+        self._proc = self._hb_proc = None
+        for proc in self._pod_procs.values():
+            if proc is None or not proc.is_alive:
+                continue
+            # A startup in flight waits on a runtime child process (image
+            # setup); take it down too or it would materialize a container
+            # on the dead node.
+            target = proc.target
+            proc.kill()
+            if isinstance(target, Process) and target.is_alive:
+                target.kill()
+        self._pod_procs.clear()
+
+    def restart(self) -> Generator:
+        """Process: bring the node agent back after a crash.
+
+        The container runtime came up empty, so any pod the apiserver
+        still shows RUNNING here is a casualty of the crash; report it
+        failed so controllers can react.
+        """
+        self._handled.clear()
+        self._pod_procs.clear()
+        self.start()
+        yield self.env.timeout(0)
+        try:
+            pods = self.api.pods()
+        except ServiceUnavailable:
+            return
+        for pod in pods:
+            if (
+                pod.spec.node_name == self.node_name
+                and pod.status.phase is PodPhase.RUNNING
+                and pod.metadata.uid not in self.runtime.containers
+            ):
+                self._set_phase(
+                    pod, PodPhase.FAILED, message="node restarted; container lost"
+                )

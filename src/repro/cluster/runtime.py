@@ -90,7 +90,9 @@ class ContainerHandle:
         self.exit_ok: Optional[bool] = None
         self.exit_value: Any = None
         self._proc = None
+        self.workload_proc = None
         self._exit_event = env.event()
+        self._kill_reason: Optional[str] = None
 
     @property
     def running(self) -> bool:
@@ -101,8 +103,29 @@ class ContainerHandle:
         return self._exit_event
 
     def stop(self, reason: str = "deleted") -> None:
-        """Kill the workload (pod deletion)."""
-        if self._proc is not None and self._proc.is_alive:
+        """Kill the workload (pod deletion).
+
+        The interrupt goes to the workload process itself, not just the
+        supervisor — interrupting only the supervisor would detach it and
+        leave the workload running orphaned after the container is gone.
+        """
+        if self.workload_proc is not None and self.workload_proc.is_alive:
+            self.workload_proc.interrupt(reason)
+        elif self._proc is not None and self._proc.is_alive:
+            self._proc.interrupt(reason)
+
+    def kill(self, reason: str = "container crashed") -> None:
+        """Non-graceful termination: the container exits with a failure.
+
+        Unlike :meth:`stop` (pod deletion, exits clean), a killed
+        container reports ``exit_ok=False`` so the control plane sees a
+        crash. The workload's cleanup (``finally`` blocks: context
+        destroy, token release, backend unregister) still runs.
+        """
+        self._kill_reason = reason
+        if self.workload_proc is not None and self.workload_proc.is_alive:
+            self.workload_proc.interrupt(reason)
+        elif self._proc is not None and self._proc.is_alive:
             self._proc.interrupt(reason)
 
 
@@ -159,14 +182,20 @@ class ContainerRuntime:
                 # A long-running service: sleeps until the pod is deleted.
                 yield self.env.event()
             else:
-                value = yield self.env.process(
+                proc = self.env.process(
                     workload(ctx), name=f"workload:{ctx.pod_name}"
                 )
+                handle.workload_proc = proc
+                value = yield proc
                 handle.exit_value = value
             handle.exit_ok = True
         except Interrupt:
-            handle.exit_ok = True  # graceful stop on deletion
-            handle.exit_value = "stopped"
+            if handle._kill_reason is not None:
+                handle.exit_ok = False  # non-graceful kill
+                handle.exit_value = RuntimeError(handle._kill_reason)
+            else:
+                handle.exit_ok = True  # graceful stop on deletion
+                handle.exit_value = "stopped"
         except Exception as err:  # noqa: BLE001 - container crash
             handle.exit_ok = False
             handle.exit_value = err
@@ -180,3 +209,25 @@ class ContainerRuntime:
             handle.stop()
             yield self.env.timeout(self.latency.stop)
         return handle
+
+    def crash(self, reason: str = "node crash") -> None:
+        """Hard-kill every container without any teardown protocol.
+
+        Models the node losing power: workload generators are *closed*
+        (their ``finally`` blocks still run, releasing simulated device
+        state, as a dying host releases hardware), never signalled. Every
+        container's exit state reports a failure.
+        """
+        for handle in self.containers.values():
+            handle._kill_reason = reason
+            if handle._proc is not None and handle._proc.is_alive:
+                handle._proc.kill()
+            if handle.workload_proc is not None and handle.workload_proc.is_alive:
+                handle.workload_proc.kill()
+            if handle.finished_at is None:
+                handle.finished_at = self.env.now
+                handle.exit_ok = False
+                handle.exit_value = RuntimeError(reason)
+            if not handle._exit_event.triggered:
+                handle._exit_event.succeed(False)
+        self.containers.clear()

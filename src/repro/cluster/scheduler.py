@@ -18,7 +18,13 @@ from __future__ import annotations
 from typing import Dict, Generator, List, Optional, Tuple
 
 from ..sim import Environment
-from .apiserver import APIServer, Conflict, NotFound, translate_event
+from .apiserver import (
+    APIServer,
+    Conflict,
+    NotFound,
+    ServiceUnavailable,
+    translate_event,
+)
 from .controller import WorkQueue
 from .etcd import WatchEventType
 from .objects import Node, Pod, PodPhase, Quantities
@@ -146,12 +152,18 @@ class KubeScheduler:
             key = yield self.queue.get()
             self.queue.checkout(key)
             namespace, name = key.split("/", 1)
-            pod = self.api.get("Pod", name, namespace)
+            try:
+                pod = self.api.get("Pod", name, namespace)
+            except ServiceUnavailable:
+                self.queue.done(key)
+                yield self.env.timeout(0.05)
+                self.queue.add(key)
+                continue
             self.queue.done(key)
             if pod is None or pod.bound or pod.status.phase is not PodPhase.PENDING:
                 self._unschedulable.discard(key)
                 continue
-            yield self.env.timeout(self.attempt_latency)
+            yield self.env.timeout(self.attempt_latency + self.api.extra_latency)
             self.attempts_total += 1
             node = self._select_node(pod)
             if node is None:
@@ -160,6 +172,10 @@ class KubeScheduler:
             try:
                 self.api.bind(name, node, namespace)
             except (Conflict, NotFound):
+                continue
+            except ServiceUnavailable:
+                yield self.env.timeout(0.05)
+                self.queue.add(key)
                 continue
             self.binds_total += 1
             self._unschedulable.discard(key)

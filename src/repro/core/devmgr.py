@@ -23,7 +23,13 @@ from __future__ import annotations
 import copy
 from typing import Dict, Generator, List, Optional
 
-from ..cluster.apiserver import AlreadyExists, APIServer, NotFound, translate_event
+from ..cluster.apiserver import (
+    AlreadyExists,
+    APIServer,
+    NotFound,
+    ServiceUnavailable,
+    translate_event,
+)
 from ..cluster.controller import Controller
 from ..cluster.etcd import WatchEventType
 from ..cluster.objects import (
@@ -85,11 +91,14 @@ class KubeShareDevMgr(Controller):
         self.timings: Dict[str, Dict[str, float]] = {}
         self.vgpus_created_total = 0
         self.vgpus_released_total = 0
+        self.vgpus_torn_down_total = 0
+        self.sharepods_rescheduled_total = 0
 
     # -- lifecycle ------------------------------------------------------------
     def start(self) -> "KubeShareDevMgr":
         super().start()
         self.env.process(self._watch_pods(), name="devmgr:pod-watch")
+        self.env.process(self._watch_nodes(), name="devmgr:node-watch")
         return self
 
     def _watch_pods(self) -> Generator:
@@ -109,6 +118,32 @@ class KubeShareDevMgr(Controller):
                 for owner in pod.metadata.owner_references:
                     if owner.startswith("sharepod:"):
                         self.queue.add(owner.split(":", 1)[1])
+
+    def _watch_nodes(self) -> Generator:
+        """Tear down vGPUs whose physical GPU or node is gone.
+
+        Two signals arrive on the Node object: ``ready`` flips false when
+        the lifecycle controller declares the node dead, and
+        ``unhealthy_gpus`` lists devices the kubelet's plugin reported
+        failed (an ECC error on an otherwise healthy node)."""
+        stream = self.api.watch("Node", replay=True)
+        while True:
+            raw = yield stream.get()
+            etype, node = translate_event(raw)
+            if node is None:
+                continue
+            try:
+                if etype is WatchEventType.DELETE or not node.status.ready:
+                    for vgpu in self.pool.list():
+                        if vgpu.node_name == node.name:
+                            self._teardown_vgpu(vgpu, f"node {node.name} lost")
+                else:
+                    for uuid in node.status.unhealthy_gpus:
+                        vgpu = self.pool.by_uuid(uuid)
+                        if vgpu is not None:
+                            self._teardown_vgpu(vgpu, f"GPU {uuid} failed")
+            except ServiceUnavailable:
+                continue  # outage: node events will repeat once it heals
 
     # -- event routing ----------------------------------------------------------
     def filter(self, etype: WatchEventType, obj: SharePod) -> bool:
@@ -190,7 +225,13 @@ class KubeShareDevMgr(Controller):
         """Read the physical UUID out of the running placeholder pod."""
         pod = self.api.get("Pod", vgpu.placeholder_pod)
         if pod is None:
-            return
+            # The placeholder vanished (evicted with a dead node before we
+            # ever materialized). Drop the vGPU and raise so the retry path
+            # recreates it from scratch.
+            self.pool.remove(vgpu.gpuid)
+            raise RuntimeError(
+                f"placeholder for {vgpu.gpuid} disappeared before materializing"
+            )
         if pod.status.phase is PodPhase.RUNNING:
             uuid = pod.status.container_env.get("NVIDIA_VISIBLE_DEVICES", "")
             vgpu.uuid = uuid.split(",")[0] if uuid else None
@@ -262,6 +303,15 @@ class KubeShareDevMgr(Controller):
         phase = pod.status.phase
         if phase is sp.status.phase:
             return
+        if (
+            phase is PodPhase.FAILED
+            and sp.spec.restart_policy == "reschedule"
+            and self._infra_failure(pod.status.message or "")
+        ):
+            # The pod died with its infrastructure, not on its own merits;
+            # recover instead of mirroring a terminal failure.
+            self._recover_sharepod(sp, key, pod.status.message or "infra failure")
+            return
         if phase is PodPhase.RUNNING and "pod_running" not in timing:
             timing["pod_running"] = self.env.now
 
@@ -320,6 +370,85 @@ class KubeShareDevMgr(Controller):
             self.api.try_delete("Pod", vgpu.placeholder_pod)
         self.pool.remove(vgpu.gpuid)
         self.vgpus_released_total += 1
+
+    # -- failure handling -------------------------------------------------------
+    @staticmethod
+    def _infra_failure(message: str) -> bool:
+        """Did the pod die because the infrastructure under it died (as
+        opposed to the application itself)?"""
+        return any(
+            marker in message
+            for marker in ("DeviceLost", "crashed", "node restarted")
+        )
+
+    def _teardown_vgpu(self, vgpu: VGPU, reason: str) -> None:
+        """A vGPU's physical device is gone: transition it to deletion and
+        resolve every attached SharePod per its restart policy."""
+        if self.pool.get(vgpu.gpuid) is not vgpu:
+            return  # already torn down (events can repeat)
+        self.vgpus_torn_down_total += 1
+        for key in list(vgpu.attached):
+            namespace, name = key.split("/", 1)
+            sp = self.api.get("SharePod", name, namespace)
+            if sp is None or sp.status.phase in _TERMINAL:
+                self._pod_created.discard(key)
+                self._bound.pop(key, None)
+                continue
+            if sp.spec.restart_policy == "reschedule":
+                self._recover_sharepod(sp, key, reason)
+            else:
+                self._fail_sharepod(sp, key, reason)
+        vgpu.attached.clear()
+        vgpu.phase = VGPUPhase.DELETING
+        if vgpu.placeholder_pod is not None:
+            self.api.try_delete("Pod", vgpu.placeholder_pod)
+        self.pool.remove(vgpu.gpuid)
+        self.vgpus_released_total += 1
+
+    def _recover_sharepod(self, sp: SharePod, key: str, reason: str) -> None:
+        """``restart_policy: reschedule`` — clear the placement and hand the
+        SharePod back to KubeShare-Sched (Algorithm 1 re-runs on whatever
+        capacity survives)."""
+        self.api.try_delete("Pod", sp.name, sp.metadata.namespace)
+        self._pod_created.discard(key)
+        gpuid = self._bound.pop(key, None)
+        if gpuid is not None:
+            vgpu = self.pool.get(gpuid)
+            if vgpu is not None:
+                vgpu.attached.discard(key)
+
+        def mutate(obj: SharePod) -> None:
+            obj.spec.gpu_id = None
+            obj.spec.node_name = None
+            obj.status.phase = PodPhase.PENDING
+            obj.status.message = f"rescheduling: {reason}"
+            obj.status.pod_name = None
+            obj.status.gpu_uuid = None
+            obj.status.start_time = None
+            obj.status.finish_time = None
+            obj.status.scheduled_time = None
+
+        try:
+            self.api.patch("SharePod", sp.name, mutate, sp.metadata.namespace)
+        except NotFound:
+            return
+        self.sharepods_rescheduled_total += 1
+
+    def _fail_sharepod(self, sp: SharePod, key: str, reason: str) -> None:
+        """``restart_policy: never`` — the SharePod dies with its device."""
+        self.api.try_delete("Pod", sp.name, sp.metadata.namespace)
+        self._pod_created.discard(key)
+        self._bound.pop(key, None)
+
+        def mutate(obj: SharePod) -> None:
+            obj.status.phase = PodPhase.FAILED
+            obj.status.message = reason
+            obj.status.finish_time = self.env.now
+
+        try:
+            self.api.patch("SharePod", sp.name, mutate, sp.metadata.namespace)
+        except NotFound:
+            pass
 
     # -- reservation prewarm -------------------------------------------------------------------
     def prewarm(self, count: int, namespace: str = "default") -> List[str]:

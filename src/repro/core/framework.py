@@ -68,6 +68,7 @@ class KubeShare:
         exclusion: Optional[str] = None,
         labels: Optional[Dict[str, str]] = None,
         namespace: str = "default",
+        restart_policy: str = "never",
     ) -> SharePod:
         """Build a validated SharePod object (not yet submitted)."""
         spec = SharePodSpec(
@@ -83,6 +84,7 @@ class KubeShare:
             sched_affinity=affinity,
             sched_anti_affinity=anti_affinity,
             sched_exclusion=exclusion,
+            restart_policy=restart_policy,
         )
         spec.validate()
         return SharePod(

@@ -281,8 +281,14 @@ class KubeShareSched(Controller):
 
     # -- reconcile --------------------------------------------------------------
     def _cluster_gpu_capacity(self) -> int:
+        # NotReady nodes contribute nothing: their GPUs are unreachable
+        # until the node lifecycle controller sees a fresh lease again.
         return int(
-            sum(n.status.capacity.get(GPU_RESOURCE, 0.0) for n in self.api.nodes())
+            sum(
+                n.status.capacity.get(GPU_RESOURCE, 0.0)
+                for n in self.api.nodes()
+                if n.status.ready
+            )
         )
 
     def reconcile(self, key: str) -> Generator:

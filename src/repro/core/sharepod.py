@@ -48,6 +48,11 @@ class SharePodSpec:
     sched_affinity: Optional[str] = None
     sched_anti_affinity: Optional[str] = None
     sched_exclusion: Optional[str] = None
+    #: what DevMgr does when the SharePod's GPU or node dies:
+    #: ``"never"`` — fail the SharePod (default, the paper's behaviour);
+    #: ``"reschedule"`` — clear the placement and let KubeShare-Sched
+    #: re-run Algorithm 1 on surviving capacity.
+    restart_policy: str = "never"
 
     def validate(self) -> None:
         if not 0.0 <= self.gpu_request <= 1.0:
@@ -65,6 +70,11 @@ class SharePodSpec:
             value = getattr(self, label_name)
             if value is not None and (not isinstance(value, str) or not value):
                 raise SpecError(f"{label_name} must be a non-empty string")
+        if self.restart_policy not in ("never", "reschedule"):
+            raise SpecError(
+                f"restart_policy must be 'never' or 'reschedule', "
+                f"got {self.restart_policy!r}"
+            )
 
 
 @dataclass
@@ -140,6 +150,7 @@ class SharePod:
                 "sched_affinity",
                 "sched_anti_affinity",
                 "sched_exclusion",
+                "restart_policy",
             )
             if k in spec_raw
         }

@@ -13,9 +13,22 @@ Layers (bottom-up):
 * :mod:`repro.gpu.nvml` — NVML-style utilization sampling (Figure 9).
 """
 
-from .backend import DEFAULT_QUOTA, DEFAULT_WINDOW, ClientRecord, Token, TokenBackend
+from .backend import (
+    DEFAULT_QUOTA,
+    DEFAULT_WINDOW,
+    ClientRecord,
+    Token,
+    TokenBackend,
+    TokenBackendUnavailable,
+)
 from .cuda import CudaAPI, CudaContext, CudaError, DevicePointer
-from .device import ComputeSession, GPUDevice, GpuOutOfMemory, V100_MEMORY
+from .device import (
+    ComputeSession,
+    DeviceLostError,
+    GPUDevice,
+    GpuOutOfMemory,
+    V100_MEMORY,
+)
 from .frontend import (
     DEVICE_LIB_SONAME,
     ENV_ISOLATION,
@@ -35,6 +48,7 @@ __all__ = [
     "GPUDevice",
     "ComputeSession",
     "GpuOutOfMemory",
+    "DeviceLostError",
     "V100_MEMORY",
     "CudaAPI",
     "CudaContext",
@@ -42,6 +56,7 @@ __all__ = [
     "DevicePointer",
     "HookRegistry",
     "TokenBackend",
+    "TokenBackendUnavailable",
     "Token",
     "ClientRecord",
     "DEFAULT_QUOTA",

@@ -31,8 +31,23 @@ from dataclasses import dataclass, field
 from typing import Deque, Dict, Generator, List, Optional, Tuple
 
 from ..sim import Environment, Event
+from .device import DeviceLostError
 
-__all__ = ["Token", "TokenBackend", "ClientRecord", "DEFAULT_QUOTA", "DEFAULT_WINDOW"]
+__all__ = [
+    "Token",
+    "TokenBackend",
+    "TokenBackendUnavailable",
+    "ClientRecord",
+    "DEFAULT_QUOTA",
+    "DEFAULT_WINDOW",
+]
+
+
+class TokenBackendUnavailable(Exception):
+    """The per-node token daemon restarted; the request was dropped.
+
+    Retryable: the device library re-registers (the daemon lost all client
+    state) and asks again."""
 
 #: The paper's chosen time quota (100 ms, §4.5/§5.2).
 DEFAULT_QUOTA = 0.100
@@ -118,6 +133,12 @@ class TokenBackend:
         self.window = window
         self.handoff_overhead = handoff_overhead
         self._devices: Dict[str, _DeviceState] = {}
+        #: bumped on every daemon restart; device libraries compare it to
+        #: the epoch they registered under and re-register on mismatch.
+        self.epoch = 0
+        self.restarts_total = 0
+        #: device uuid -> failure reason, for devices declared lost.
+        self._dead: Dict[str, str] = {}
 
     # -- registration ----------------------------------------------------
     def register(
@@ -144,7 +165,12 @@ class TokenBackend:
             and state.token is not None
             and state.token.client_id == client_id
         ):
+            # The holder is gone: close its hold interval and invalidate the
+            # token right away, so the device is not dead until quota expiry
+            # and the expiry path never touches the popped record.
             self._end_hold(state, record)
+            state.token.valid = False
+            state.token = None
         self._maybe_grant(device_uuid)
 
     def usage(self, device_uuid: str, client_id: str) -> float:
@@ -166,6 +192,10 @@ class TokenBackend:
     # -- token protocol -----------------------------------------------------
     def acquire(self, device_uuid: str, client_id: str) -> Generator:
         """Process: block until a valid token is granted; returns it."""
+        if device_uuid in self._dead:
+            raise DeviceLostError(
+                f"device {device_uuid} failed: {self._dead[device_uuid]}"
+            )
         state = self._devices.setdefault(device_uuid, _DeviceState())
         if client_id not in state.clients:
             raise KeyError(f"client {client_id} not registered on {device_uuid}")
@@ -186,6 +216,58 @@ class TokenBackend:
             self._end_hold(state, record)
         state.token = None
         self._maybe_grant(token.device_uuid)
+
+    # -- failure & restart ------------------------------------------------------
+    def fail_device(
+        self, device_uuid: str, reason: str = "uncorrectable ECC error"
+    ) -> None:
+        """Drain a dead device: invalidate the token and fail every queued
+        grant as a *handled* event so waiters observe the loss without
+        crashing the simulation."""
+        self._dead[device_uuid] = reason
+        state = self._devices.pop(device_uuid, None)
+        if state is None:
+            return
+        if state.token is not None:
+            state.token.valid = False
+            state.token = None
+        for client_id, grant in state.queue:
+            if not grant.triggered:
+                grant.fail(
+                    DeviceLostError(
+                        f"device {device_uuid} failed while {client_id} "
+                        f"was queued: {reason}"
+                    )
+                )
+                grant.defused = True
+        state.queue.clear()
+
+    def revive_device(self, device_uuid: str) -> None:
+        """Re-admit a repaired device (clients must re-register)."""
+        self._dead.pop(device_uuid, None)
+
+    def restart(self) -> None:
+        """Daemon restart: all client registrations, queues, and tokens are
+        lost. Queued grants fail with :class:`TokenBackendUnavailable`
+        (handled, retryable); the epoch bump tells device libraries to
+        re-register before asking again."""
+        self.epoch += 1
+        self.restarts_total += 1
+        for device_uuid, state in self._devices.items():
+            if state.token is not None:
+                state.token.valid = False
+                state.token = None
+            for client_id, grant in state.queue:
+                if not grant.triggered:
+                    grant.fail(
+                        TokenBackendUnavailable(
+                            f"backend restarted; grant for {client_id} on "
+                            f"{device_uuid} dropped"
+                        )
+                    )
+                    grant.defused = True
+            state.queue.clear()
+        self._devices.clear()
 
     # -- internal ---------------------------------------------------------------
     def _end_hold(self, state: _DeviceState, record: ClientRecord) -> None:
@@ -221,7 +303,9 @@ class TokenBackend:
         return min(eligible, key=lambda t: usages[t[1]])[0]
 
     def _maybe_grant(self, device_uuid: str) -> None:
-        state = self._devices[device_uuid]
+        state = self._devices.get(device_uuid)
+        if state is None:  # device failed / daemon restarted meanwhile
+            return
         if state.granting or (state.token is not None and state.token.valid):
             return
         if not state.queue:
@@ -231,18 +315,22 @@ class TokenBackend:
 
     def _retry_later(self, device_uuid: str) -> Generator:
         yield self.env.timeout(self.quota / 4)
-        state = self._devices[device_uuid]
+        state = self._devices.get(device_uuid)
+        if state is None:  # device failed / daemon restarted meanwhile
+            return
         state.retry_scheduled = False
         self._maybe_grant(device_uuid)
 
     def _grant(self, device_uuid: str) -> Generator:
-        state = self._devices[device_uuid]
         # The pick happens *after* the handoff delay so that a holder whose
         # token just expired has re-queued by decision time — otherwise the
         # priority policy would degrade to strict alternation. A small
         # floor keeps the decision robust to same-instant floating-point
         # races even when handoff_overhead is configured to zero.
         yield self.env.timeout(max(self.handoff_overhead, self.quota * 1e-3))
+        state = self._devices.get(device_uuid)
+        if state is None:  # device failed / daemon restarted mid-handoff
+            return
         state.granting = False
         idx = self._pick(state)
         if idx is None:
@@ -268,6 +356,10 @@ class TokenBackend:
         yield self.env.timeout(self.quota)
         if state.token is token and token.valid:
             token.valid = False
-            self._end_hold(state, record)
+            # The holder may have unregistered mid-hold; the `record` local
+            # captured at grant time would be stale then — re-fetch it.
+            current = state.clients.get(client_id)
+            if current is not None:
+                self._end_hold(state, current)
             state.token = None
             self._maybe_grant(device_uuid)

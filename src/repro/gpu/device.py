@@ -29,7 +29,13 @@ from typing import Dict, Generator, List, Optional
 from ..sim import Environment, Event
 from .sharing import ShareEntry, elastic_shares
 
-__all__ = ["GPUDevice", "ComputeSession", "GpuOutOfMemory", "V100_MEMORY"]
+__all__ = [
+    "GPUDevice",
+    "ComputeSession",
+    "GpuOutOfMemory",
+    "DeviceLostError",
+    "V100_MEMORY",
+]
 
 #: Device memory of the paper's Tesla V100s (16 GB).
 V100_MEMORY = 16 * 2**30
@@ -37,6 +43,14 @@ V100_MEMORY = 16 * 2**30
 
 class GpuOutOfMemory(Exception):
     """Physical device memory exhausted (or library quota exceeded)."""
+
+
+class DeviceLostError(Exception):
+    """The physical GPU failed (e.g. an uncorrectable ECC error).
+
+    Raised by in-flight CUDA work on the dead device and by any later
+    attempt to allocate memory or open a session on it — the simulated
+    analogue of ``CUDA_ERROR_ECC_UNCORRECTABLE`` / device-lost."""
 
 
 class ComputeSession:
@@ -101,6 +115,11 @@ class ComputeSession:
         self.device._recompute()
         try:
             while remaining > 1e-12:
+                if self.device.failed:
+                    raise DeviceLostError(
+                        f"GPU {self.device.uuid} lost while running "
+                        f"{self.name}: {self.device.fail_reason}"
+                    )
                 rate = self.rate
                 if rate <= 1e-12:
                     yield self.device.change_event()
@@ -147,6 +166,9 @@ class GPUDevice:
         #: throughput lost per extra concurrently-demanding session when
         #: sharing is *unisolated* (limited memory bandwidth, §1).
         self.contention_per_peer = contention_per_peer
+        #: the device threw an uncorrectable error and is unusable.
+        self.failed = False
+        self.fail_reason: Optional[str] = None
         self._mem_by_owner: Dict[str, int] = {}
         self._sessions: List[ComputeSession] = []
         self._change: Event = env.event()
@@ -165,6 +187,8 @@ class GPUDevice:
         return self.memory - self.memory_used
 
     def alloc_memory(self, owner: str, nbytes: int) -> None:
+        if self.failed:
+            raise DeviceLostError(f"GPU {self.uuid} failed: {self.fail_reason}")
         if nbytes < 0:
             raise ValueError("nbytes must be >= 0")
         if nbytes > self.memory_free:
@@ -197,6 +221,8 @@ class GPUDevice:
         limit: float = 1.0,
         isolated: bool = True,
     ) -> ComputeSession:
+        if self.failed:
+            raise DeviceLostError(f"GPU {self.uuid} failed: {self.fail_reason}")
         session = ComputeSession(
             self, name, request=request, limit=limit, isolated=isolated
         )
@@ -219,13 +245,42 @@ class GPUDevice:
         """Event fired on the next allocation change (one-shot, shared)."""
         return self._change
 
+    # -- failure & recovery -----------------------------------------------------
+    def fail(self, reason: str = "uncorrectable ECC error") -> None:
+        """Mark the device dead and wake every in-flight session.
+
+        Woken sessions observe ``failed`` and raise
+        :class:`DeviceLostError` into their callers."""
+        if self.failed:
+            return
+        self.failed = True
+        self.fail_reason = reason
+        self._recompute()
+
+    def recover(self) -> None:
+        """Bring a failed device back (post-repair); state is wiped."""
+        if not self.failed:
+            return
+        self.failed = False
+        self.fail_reason = None
+        self._mem_by_owner.clear()
+        self._recompute()
+
+    def reset(self) -> None:
+        """Power-cycle: wipe the memory ledger (node reboot; any sessions
+        must already be closed by their owners' teardown)."""
+        self._mem_by_owner.clear()
+        self._recompute()
+
     def _recompute(self) -> None:
         """Re-solve the elastic shares after any membership/demand change."""
         now = self.env.now
         self.busy_integral += self._busy_rate * (now - self._busy_last)
         self._busy_last = now
 
-        demanding = [s for s in self._sessions if s.demand > 0.0]
+        demanding = (
+            [] if self.failed else [s for s in self._sessions if s.demand > 0.0]
+        )
         n = len(demanding)
         # Contention penalizes *unisolated* concurrent sharing of an
         # over-committed device (limited memory bandwidth, §1). Sessions

@@ -30,7 +30,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Dict, Generator, Optional
 
-from .backend import Token, TokenBackend
+from .backend import Token, TokenBackend, TokenBackendUnavailable
 from .cuda import CudaAPI, CudaContext, DevicePointer
 from .device import GpuOutOfMemory
 from .swap import ENV_MEM_OVERCOMMIT, SwapManager
@@ -107,6 +107,9 @@ class VGPUDeviceLibrary:
         #: device uuid -> currently held token.
         self._tokens: Dict[str, Token] = {}
         self._registered_devices: set[str] = set()
+        #: backend epoch each device was registered under; a mismatch means
+        #: the daemon restarted and we must re-register.
+        self._epochs: Dict[str, int] = {}
         self._installed = False
         #: in-flight launch calls per device (idle-revocation bookkeeping).
         self._launches_active: Dict[str, int] = {}
@@ -223,9 +226,7 @@ class VGPUDeviceLibrary:
         backend = self.backend
         env = self.container.env
         dev = ctx.device.uuid
-        if dev not in self._registered_devices:
-            backend.register(dev, self.client_id, self.request, self.limit)
-            self._registered_devices.add(dev)
+        self._ensure_registered(backend, dev)
         appetite = 1.0 if demand is None else float(demand)
         remaining = float(work)
         self._launches_active[dev] = self._launches_active.get(dev, 0) + 1
@@ -278,12 +279,29 @@ class VGPUDeviceLibrary:
         finally:
             self._idle_watch[dev] = False
 
+    def _ensure_registered(self, backend: TokenBackend, dev: str) -> None:
+        if (
+            dev not in self._registered_devices
+            or self._epochs.get(dev) != backend.epoch
+        ):
+            backend.register(dev, self.client_id, self.request, self.limit)
+            self._registered_devices.add(dev)
+            self._epochs[dev] = backend.epoch
+
     def _acquire(self, backend: TokenBackend, dev: str) -> Generator:
-        token = yield self.container.env.process(
-            backend.acquire(dev, self.client_id),
-            name=f"acquire:{self.container.pod_name}",
-        )
-        return token
+        # Runs inline (``yield from``) in the launching process so that a
+        # container kill tears the whole wait chain down in one tree — no
+        # orphaned acquire process left to fail undefused. Retries across
+        # daemon restarts, re-registering under the new epoch.
+        env = self.container.env
+        while True:
+            self._ensure_registered(backend, dev)
+            try:
+                token = yield from backend.acquire(dev, self.client_id)
+            except TokenBackendUnavailable:
+                yield env.timeout(max(backend.handoff_overhead, 1e-3))
+                continue
+            return token
 
     # -- teardown ------------------------------------------------------------------
     def _on_ctx_destroy(self, ctx: CudaContext) -> None:

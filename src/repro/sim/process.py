@@ -64,17 +64,47 @@ class Process(Event):
         interrupt_event._value = Interrupt(cause)
         interrupt_event._defused = True
 
-        # Unsubscribe from the event we were waiting for, so that its later
-        # processing does not resume us a second time.
-        target = self._target
-        if target is not None and target.callbacks is not None:
-            try:
-                target.callbacks.remove(self._resume)
-            except ValueError:  # pragma: no cover - already detached
-                pass
+        self._detach_from_target()
 
         interrupt_event.callbacks = [self._resume]
         self.env.schedule(interrupt_event, URGENT)
+
+    def kill(self) -> None:
+        """Terminate this process immediately without raising inside it.
+
+        The generator is closed (``finally`` blocks run synchronously, so
+        cleanup still happens) and the process event succeeds with ``None``.
+        Unlike :meth:`interrupt`, the process gets no chance to catch
+        anything and cannot fail the simulation — this models hard external
+        termination (a machine losing power) rather than a signal.
+        """
+        if self._value is not PENDING:
+            return
+        if self is self.env.active_process:
+            raise RuntimeError("a process is not allowed to kill itself")
+
+        self._detach_from_target()
+        self._target = None
+        self._generator.close()
+        self._ok = True
+        self._value = None
+        self.env.schedule(self)
+
+    def _detach_from_target(self) -> None:
+        """Unsubscribe from the event we were waiting for, so that its
+        later processing does not resume us (again)."""
+        target = self._target
+        if target is None or target.callbacks is None:
+            return
+        try:
+            target.callbacks.remove(self._resume)
+        except ValueError:  # pragma: no cover - already detached
+            pass
+        if target._value is not PENDING and not target._ok:
+            # The target already failed but has not been processed yet; we
+            # were the waiter who would have handled (defused) it. Detaching
+            # must not turn that pending failure into a simulation crash.
+            target._defused = True
 
     # -- internal -------------------------------------------------------
     def _resume(self, event: Event) -> None:

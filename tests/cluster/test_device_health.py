@@ -126,3 +126,55 @@ class TestClusterReactsToHealth:
         cluster.api.delete("Pod", "holder")
         env.run(until=env.now + 2)
         assert node.device_manager.free_count(GPU_RESOURCE) == 0
+
+
+class TestHealthRoundTrip:
+    def test_unhealthy_healthy_unhealthy_round_trip(self, env):
+        """Full round trip through the kubelet: each flip re-advertises
+        capacity and mirrors the sick-device list into node status."""
+        cluster = Cluster(env, ClusterConfig(nodes=1, gpus_per_node=2)).start()
+        env.run(until=1)
+        node = cluster.nodes[0]
+        uuid = node.gpus[0].uuid
+
+        def stored():
+            return cluster.api.get("Node", "node00", namespace="")
+
+        node.device_manager.set_device_health(GPU_RESOURCE, uuid, healthy=False)
+        env.run(until=2)
+        assert stored().status.capacity[GPU_RESOURCE] == 1.0
+        assert stored().status.unhealthy_gpus == [uuid]
+
+        node.device_manager.set_device_health(GPU_RESOURCE, uuid, healthy=True)
+        env.run(until=3)
+        assert stored().status.capacity[GPU_RESOURCE] == 2.0
+        assert stored().status.unhealthy_gpus == []
+
+        node.device_manager.set_device_health(GPU_RESOURCE, uuid, healthy=False)
+        env.run(until=4)
+        assert stored().status.capacity[GPU_RESOURCE] == 1.0
+        assert stored().status.unhealthy_gpus == [uuid]
+        # the flapping device is not handed out while sick
+        assert uuid not in node.device_manager.free_ids(GPU_RESOURCE)
+
+    def test_round_trip_restores_schedulability(self, env):
+        cluster = Cluster(env, ClusterConfig(nodes=1, gpus_per_node=1)).start()
+        env.run(until=1)
+        node = cluster.nodes[0]
+        uuid = node.gpus[0].uuid
+        node.device_manager.set_device_health(GPU_RESOURCE, uuid, healthy=False)
+        env.run(until=2)
+        node.device_manager.set_device_health(GPU_RESOURCE, uuid, healthy=True)
+        env.run(until=3)
+        pod = Pod(
+            metadata=ObjectMeta(name="after-repair"),
+            spec=PodSpec(
+                containers=[ContainerSpec(requests={"cpu": 1, GPU_RESOURCE: 1})],
+            ),
+        )
+        cluster.submit(pod)
+        wait = env.process(
+            cluster.wait_for_phase("after-repair", [PodPhase.RUNNING])
+        )
+        env.run(until=wait)
+        assert cluster.api.get("Pod", "after-repair").status.phase is PodPhase.RUNNING

@@ -154,3 +154,30 @@ class TestWatch:
         etcd.put("/b", 2)
         # Only the first event was queued.
         assert len(w.events.items) == 1
+
+
+class TestCloseAndUnwatch:
+    def test_close_detaches_subscriber_eagerly(self, etcd):
+        w = etcd.watch("/pods/")
+        assert w in etcd._watches
+        w.close()
+        # Removed immediately, not lazily at the next notify — stopped
+        # subscribers must not pin their event buffers in the store.
+        assert w.cancelled
+        assert w not in etcd._watches
+        etcd.put("/pods/a", 1)
+        assert len(w.events.items) == 0
+
+    def test_unwatch_is_idempotent(self, etcd):
+        w = etcd.watch("")
+        w.close()
+        etcd.unwatch(w)  # second removal must be a no-op
+        assert etcd._watches == []
+
+    def test_close_leaves_other_watches_untouched(self, etcd):
+        w1 = etcd.watch("/pods/")
+        w2 = etcd.watch("/pods/")
+        w1.close()
+        etcd.put("/pods/a", 1)
+        assert len(w1.events.items) == 0
+        assert len(w2.events.items) == 1

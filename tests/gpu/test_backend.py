@@ -224,3 +224,155 @@ class TestSchedulingPolicy:
         env.run(until=20.0)
         assert held["a"] == pytest.approx(held["b"], rel=0.05)
         assert held["a"] + held["b"] == pytest.approx(20.0, rel=0.02)
+
+
+class TestFailureAndRestart:
+    """Failure semantics: holder churn, dead devices, daemon restarts."""
+
+    def test_unregister_mid_hold_invalidates_token(self, env, backend):
+        """Regression: the holder unregistering mid-hold must invalidate
+        its token immediately — otherwise the device stays dead until the
+        quota expires and the expiry path touches a popped record."""
+        backend.register(DEV, "c1", 0.5, 1.0)
+        backend.register(DEV, "c2", 0.5, 1.0)
+        grant_times = {}
+
+        def holder():
+            token = yield from backend.acquire(DEV, "c1")
+            grant_times["c1"] = env.now
+            yield env.timeout(0.05)  # quota is 0.1: mid-hold
+            backend.unregister(DEV, "c1")
+            assert not token.valid
+
+        def waiter():
+            yield from backend.acquire(DEV, "c2")
+            grant_times["c2"] = env.now
+
+        env.process(holder())
+        env.process(waiter())
+        env.run(until=1.0)
+        # c2 got the token right after the unregister, not at quota expiry.
+        assert grant_times["c2"] == pytest.approx(0.05, abs=0.01)
+
+    def test_expiry_after_mid_hold_reregistration_keeps_record_clean(
+        self, env, backend
+    ):
+        """Regression: unregister + re-register while the original grant's
+        expiry timer is still pending must not credit the *fresh* record
+        with the dead hold (the expiry path re-fetches the record)."""
+        backend.register(DEV, "c1", 0.5, 1.0)
+
+        def churn():
+            yield from backend.acquire(DEV, "c1")
+            yield env.timeout(0.05)
+            backend.unregister(DEV, "c1")
+            fresh = backend.register(DEV, "c1", 0.5, 1.0)
+            yield env.timeout(0.5)  # well past the original expiry
+            assert fresh.hold_start is None
+            assert list(fresh.intervals) == []
+
+        env.process(churn())
+        env.run()
+        assert backend.usage(DEV, "c1") == pytest.approx(0.0, abs=1e-9)
+
+    def test_fail_device_fails_queued_grants(self, env, backend):
+        from repro.gpu.device import DeviceLostError
+
+        backend.register(DEV, "c1", 0.5, 1.0)
+        backend.register(DEV, "c2", 0.5, 1.0)
+        outcomes = {}
+
+        def holder():
+            yield from backend.acquire(DEV, "c1")
+            yield env.timeout(10.0)
+
+        def waiter():
+            try:
+                yield from backend.acquire(DEV, "c2")
+                outcomes["c2"] = "granted"
+            except DeviceLostError:
+                outcomes["c2"] = "lost"
+
+        env.process(holder())
+        env.process(waiter())
+        env.run(until=0.02)
+        backend.fail_device(DEV, reason="XID 79")
+        env.run(until=1.0)
+        assert outcomes["c2"] == "lost"
+
+    def test_acquire_on_dead_device_raises_until_revived(self, env, backend):
+        from repro.gpu.device import DeviceLostError
+
+        backend.register(DEV, "c1", 0.5, 1.0)
+        backend.fail_device(DEV)
+
+        def ask():
+            yield from backend.acquire(DEV, "c1")
+
+        with pytest.raises(DeviceLostError):
+            env.process(ask()).env.run()
+
+        backend.revive_device(DEV)
+        backend.register(DEV, "c1", 0.5, 1.0)
+
+        def ask_again():
+            token = yield from backend.acquire(DEV, "c1")
+            return token.valid
+
+        p = env.process(ask_again())
+        env.run(until=p)
+        assert p.value is True
+
+    def test_restart_drops_state_and_bumps_epoch(self, env, backend):
+        from repro.gpu.backend import TokenBackendUnavailable
+
+        backend.register(DEV, "c1", 0.5, 1.0)
+        backend.register(DEV, "c2", 0.5, 1.0)
+        outcomes = {}
+
+        def holder():
+            yield from backend.acquire(DEV, "c1")
+            yield env.timeout(10.0)
+
+        def waiter():
+            try:
+                yield from backend.acquire(DEV, "c2")
+                outcomes["c2"] = "granted"
+            except TokenBackendUnavailable:
+                outcomes["c2"] = "dropped"
+
+        env.process(holder())
+        env.process(waiter())
+        env.run(until=0.02)
+        assert backend.epoch == 0
+        backend.restart()
+        env.run(until=0.5)
+        assert outcomes["c2"] == "dropped"
+        assert backend.epoch == 1
+        assert backend.restarts_total == 1
+
+        # Registrations were lost: acquiring without re-registering fails.
+        def stale():
+            yield from backend.acquire(DEV, "c1")
+
+        env.process(stale())
+        with pytest.raises(KeyError):
+            env.run()
+
+    def test_restart_mid_handoff_is_harmless(self, env):
+        """A grant decision in flight across restart() must not blow up on
+        the cleared device table."""
+        backend = TokenBackend(env, quota=0.1, window=1.0, handoff_overhead=0.01)
+        backend.register(DEV, "c1", 0.5, 1.0)
+        from repro.gpu.backend import TokenBackendUnavailable
+
+        def ask():
+            try:
+                yield from backend.acquire(DEV, "c1")
+            except TokenBackendUnavailable:
+                pass
+
+        env.process(ask())
+        env.run(until=0.005)  # inside the 10 ms handoff window
+        backend.restart()
+        env.run(until=1.0)  # the in-flight _grant resumes and finds no state

@@ -10,6 +10,8 @@ the full paper-vs-measured comparison.
 
 import pytest
 
+from repro.core import reset_gpuid_counter
+
 
 def emit(text: str) -> None:
     """Print a regenerated table/series block."""
@@ -19,3 +21,15 @@ def emit(text: str) -> None:
 @pytest.fixture
 def report():
     return emit
+
+
+@pytest.fixture(autouse=True)
+def _fresh_gpuid_sequence():
+    """Each bench starts from GPUID #1.
+
+    Algorithm 1 breaks placement ties by GPUID ordering, and GPUIDs are
+    hashed from a process-global counter — without a reset every scenario
+    depends on how many vGPUs earlier tests created, so results shift
+    whenever a test is added or reordered. A per-test reset makes every
+    bench reproduce its standalone run exactly."""
+    reset_gpuid_counter()

@@ -1,10 +1,15 @@
 """Fault injection for the simulated cluster (chaos engineering).
 
 The chaos engine schedules node crashes, GPU failures, token-daemon
-restarts, container kills, and apiserver outage/latency windows in
-virtual time, deterministically (seeded RNG over sorted candidates).
-Used by benchmarks/test_chaos_recovery.py to show the recovery machinery
-restores throughput after losing a node that hosts active vGPUs.
+restarts, container kills, apiserver outage/latency windows, and — for
+leader-elected control planes registered via
+:meth:`~repro.chaos.engine.ChaosEngine.register_controllers` —
+controller-replica crash/pause/restart faults, all in virtual time,
+deterministically (seeded RNG over sorted candidates). Used by
+benchmarks/test_chaos_recovery.py to show the recovery machinery restores
+throughput after losing a node that hosts active vGPUs, and by
+benchmarks/test_failover.py to show a standby controller takes over
+within the lease-expiry bound after the leader dies.
 """
 
 from .engine import ChaosEngine

@@ -28,6 +28,7 @@ import random
 from typing import Generator, List, Optional, Tuple
 
 from ..cluster.cluster import Cluster, WorkerNode
+from ..cluster.leaderelection import ControllerReplica, HAControllerGroup, ReplicaState
 from ..cluster.objects import GPU_RESOURCE
 from .faults import Fault, FaultKind
 
@@ -45,9 +46,18 @@ class ChaosEngine:
         self.seed = seed
         self.rng = random.Random(seed)
         self.schedule: List[Fault] = []
+        #: leader-elected controller groups eligible for CONTROLLER_* faults,
+        #: keyed by group name (see :meth:`register_controllers`).
+        self.controller_groups: dict = {}
         #: (time, fault, resolved target, outcome) — what actually happened.
         self.log: List[Tuple[float, Fault, Optional[str], str]] = []
         self._proc = None
+
+    def register_controllers(self, *groups: HAControllerGroup) -> "ChaosEngine":
+        """Make HA controller groups visible to CONTROLLER_* faults."""
+        for group in groups:
+            self.controller_groups[group.name] = group
+        return self
 
     # -- schedule builders -------------------------------------------------
     def add(self, fault: Fault) -> "ChaosEngine":
@@ -87,6 +97,35 @@ class ChaosEngine:
                 duration=duration,
                 value=extra,
             )
+        )
+
+    def controller_crash(
+        self, at: float, target: Optional[str] = None
+    ) -> "ChaosEngine":
+        """Kill a controller replica (the current leader, unless *target*
+        names a specific group or replica identity)."""
+        return self.add(Fault(at=at, kind=FaultKind.CONTROLLER_CRASH, target=target))
+
+    def controller_pause(
+        self, at: float, duration: float, target: Optional[str] = None
+    ) -> "ChaosEngine":
+        """Freeze a leader for *duration* seconds, then let it resume with
+        its stale lease epoch (exercises write fencing)."""
+        return self.add(
+            Fault(
+                at=at,
+                kind=FaultKind.CONTROLLER_PAUSE,
+                target=target,
+                duration=duration,
+            )
+        )
+
+    def controller_restart(
+        self, at: float, target: Optional[str] = None
+    ) -> "ChaosEngine":
+        """Bring a crashed replica back as a standby."""
+        return self.add(
+            Fault(at=at, kind=FaultKind.CONTROLLER_RESTART, target=target)
         )
 
     def random_faults(
@@ -204,6 +243,26 @@ class ChaosEngine:
             handle.kill("container crashed (chaos)")
             node.runtime.containers.pop(uid, None)
             return f"{node.name}/{handle.name}", "killed"
+        if kind is FaultKind.CONTROLLER_CRASH:
+            replica = self._pick_replica(fault.target, want_crashed=False)
+            if replica is None:
+                return None, "no-op: no live replica"
+            replica.crash()
+            return replica.identity, "crashed"
+        if kind is FaultKind.CONTROLLER_PAUSE:
+            replica = self._pick_replica(
+                fault.target, want_crashed=False, leaders_only=True
+            )
+            if replica is None:
+                return None, "no-op: no leader to pause"
+            replica.pause(fault.duration)
+            return replica.identity, f"paused for {fault.duration:.2f}s"
+        if kind is FaultKind.CONTROLLER_RESTART:
+            replica = self._pick_replica(fault.target, want_crashed=True)
+            if replica is None:
+                return None, "no-op: no crashed replica"
+            replica.restart()
+            return replica.identity, "restarted as standby"
         if kind is FaultKind.APISERVER_OUTAGE:
             self.cluster.api.set_outage(fault.duration)
             return None, f"outage for {fault.duration:.2f}s"
@@ -255,6 +314,50 @@ class ChaosEngine:
             key=lambda g: g.uuid,
         )
         return self.rng.choice(candidates) if candidates else None
+
+    def _pick_replica(
+        self,
+        target: Optional[str],
+        want_crashed: bool,
+        leaders_only: bool = False,
+    ) -> Optional[ControllerReplica]:
+        """Resolve *target* — a group name, a replica identity, or None —
+        to one registered controller replica in the wanted state.
+
+        With ``target=None`` (or a bare group name) the engine prefers the
+        current leader for crash/pause faults — the interesting victim —
+        and otherwise draws from sorted candidates with the seeded RNG.
+        """
+        groups = self.controller_groups
+        candidates: List[ControllerReplica] = []
+        for name in sorted(groups):
+            group = groups[name]
+            if target is not None and target != name:
+                replica = group.replica(target)
+                if replica is not None:
+                    candidates = [replica]
+                    break
+                continue
+            candidates.extend(group.replicas)
+            if target == name:
+                break
+        candidates = [
+            r
+            for r in candidates
+            if (r.state is ReplicaState.CRASHED) == want_crashed
+        ]
+        if not candidates:
+            return None
+        if not want_crashed:
+            leaders = [r for r in candidates if r.state is ReplicaState.LEADER]
+            if leaders_only:
+                candidates = leaders
+            elif leaders:
+                candidates = leaders
+        if not candidates:
+            return None
+        candidates.sort(key=lambda r: r.identity)
+        return self.rng.choice(candidates)
 
     def _pick_container(self, target: Optional[str]):
         """Resolve a pod uid (or pick one) to (node, uid, handle)."""

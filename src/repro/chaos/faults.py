@@ -32,6 +32,13 @@ class FaultKind(str, Enum):
     APISERVER_OUTAGE = "apiserver_outage"
     #: the apiserver adds ``value`` seconds of latency for ``duration``.
     APISERVER_LATENCY = "apiserver_latency"
+    #: one replica of a leader-elected controller group dies outright.
+    CONTROLLER_CRASH = "controller_crash"
+    #: a replica freezes for ``duration`` seconds (GC pause / partition)
+    #: then resumes with its stale lease epoch — the fencing test case.
+    CONTROLLER_PAUSE = "controller_pause"
+    #: a crashed replica comes back as a standby.
+    CONTROLLER_RESTART = "controller_restart"
 
 
 @dataclass(frozen=True)

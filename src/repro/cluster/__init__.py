@@ -10,6 +10,7 @@ from .apiserver import (
     AlreadyExists,
     APIServer,
     Conflict,
+    FencingConflict,
     NotFound,
     ServiceUnavailable,
     UnknownKind,
@@ -27,6 +28,17 @@ from .deviceplugin import (
 )
 from .etcd import CasFailure, Etcd, KeyValue, WatchEvent, WatchEventType
 from .kubelet import DEVICE_IDS_ANNOTATION, Kubelet
+from .leaderelection import (
+    LEASE_NAMESPACE,
+    ControllerReplica,
+    FencedAPIServer,
+    FencingToken,
+    HAControllerGroup,
+    LeaderElector,
+    Lease,
+    LeaseSpec,
+    ReplicaState,
+)
 from .nodelifecycle import NodeLifecycleController
 from .objects import (
     DEFAULT_NAMESPACE,
@@ -49,6 +61,7 @@ __all__ = [
     "APIServer",
     "AlreadyExists",
     "Conflict",
+    "FencingConflict",
     "NotFound",
     "ServiceUnavailable",
     "UnknownKind",
@@ -72,6 +85,15 @@ __all__ = [
     "WatchEventType",
     "Kubelet",
     "DEVICE_IDS_ANNOTATION",
+    "LEASE_NAMESPACE",
+    "Lease",
+    "LeaseSpec",
+    "FencingToken",
+    "FencedAPIServer",
+    "LeaderElector",
+    "ReplicaState",
+    "ControllerReplica",
+    "HAControllerGroup",
     "NodeLifecycleController",
     "ContainerSpec",
     "LabelSelector",

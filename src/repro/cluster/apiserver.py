@@ -32,6 +32,7 @@ from .objects import DEFAULT_NAMESPACE, LabelSelector, Node, Pod
 __all__ = [
     "APIServer",
     "Conflict",
+    "FencingConflict",
     "AlreadyExists",
     "NotFound",
     "ServiceUnavailable",
@@ -42,6 +43,14 @@ __all__ = [
 
 class Conflict(Exception):
     """Optimistic-concurrency failure: object changed since it was read."""
+
+
+class FencingConflict(Conflict):
+    """Write from a deposed leader: its lease epoch is no longer current.
+
+    A retry cannot help — the writer must observe that it lost leadership
+    (split-brain protection, see :mod:`repro.cluster.leaderelection`).
+    """
 
 
 class AlreadyExists(Exception):
@@ -84,7 +93,7 @@ def translate_event(ev: WatchEvent) -> Tuple[WatchEventType, Any]:
 class APIServer:
     """The cluster's single API frontend, backed by :class:`Etcd`."""
 
-    BUILTIN_KINDS = ("Pod", "Node")
+    BUILTIN_KINDS = ("Pod", "Node", "Lease")
 
     def __init__(self, env: Environment, etcd: Optional[Etcd] = None) -> None:
         self.env = env
@@ -113,6 +122,37 @@ class APIServer:
                 f"apiserver down until t={self.down_until:.3f}"
             )
 
+    # -- write fencing -----------------------------------------------------
+    def _check_fencing(self, fencing: Optional[Any]) -> None:
+        """Admit a fenced write only while its lease epoch is current.
+
+        *fencing* is a :class:`~repro.cluster.leaderelection.FencingToken`
+        (duck-typed: lease_namespace/lease_name/holder/epoch). A write that
+        carries a stale token — a deposed leader resuming after a GC pause
+        or partition — is rejected with :class:`FencingConflict` before it
+        can touch etcd, which is what prevents split-brain double writes.
+        """
+        if fencing is None:
+            return
+        kv = self.etcd.get(
+            self._key("Lease", fencing.lease_namespace, fencing.lease_name)
+        )
+        lease = kv.value if kv is not None else None
+        if (
+            lease is None
+            or lease.spec.holder != fencing.holder
+            or lease.spec.epoch != fencing.epoch
+        ):
+            held = (
+                "no lease"
+                if lease is None
+                else f"holder={lease.spec.holder!r} epoch={lease.spec.epoch}"
+            )
+            raise FencingConflict(
+                f"fenced write rejected: {fencing.holder!r} epoch "
+                f"{fencing.epoch} is stale ({held})"
+            )
+
     # -- kind registry -----------------------------------------------------
     def register_crd(self, kind: str) -> None:
         """Register a custom resource kind (e.g. ``SharePod``)."""
@@ -134,9 +174,10 @@ class APIServer:
         return self._key(obj.kind, obj.metadata.namespace, obj.metadata.name)
 
     # -- CRUD ----------------------------------------------------------------
-    def create(self, obj: Any) -> Any:
+    def create(self, obj: Any, fencing: Optional[Any] = None) -> Any:
         """Persist a new object. Returns the stored copy."""
         self._gate()
+        self._check_fencing(fencing)
         self._check_kind(obj.kind)
         stored = _clone(obj)
         stored.metadata.creation_time = self.env.now
@@ -180,9 +221,10 @@ class APIServer:
                 out.append(obj)
         return out
 
-    def update(self, obj: Any) -> Any:
+    def update(self, obj: Any, fencing: Optional[Any] = None) -> Any:
         """Write back an object read earlier; optimistic-concurrency checked."""
         self._gate()
+        self._check_fencing(fencing)
         self._check_kind(obj.kind)
         key = self._obj_key(obj)
         stored = _clone(obj)
@@ -202,32 +244,54 @@ class APIServer:
         mutate: Callable[[Any], None],
         namespace: str = DEFAULT_NAMESPACE,
         retries: int = 8,
+        fencing: Optional[Any] = None,
     ) -> Any:
-        """Read-modify-write with automatic conflict retry."""
+        """Read-modify-write with automatic conflict retry.
+
+        The re-read on every attempt is what makes the retry safe: a
+        conflicting writer's changes are picked up before *mutate* runs
+        again, so no concurrent update is silently overwritten. Fencing
+        rejections are not retried — a stale epoch cannot become fresh.
+        """
         for _ in range(retries):
             obj = self.get(kind, name, namespace)
             if obj is None:
                 raise NotFound(self._key(kind, namespace, name))
             mutate(obj)
             try:
-                return self.update(obj)
+                return self.update(obj, fencing=fencing)
+            except FencingConflict:
+                raise
             except Conflict:
                 continue
         raise Conflict(f"patch of {kind}/{namespace}/{name} kept conflicting")
 
-    def delete(self, kind: str, name: str, namespace: str = DEFAULT_NAMESPACE) -> Any:
+    def delete(
+        self,
+        kind: str,
+        name: str,
+        namespace: str = DEFAULT_NAMESPACE,
+        fencing: Optional[Any] = None,
+    ) -> Any:
         """Remove an object; returns the last stored value."""
         self._gate()
+        self._check_fencing(fencing)
         self._check_kind(kind)
         prev = self.etcd.delete(self._key(kind, namespace, name))
         if prev is None:
             raise NotFound(self._key(kind, namespace, name))
         return _clone(prev.value)
 
-    def try_delete(self, kind: str, name: str, namespace: str = DEFAULT_NAMESPACE) -> bool:
+    def try_delete(
+        self,
+        kind: str,
+        name: str,
+        namespace: str = DEFAULT_NAMESPACE,
+        fencing: Optional[Any] = None,
+    ) -> bool:
         """Like :meth:`delete` but returns False instead of raising."""
         try:
-            self.delete(kind, name, namespace)
+            self.delete(kind, name, namespace, fencing=fencing)
             return True
         except NotFound:
             return False

@@ -18,6 +18,7 @@ from .apiserver import APIServer
 from .deviceplugin import DeviceManager, NvidiaDevicePlugin, ScalingFactorGPUPlugin
 from .etcd import Etcd
 from .kubelet import Kubelet
+from .leaderelection import HAControllerGroup
 from .nodelifecycle import NodeLifecycleController
 from .objects import Pod, PodPhase
 from .runtime import ContainerRuntime, RuntimeLatency
@@ -54,6 +55,14 @@ class ClusterConfig:
     node_monitor_interval: float = 0.5
     #: disable to study what happens with *no* recovery machinery.
     node_lifecycle: bool = True
+    #: >1 runs the lifecycle controller leader-elected with hot standbys
+    #: (see repro.cluster.leaderelection); 1 keeps the classic single
+    #: instance.
+    node_lifecycle_replicas: int = 1
+    #: election parameters for HA control-plane controllers.
+    controller_lease_duration: float = 3.0
+    controller_renew_interval: float = 0.5
+    controller_retry_interval: float = 0.5
 
 
 class WorkerNode:
@@ -159,13 +168,36 @@ class Cluster:
             for i in range(self.config.nodes)
         ]
         self.node_lifecycle: Optional[NodeLifecycleController] = None
+        self.node_lifecycle_ha: Optional[HAControllerGroup] = None
         if self.config.node_lifecycle:
-            self.node_lifecycle = NodeLifecycleController(
-                self.env,
-                self.api,
-                lease_duration=self.config.lease_duration,
-                monitor_interval=self.config.node_monitor_interval,
-            )
+            if self.config.node_lifecycle_replicas > 1:
+                cfg = self.config
+
+                def nlc_factory(api) -> NodeLifecycleController:
+                    return NodeLifecycleController(
+                        self.env,
+                        api,
+                        lease_duration=cfg.lease_duration,
+                        monitor_interval=cfg.node_monitor_interval,
+                    )
+
+                self.node_lifecycle_ha = HAControllerGroup(
+                    self.env,
+                    self.api,
+                    "node-lifecycle",
+                    nlc_factory,
+                    replicas=cfg.node_lifecycle_replicas,
+                    lease_duration=cfg.controller_lease_duration,
+                    renew_interval=cfg.controller_renew_interval,
+                    retry_interval=cfg.controller_retry_interval,
+                )
+            else:
+                self.node_lifecycle = NodeLifecycleController(
+                    self.env,
+                    self.api,
+                    lease_duration=self.config.lease_duration,
+                    monitor_interval=self.config.node_monitor_interval,
+                )
         self._started = False
 
     # -- lifecycle ---------------------------------------------------------
@@ -175,6 +207,8 @@ class Cluster:
             self.scheduler.start()
             if self.node_lifecycle is not None:
                 self.node_lifecycle.start()
+            if self.node_lifecycle_ha is not None:
+                self.node_lifecycle_ha.start()
             for node in self.nodes:
                 node.kubelet.start()
             self._started = True

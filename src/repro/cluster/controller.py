@@ -12,7 +12,7 @@ import random
 from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
 
 from ..sim import Environment, Process, Store
-from .apiserver import APIServer, translate_event
+from .apiserver import APIServer, ServiceUnavailable, translate_event
 from .etcd import WatchEventType
 
 __all__ = ["Informer", "WorkQueue", "Controller"]
@@ -57,6 +57,11 @@ class Informer:
 
     def _run(self) -> Generator:
         self._stream = stream = self.api.watch(self.kind, replay=True)
+        if self.cache:
+            # Relist-on-reconnect: the watch's replay snapshot re-PUTs every
+            # object that still exists, but deletions that happened while we
+            # were not watching would otherwise linger in the cache forever.
+            self._prune_vanished()
         while True:
             raw = yield stream.get()
             etype, obj = translate_event(raw)
@@ -69,6 +74,44 @@ class Informer:
                 self.cache[key] = obj
             for handler in self._handlers:
                 handler(etype, obj)
+
+    def _prune_vanished(self) -> None:
+        """Drop (and dispatch DELETE for) cached keys the store lost."""
+        try:
+            current = {obj.metadata.key for obj in self.api.list(self.kind)}
+        except ServiceUnavailable:
+            return  # outage: the post-outage resync will reconcile us
+        for key in [k for k in self.cache if k not in current]:
+            obj = self.cache.pop(key)
+            for handler in self._handlers:
+                handler(WatchEventType.DELETE, obj)
+
+    def resync(self) -> None:
+        """Reconcile the cache against a full relist, dispatching synthetic
+        events for every difference (missed deletes and missed/late puts).
+
+        The normal watch path cannot miss events — watches attach directly
+        to etcd and outages only gate request processing — but a stopped
+        informer (controller failover, pause/resume) can; this is the
+        recovery hook for that, and the post-outage safety net.
+        """
+        try:
+            current = {obj.metadata.key: obj for obj in self.api.list(self.kind)}
+        except ServiceUnavailable:
+            return
+        for key in [k for k in self.cache if k not in current]:
+            obj = self.cache.pop(key)
+            for handler in self._handlers:
+                handler(WatchEventType.DELETE, obj)
+        for key, obj in current.items():
+            cached = self.cache.get(key)
+            if (
+                cached is None
+                or cached.metadata.resource_version != obj.metadata.resource_version
+            ):
+                self.cache[key] = obj
+                for handler in self._handlers:
+                    handler(WatchEventType.PUT, obj)
 
     # -- cache access ------------------------------------------------------
     def get(self, key: str) -> Optional[Any]:
@@ -126,6 +169,12 @@ class WorkQueue:
             self._dirty.discard(key)
             self.add(key)
 
+    def reset_in_flight(self) -> None:
+        """Forget checkouts whose workers died mid-reconcile (controller
+        stop/restart); their dirty keys re-enqueue so no event is lost."""
+        for key in list(self._processing):
+            self.done(key)
+
 
 class Controller:
     """Base class for control loops: informer events feed a work queue,
@@ -143,6 +192,9 @@ class Controller:
     retry_delay: float = 0.05
     max_retry_delay: float = 2.0
     workers: int = 1
+    #: How often the outage monitor checks whether an apiserver outage
+    #: ended (it then resyncs the informer once per outage).
+    resync_interval: float = 0.5
 
     def __init__(self, env: Environment, api: APIServer, name: Optional[str] = None) -> None:
         self.env = env
@@ -159,6 +211,10 @@ class Controller:
         self._rng = random.Random(f"backoff:{self.name}")
         self._procs: list = []
         self.reconcile_errors: List[Tuple[float, str, str]] = []
+        self.reconciles_total = 0
+        self.first_reconcile_at: Optional[float] = None
+        self.last_reconcile_at: Optional[float] = None
+        self.resyncs_total = 0
 
     # -- lifecycle -----------------------------------------------------------
     def start(self) -> "Controller":
@@ -168,6 +224,11 @@ class Controller:
             self._procs.append(
                 self.env.process(self._worker(), name=f"{self.name}:worker{i}")
             )
+        self._procs.append(
+            self.env.process(
+                self._outage_monitor(), name=f"{self.name}:outage-monitor"
+            )
+        )
         return self
 
     def stop(self) -> None:
@@ -183,6 +244,14 @@ class Controller:
             if isinstance(target, Process) and target.is_alive:
                 target.kill()
         self._procs = []
+        # In-flight keys would otherwise be stuck in `processing` forever
+        # and silently swallow re-adds after a restart (pause/resume).
+        self.queue.reset_in_flight()
+
+    def resync(self) -> None:
+        """Force an informer relist (see :meth:`Informer.resync`)."""
+        self.resyncs_total += 1
+        self.informer.resync()
 
     def _on_event(self, etype: WatchEventType, obj: Any) -> None:
         if etype is WatchEventType.DELETE:
@@ -204,10 +273,23 @@ class Controller:
         yield  # pragma: no cover
 
     # -- worker loop -------------------------------------------------------------
+    def _outage_monitor(self) -> Generator:
+        """Resync once after every apiserver outage window closes."""
+        seen = self.api.outages_total
+        while True:
+            yield self.env.timeout(self.resync_interval)
+            if self.api.outages_total != seen and self.api.available:
+                seen = self.api.outages_total
+                self.resync()
+
     def _worker(self) -> Generator:
         while True:
             key = yield self.queue.get()
             self.queue.checkout(key)
+            self.reconciles_total += 1
+            if self.first_reconcile_at is None:
+                self.first_reconcile_at = self.env.now
+            self.last_reconcile_at = self.env.now
             if self.api.extra_latency > 0:
                 # Chaos-injected control-plane latency: every reconcile's
                 # API round-trips slow down accordingly.

@@ -13,7 +13,8 @@
 """
 
 from .devmgr import KubeShareDevMgr, PLACEHOLDER_PREFIX
-from .framework import KubeShare
+from .framework import KubeShare, SharePodClient
+from .ha import HAKubeShare
 from .policies import HybridPolicy, OnDemandPolicy, PoolPolicy, ReservationPolicy
 from .scheduler import (
     Decision,
@@ -24,10 +25,19 @@ from .scheduler import (
     schedule_request,
 )
 from .sharepod import SharePod, SharePodSpec, SharePodStatus, SpecError
-from .vgpu import VGPU, VGPUPhase, VGPUPool, new_gpuid
+from .vgpu import (
+    VGPU,
+    VGPUPhase,
+    VGPUPool,
+    new_gpuid,
+    placeholder_gpuid,
+    reset_gpuid_counter,
+)
 
 __all__ = [
     "KubeShare",
+    "HAKubeShare",
+    "SharePodClient",
     "KubeShareSched",
     "KubeShareDevMgr",
     "PLACEHOLDER_PREFIX",
@@ -39,6 +49,8 @@ __all__ = [
     "VGPUPhase",
     "VGPUPool",
     "new_gpuid",
+    "placeholder_gpuid",
+    "reset_gpuid_counter",
     "DeviceView",
     "RequestView",
     "Decision",

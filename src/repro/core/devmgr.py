@@ -50,11 +50,17 @@ from ..gpu.frontend import (
 from ..sim import Environment
 from .policies import OnDemandPolicy, PoolPolicy
 from .sharepod import SharePod
-from .vgpu import VGPU, VGPUPhase, VGPUPool, new_gpuid
+from .vgpu import (
+    PLACEHOLDER_PREFIX,
+    VGPU,
+    VGPUPhase,
+    VGPUPool,
+    new_gpuid,
+    placeholder_gpuid,
+)
 
 __all__ = ["KubeShareDevMgr", "PLACEHOLDER_PREFIX"]
 
-PLACEHOLDER_PREFIX = "vgpu-holder-"
 _TERMINAL = (PodPhase.SUCCEEDED, PodPhase.FAILED)
 
 
@@ -93,17 +99,81 @@ class KubeShareDevMgr(Controller):
         self.vgpus_released_total = 0
         self.vgpus_torn_down_total = 0
         self.sharepods_rescheduled_total = 0
+        self._aux_procs: list = []
+        self._aux_streams: list = []
 
     # -- lifecycle ------------------------------------------------------------
     def start(self) -> "KubeShareDevMgr":
         super().start()
-        self.env.process(self._watch_pods(), name="devmgr:pod-watch")
-        self.env.process(self._watch_nodes(), name="devmgr:node-watch")
+        self._aux_procs = [
+            self.env.process(self._watch_pods(), name="devmgr:pod-watch"),
+            self.env.process(self._watch_nodes(), name="devmgr:node-watch"),
+        ]
         return self
+
+    def stop(self) -> None:
+        """Stop everything, including the auxiliary pod/node watchers."""
+        super().stop()
+        for stream in self._aux_streams:
+            stream.close()
+        self._aux_streams = []
+        for proc in self._aux_procs:
+            if proc.is_alive:
+                proc.kill()
+        self._aux_procs = []
+
+    def rebuild_state(self) -> None:
+        """Crash-safe rebuild of the in-memory view from the apiserver.
+
+        A freshly promoted leader relists SharePods and Pods and
+        reconstructs the vGPU pool (GPUID ↔ UUID ↔ node, from the
+        deterministically named placeholder pods), the sharePod ↔ vGPU
+        binding map, and the created-real-pod set — no informer cache or
+        predecessor memory is trusted across a failover. Idle vGPUs found
+        during the rebuild fall under the pool policy exactly as if their
+        last sharePod had just detached.
+        """
+        pods = self.api.list("Pod")
+        pod_names = {(p.metadata.namespace, p.name) for p in pods}
+        for pod in pods:
+            if not pod.name.startswith(PLACEHOLDER_PREFIX):
+                continue
+            gpuid = placeholder_gpuid(pod.name)
+            if self.pool.get(gpuid) is not None:
+                continue
+            vgpu = VGPU(gpuid=gpuid, created_at=pod.metadata.creation_time)
+            vgpu.placeholder_pod = pod.name
+            if pod.status.phase is PodPhase.RUNNING:
+                uuid = pod.status.container_env.get("NVIDIA_VISIBLE_DEVICES", "")
+                vgpu.uuid = uuid.split(",")[0] if uuid else None
+                vgpu.node_name = pod.spec.node_name
+            self.pool.add(vgpu)
+        for sp in self.api.list("SharePod"):
+            key = sp.metadata.key
+            if sp.spec.gpu_id is None or sp.status.phase in _TERMINAL:
+                continue
+            vgpu = self.pool.get(sp.spec.gpu_id)
+            if vgpu is None:
+                continue  # reconcile recreates the placeholder idempotently
+            vgpu.attached.add(key)
+            self._bound[key] = vgpu.gpuid
+            if vgpu.materialized:
+                vgpu.phase = VGPUPhase.ACTIVE
+                vgpu.idle_since = None
+            if (sp.metadata.namespace, sp.name) in pod_names:
+                self._pod_created.add(key)
+        for vgpu in self.pool.idle_vgpus():
+            vgpu.phase = VGPUPhase.IDLE
+            vgpu.idle_since = self.env.now
+            if self.policy.release_on_idle(self.pool, vgpu):
+                self._release(vgpu)
+            elif self.policy.idle_ttl is not None:
+                self.env.process(self._ttl_watch(vgpu, vgpu.idle_since))
 
     def _watch_pods(self) -> Generator:
         """React to placeholder and real pod changes by requeuing owners."""
         stream = self.api.watch("Pod", replay=True)
+        self._aux_streams.append(stream)
         while True:
             raw = yield stream.get()
             _etype, pod = translate_event(raw)
@@ -127,6 +197,7 @@ class KubeShareDevMgr(Controller):
         ``unhealthy_gpus`` lists devices the kubelet's plugin reported
         failed (an ECC error on an otherwise healthy node)."""
         stream = self.api.watch("Node", replay=True)
+        self._aux_streams.append(stream)
         while True:
             raw = yield stream.get()
             etype, node = translate_event(raw)

@@ -19,40 +19,22 @@ from .scheduler import KubeShareSched
 from .sharepod import SharePod, SharePodSpec
 from .vgpu import VGPUPool
 
-__all__ = ["KubeShare"]
+__all__ = ["SharePodClient", "KubeShare"]
 
 _TERMINAL = (PodPhase.SUCCEEDED, PodPhase.FAILED)
 
 
-class KubeShare:
-    """The KubeShare framework extension, attached to a cluster."""
+class SharePodClient:
+    """Client-side SharePod helpers (what §4.1 calls the *Client*).
 
-    def __init__(
-        self,
-        cluster: Cluster,
-        isolation: str = "token",
-        policy: Optional[PoolPolicy] = None,
-    ) -> None:
-        self.cluster = cluster
-        self.env: Environment = cluster.env
-        self.api = cluster.api
-        self.api.register_crd("SharePod")
-        self.pool = VGPUPool()
-        self.sched = KubeShareSched(self.env, self.api, self.pool)
-        self.devmgr = KubeShareDevMgr(
-            self.env, self.api, self.pool, policy=policy, isolation=isolation
-        )
-        self._started = False
+    Shared by the classic single-instance wiring (:class:`KubeShare`) and
+    the leader-elected HA wiring (:class:`repro.core.ha.HAKubeShare`);
+    subclasses provide ``env`` and ``api`` attributes.
+    """
 
-    def start(self) -> "KubeShare":
-        """Start both controllers (the cluster must be started separately)."""
-        if not self._started:
-            self.sched.start()
-            self.devmgr.start()
-            self._started = True
-        return self
+    env: Environment
+    api: object
 
-    # -- client-side helpers (what §4.1 calls the *Client*) -----------------
     def make_sharepod(
         self,
         name: str,
@@ -135,3 +117,32 @@ class KubeShare:
             pending -= done
             if pending:
                 yield self.env.timeout(poll)
+
+
+class KubeShare(SharePodClient):
+    """The KubeShare framework extension, attached to a cluster."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        isolation: str = "token",
+        policy: Optional[PoolPolicy] = None,
+    ) -> None:
+        self.cluster = cluster
+        self.env = cluster.env
+        self.api = cluster.api
+        self.api.register_crd("SharePod")
+        self.pool = VGPUPool()
+        self.sched = KubeShareSched(self.env, self.api, self.pool)
+        self.devmgr = KubeShareDevMgr(
+            self.env, self.api, self.pool, policy=policy, isolation=isolation
+        )
+        self._started = False
+
+    def start(self) -> "KubeShare":
+        """Start both controllers (the cluster must be started separately)."""
+        if not self._started:
+            self.sched.start()
+            self.devmgr.start()
+            self._started = True
+        return self

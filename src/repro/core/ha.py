@@ -1,0 +1,115 @@
+"""Leader-elected HA wiring of KubeShare onto a simulated cluster.
+
+Runs N replicas each of KubeShare-Sched and KubeShare-DevMgr as
+:class:`~repro.cluster.leaderelection.HAControllerGroup` members. Exactly
+one replica per controller is active at a time; a standby is promoted
+within the group's failover bound when the leader crashes or goes silent.
+
+Differences from the single-instance :class:`~repro.core.framework.KubeShare`:
+
+* there is no shared in-process ``VGPUPool``. Each promoted DevMgr leader
+  rebuilds its own pool from the apiserver
+  (:meth:`~repro.core.devmgr.KubeShareDevMgr.rebuild_state`), and the
+  scheduler derives its device views from the deterministically named
+  placeholder pods on every pass — etcd is the only state handoff between
+  reigns, exactly as in production Kubernetes;
+* every controller write goes through a
+  :class:`~repro.cluster.leaderelection.FencedAPIServer`, so a deposed
+  leader (GC pause, partition) cannot double-allocate a vGPU: its writes
+  are rejected with lease-epoch ``Conflict`` before touching etcd.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..cluster.cluster import Cluster
+from ..cluster.leaderelection import FencedAPIServer, HAControllerGroup
+from .devmgr import KubeShareDevMgr
+from .framework import SharePodClient
+from .policies import PoolPolicy
+from .scheduler import KubeShareSched
+from .vgpu import VGPUPool
+
+__all__ = ["HAKubeShare"]
+
+
+class HAKubeShare(SharePodClient):
+    """KubeShare with a leader-elected, fenced, N-replica control plane."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        replicas: int = 2,
+        isolation: str = "token",
+        policy: Optional[PoolPolicy] = None,
+        lease_duration: float = 3.0,
+        renew_interval: float = 0.5,
+        retry_interval: float = 0.5,
+    ) -> None:
+        self.cluster = cluster
+        self.env = cluster.env
+        self.api = cluster.api
+        self.api.register_crd("SharePod")
+        env = self.env
+
+        def sched_factory(api: FencedAPIServer) -> KubeShareSched:
+            # pool=None: device views derive from the apiserver each pass.
+            return KubeShareSched(env, api, pool=None)
+
+        def devmgr_factory(api: FencedAPIServer) -> KubeShareDevMgr:
+            # A private pool per reign; rebuild_state() fills it by relist.
+            return KubeShareDevMgr(
+                env, api, VGPUPool(), policy=policy, isolation=isolation
+            )
+
+        self.sched_group = HAControllerGroup(
+            env,
+            self.api,
+            "kubeshare-sched",
+            sched_factory,
+            replicas=replicas,
+            lease_duration=lease_duration,
+            renew_interval=renew_interval,
+            retry_interval=retry_interval,
+        )
+        self.devmgr_group = HAControllerGroup(
+            env,
+            self.api,
+            "kubeshare-devmgr",
+            devmgr_factory,
+            replicas=replicas,
+            lease_duration=lease_duration,
+            renew_interval=renew_interval,
+            retry_interval=retry_interval,
+        )
+        self._started = False
+
+    def start(self) -> "HAKubeShare":
+        """Start every replica (the cluster must be started separately)."""
+        if not self._started:
+            self.sched_group.start()
+            self.devmgr_group.start()
+            self._started = True
+        return self
+
+    def stop(self) -> None:
+        self.sched_group.stop()
+        self.devmgr_group.stop()
+
+    # -- views -------------------------------------------------------------
+    @property
+    def sched(self) -> Optional[KubeShareSched]:
+        """The currently active scheduler instance (None mid-failover)."""
+        return self.sched_group.active_controller
+
+    @property
+    def devmgr(self) -> Optional[KubeShareDevMgr]:
+        """The currently active DevMgr instance (None mid-failover)."""
+        return self.devmgr_group.active_controller
+
+    @property
+    def pool(self) -> Optional[VGPUPool]:
+        """The active DevMgr leader's vGPU pool (None mid-failover)."""
+        devmgr = self.devmgr
+        return devmgr.pool if devmgr is not None else None

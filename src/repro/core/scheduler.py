@@ -36,7 +36,13 @@ from ..cluster.etcd import WatchEventType
 from ..cluster.objects import GPU_RESOURCE, PodPhase
 from ..sim import Environment
 from .sharepod import SharePod
-from .vgpu import VGPUPool, new_gpuid
+from .vgpu import (
+    PLACEHOLDER_PREFIX,
+    VGPU,
+    VGPUPool,
+    new_gpuid,
+    placeholder_gpuid,
+)
 
 __all__ = [
     "DeviceView",
@@ -254,11 +260,14 @@ class KubeShareSched(Controller):
         self,
         env: Environment,
         api: APIServer,
-        pool: VGPUPool,
+        pool: Optional[VGPUPool] = None,
         defer_delay: float = 0.25,
         op_latency: float = 0.08,
     ) -> None:
         super().__init__(env, api, name="kubeshare-sched")
+        #: shared in-process pool (classic single-instance wiring), or
+        #: ``None`` to derive the device view from the apiserver on every
+        #: pass (HA wiring — a promoted scheduler needs no state handoff).
         self.pool = pool
         self.defer_delay = defer_delay
         #: API-roundtrip cost of one scheduling pass (list SharePods +
@@ -280,6 +289,29 @@ class KubeShareSched(Controller):
         return obj.spec.gpu_id is None
 
     # -- reconcile --------------------------------------------------------------
+    def _pool_view(self) -> VGPUPool:
+        """Algorithm 1's device pool.
+
+        With a shared in-process pool that pool is authoritative. In HA
+        mode the view is rebuilt from the apiserver's placeholder pods
+        (their names encode the GPUIDs), so a freshly promoted scheduler
+        leader sees exactly the vGPUs that exist in the cluster without
+        inheriting any in-memory state.
+        """
+        if self.pool is not None:
+            return self.pool
+        view = VGPUPool()
+        for pod in self.api.list("Pod"):
+            if pod.name.startswith(PLACEHOLDER_PREFIX):
+                vgpu = VGPU(
+                    gpuid=placeholder_gpuid(pod.name),
+                    created_at=pod.metadata.creation_time,
+                )
+                vgpu.placeholder_pod = pod.name
+                vgpu.node_name = pod.spec.node_name
+                view.add(vgpu)
+        return view
+
     def _cluster_gpu_capacity(self) -> int:
         # NotReady nodes contribute nothing: their GPUs are unreachable
         # until the node lifecycle controller sees a fresh lease again.
@@ -302,7 +334,8 @@ class KubeShareSched(Controller):
             if sp is None or sp.spec.gpu_id is not None or sp.status.phase in _TERMINAL:
                 return
         sharepods = [s for s in self.api.list("SharePod") if s.metadata.key != key]
-        devices = build_device_views(self.pool, sharepods)
+        pool = self._pool_view()
+        devices = build_device_views(pool, sharepods)
 
         t0 = time.perf_counter()
         decision = schedule_request(RequestView.from_sharepod(sp), devices)
@@ -321,8 +354,8 @@ class KubeShareSched(Controller):
                 for s in sharepods
                 if s.spec.gpu_id is not None and s.status.phase not in _TERMINAL
             }
-            in_flight = len({g for g in assigned_ids if g not in self.pool})
-            if len(self.pool) + in_flight >= max(self._cluster_gpu_capacity(), 1):
+            in_flight = len({g for g in assigned_ids if g not in pool})
+            if len(pool) + in_flight >= max(self._cluster_gpu_capacity(), 1):
                 # Defer without blocking the worker; capacity-free events
                 # also requeue us (see filter()).
                 self.env.process(self._requeue_later(key, self.defer_delay))

@@ -19,7 +19,21 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict, List, Optional, Set
 
-__all__ = ["VGPUPhase", "VGPU", "VGPUPool", "new_gpuid"]
+__all__ = [
+    "VGPUPhase",
+    "VGPU",
+    "VGPUPool",
+    "new_gpuid",
+    "reset_gpuid_counter",
+    "PLACEHOLDER_PREFIX",
+    "placeholder_gpuid",
+]
+
+#: Placeholder pods are named ``vgpu-holder-<gpuid>`` — deterministically,
+#: so a vGPU's placeholder can be recognized (and its creation retried
+#: idempotently) by any controller instance, including a freshly promoted
+#: leader rebuilding state after a failover.
+PLACEHOLDER_PREFIX = "vgpu-holder-"
 
 _gpuid_counter = itertools.count(1)
 
@@ -29,6 +43,23 @@ def new_gpuid() -> str:
     seq = next(_gpuid_counter)
     digest = hashlib.sha1(f"vgpu-{seq}".encode()).hexdigest()[:8]
     return f"vgpu-{digest}"
+
+
+def reset_gpuid_counter() -> None:
+    """Restart GPUID generation from 1 (a fresh control plane's counter).
+
+    GPUIDs only need to be unique within one cluster; simulations that
+    must replay bit-for-bit (same seed ⇒ identical placement, including
+    Algorithm 1's GPUID-ordered tie-breaks) call this at scenario start
+    so the sequence does not depend on what ran earlier in the process.
+    """
+    global _gpuid_counter
+    _gpuid_counter = itertools.count(1)
+
+
+def placeholder_gpuid(pod_name: str) -> str:
+    """The GPUID encoded in a placeholder pod's name."""
+    return pod_name[len(PLACEHOLDER_PREFIX):]
 
 
 class VGPUPhase(str, Enum):

@@ -1,0 +1,139 @@
+"""Informer convergence after outages and restarts.
+
+Watch streams attach directly to etcd, and an apiserver outage gates
+request processing — writes fail, so there are no events to miss while
+the stream stays open. Events *can* be missed by a stopped informer
+(controller failover or pause/resume), which is what relist-on-reconnect
+(:meth:`Informer._run` pruning) and :meth:`Informer.resync` cover; the
+controller's outage monitor resyncs once per outage as a safety net.
+These are the regression tests for all three paths.
+"""
+
+import pytest
+
+from repro.cluster.apiserver import APIServer, ServiceUnavailable
+from repro.cluster.controller import Controller, Informer
+from repro.cluster.etcd import WatchEventType
+from repro.cluster.objects import ObjectMeta, Pod
+from repro.sim import Environment
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def api(env):
+    return APIServer(env)
+
+
+def cache_keys(informer):
+    return set(informer.cache)
+
+
+def api_keys(api, kind="Pod"):
+    return {obj.metadata.key for obj in api.list(kind)}
+
+
+class TestLiveWatchDuringOutage:
+    def test_no_events_can_be_missed_during_outage(self, env, api):
+        """While the apiserver is down, writes fail — so an informer that
+        keeps its watch open converges trivially once writers retry."""
+        informer = Informer(env, api, "Pod")
+        informer.start()
+        api.create(Pod(metadata=ObjectMeta(name="before")))
+        env.run(until=1.0)
+
+        api.set_outage(2.0)
+        with pytest.raises(ServiceUnavailable):
+            api.create(Pod(metadata=ObjectMeta(name="during")))
+        env.run(until=2.0)  # mid-outage: nothing changed, nothing missed
+        assert cache_keys(informer) == {"default/before"}
+
+        env.run(until=3.5)  # outage over: the writer retries
+        api.create(Pod(metadata=ObjectMeta(name="after")))
+        api.delete("Pod", "before")
+        env.run(until=4.0)
+        assert cache_keys(informer) == api_keys(api) == {"default/after"}
+
+    def test_controller_resyncs_once_after_outage(self, env, api):
+        class Noop(Controller):
+            def reconcile(self, key):
+                return
+                yield
+
+        ctl = Noop(env, api).start()
+        env.run(until=1.0)
+        assert ctl.resyncs_total == 0
+        api.set_outage(1.0)
+        env.run(until=4.0)
+        assert ctl.resyncs_total == 1  # exactly one resync per outage
+        api.set_outage(0.5)
+        env.run(until=6.0)
+        assert ctl.resyncs_total == 2
+
+
+class TestStoppedInformer:
+    def test_restart_prunes_objects_deleted_while_stopped(self, env, api):
+        informer = Informer(env, api, "Pod")
+        deletes = []
+        informer.add_handler(
+            lambda et, obj: deletes.append(obj.metadata.key)
+            if et is WatchEventType.DELETE
+            else None
+        )
+        informer.start()
+        api.create(Pod(metadata=ObjectMeta(name="keep")))
+        api.create(Pod(metadata=ObjectMeta(name="doomed")))
+        env.run(until=1.0)
+        assert cache_keys(informer) == {"default/keep", "default/doomed"}
+
+        informer.stop()
+        api.delete("Pod", "doomed")
+        api.create(Pod(metadata=ObjectMeta(name="new")))
+        env.run(until=2.0)
+        # Stale view while stopped — this is the failover window.
+        assert "default/doomed" in cache_keys(informer)
+
+        informer.start()
+        env.run(until=3.0)
+        assert cache_keys(informer) == api_keys(api) == {
+            "default/keep",
+            "default/new",
+        }
+        assert deletes == ["default/doomed"]  # synthetic DELETE dispatched
+
+    def test_resync_reconciles_every_difference(self, env, api):
+        informer = Informer(env, api, "Pod")
+        events = []
+        informer.add_handler(lambda et, obj: events.append((et, obj.metadata.key)))
+        informer.start()
+        api.create(Pod(metadata=ObjectMeta(name="stays")))
+        api.create(Pod(metadata=ObjectMeta(name="goes")))
+        api.create(Pod(metadata=ObjectMeta(name="changes")))
+        env.run(until=1.0)
+
+        informer.stop()
+        api.delete("Pod", "goes")
+        api.patch("Pod", "changes", lambda p: p.metadata.labels.update(v="2"))
+        api.create(Pod(metadata=ObjectMeta(name="appears")))
+        events.clear()
+
+        informer.resync()
+        assert cache_keys(informer) == api_keys(api)
+        assert informer.get("default/changes").metadata.labels == {"v": "2"}
+        assert (WatchEventType.DELETE, "default/goes") in events
+        assert (WatchEventType.PUT, "default/appears") in events
+        assert (WatchEventType.PUT, "default/changes") in events
+        # Unchanged objects dispatch nothing (no reconcile storms).
+        assert (WatchEventType.PUT, "default/stays") not in events
+
+    def test_resync_during_outage_is_a_safe_noop(self, env, api):
+        informer = Informer(env, api, "Pod")
+        informer.start()
+        api.create(Pod(metadata=ObjectMeta(name="p")))
+        env.run(until=1.0)
+        api.set_outage(5.0)
+        informer.resync()  # must not raise, must not wipe the cache
+        assert cache_keys(informer) == {"default/p"}

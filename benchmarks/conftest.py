@@ -10,7 +10,7 @@ the full paper-vs-measured comparison.
 
 import pytest
 
-from repro.core import reset_gpuid_counter
+from repro.analysis.resets import reset_all
 
 
 def emit(text: str) -> None:
@@ -24,12 +24,13 @@ def report():
 
 
 @pytest.fixture(autouse=True)
-def _fresh_gpuid_sequence():
-    """Each bench starts from GPUID #1.
+def _fresh_process_state():
+    """Each bench starts from fresh process-global state (GPUID #1, ...).
 
     Algorithm 1 breaks placement ties by GPUID ordering, and GPUIDs are
     hashed from a process-global counter — without a reset every scenario
     depends on how many vGPUs earlier tests created, so results shift
-    whenever a test is added or reordered. A per-test reset makes every
-    bench reproduce its standalone run exactly."""
-    reset_gpuid_counter()
+    whenever a test is added or reordered. The reset registry
+    (:mod:`repro.analysis.resets`) runs every registered hook, so newly
+    added global state is covered without editing this fixture."""
+    reset_all()

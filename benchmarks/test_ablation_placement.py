@@ -8,7 +8,6 @@ best/worst/first-fit, counting rejected affinity requests and devices
 used.
 """
 
-import numpy as np
 import pytest
 
 from repro.core.scheduler import RequestView, schedule_request

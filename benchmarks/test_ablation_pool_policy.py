@@ -10,7 +10,7 @@ number of placeholder pods held while idle.
 import pytest
 
 from repro.cluster import Cluster, ClusterConfig
-from repro.cluster.objects import GPU_RESOURCE, PodPhase
+from repro.cluster.objects import PodPhase
 from repro.core import HybridPolicy, KubeShare, OnDemandPolicy, ReservationPolicy
 from repro.core.devmgr import PLACEHOLDER_PREFIX
 from repro.metrics.reporting import ascii_table

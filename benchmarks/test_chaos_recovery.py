@@ -12,6 +12,7 @@ disabled (``node_lifecycle=False``) and demonstrably does not recover.
 
 import pytest
 
+from repro.analysis import install_from_env
 from repro.chaos import ChaosEngine, FaultKind
 from repro.cluster import Cluster, ClusterConfig
 from repro.cluster.objects import PodPhase
@@ -38,6 +39,10 @@ def run_scenario(recovery: bool) -> dict:
         env,
         ClusterConfig(nodes=4, gpus_per_node=2, node_lifecycle=recovery),
     ).start()
+    # Opt-in dynamic race detection (REPRO_RACE_DETECT=1, set by the CI
+    # smoke jobs): flags lost updates, double-bound vGPUs, and token
+    # over-grants the moment they happen inside the chaos schedule.
+    detector = install_from_env(cluster)
     ks = KubeShare(cluster, isolation="token").start()
 
     stats = []
@@ -80,6 +85,8 @@ def run_scenario(recovery: bool) -> dict:
     placed = {n: (ks.get(n).status.phase, ks.get(n).spec.node_name) for n in names}
 
     post_rate = rate(POST_WINDOW)
+    if detector is not None:
+        detector.check()  # fails loudly on any recorded violation
     return {
         "pre_rate": pre_rate,
         "post_rate": post_rate,

@@ -16,6 +16,7 @@ promotion times and an identical final placement map.
 
 import pytest
 
+from repro.analysis import install_from_env
 from repro.chaos import ChaosEngine, FaultKind
 from repro.cluster import Cluster, ClusterConfig
 from repro.cluster.objects import PodPhase
@@ -45,6 +46,10 @@ def run_scenario(replicas: int) -> dict:
     reset_gpuid_counter()
     env = Environment()
     cluster = Cluster(env, ClusterConfig(nodes=4, gpus_per_node=2)).start()
+    # Opt-in dynamic race detection (REPRO_RACE_DETECT=1, set by the CI
+    # smoke jobs): flags lost updates, double-bound vGPUs, and token
+    # over-grants the moment they happen inside the failover schedule.
+    detector = install_from_env(cluster)
     ks = HAKubeShare(cluster, replicas=replicas, isolation="token").start()
 
     steady = [f"steady{i}" for i in range(N_STEADY)]
@@ -77,6 +82,8 @@ def run_scenario(replicas: int) -> dict:
     engine.start()
 
     env.run(until=HORIZON)
+    if detector is not None:
+        detector.check()  # fails loudly on any recorded violation
 
     names = steady + burst
     sharepods = {n: ks.get(n) for n in names}

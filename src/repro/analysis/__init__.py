@@ -1,0 +1,35 @@
+"""Correctness tooling for the simulated control plane.
+
+Three layers, all mechanical enforcements of invariants the rest of the
+repo only *documents* (replayability, no lost updates, no double-bound
+vGPUs, token quotas respected):
+
+* :mod:`repro.analysis.resets` — a registry of reset hooks for
+  process-global mutable state (the GPUID-counter bug class). Test
+  fixtures call :func:`~repro.analysis.resets.reset_all` instead of
+  hand-listing every counter.
+* :mod:`repro.analysis.lint` — a custom AST linter with sim-specific
+  rules (``python -m repro.analysis.lint src tests benchmarks``). Rule
+  catalogue in :mod:`repro.analysis.rules` and DESIGN.md §8.
+* :mod:`repro.analysis.race` — a dynamic lost-update / double-bind /
+  token-over-grant detector that instruments :class:`~repro.cluster.etcd.Etcd`
+  and the per-node token backends at runtime (opt-in via the
+  ``REPRO_RACE_DETECT`` environment variable in the chaos and failover
+  benchmarks).
+"""
+
+from .race import RaceDetector, RaceViolation, Violation, install_from_env
+from .resets import register_reset, registered, reset_all
+from .rules import ALL_RULES, Finding
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "RaceDetector",
+    "RaceViolation",
+    "Violation",
+    "install_from_env",
+    "register_reset",
+    "registered",
+    "reset_all",
+]

@@ -1,0 +1,172 @@
+"""Sim-aware linter driver: ``python -m repro.analysis.lint src tests benchmarks``.
+
+Walks the given files/directories, parses every ``.py`` file once, runs
+the RPR rule catalogue (:mod:`repro.analysis.rules`) in two passes —
+pass 1 collects cross-file facts (set-typed attributes), pass 2 checks —
+and prints one line per finding::
+
+    src/repro/core/devmgr.py:185:29: RPR006 unsorted iteration over set
+    `vgpu.attached` (fix: iterate sorted(...): ...)
+
+Exit status is 1 if any unsuppressed finding remains, else 0.
+
+Suppressions are inline, flake8-style, and must name the rule::
+
+    t0 = time.perf_counter()  # noqa: RPR001 - measuring host wall time (Fig 11)
+
+A bare ``# noqa`` (no codes) also suppresses, but the reviewed style is
+to name the rule and justify the exception; foreign codes
+(``# noqa: BLE001``) do **not** suppress RPR findings.
+
+Files whose *purpose* is to violate a rule (tests of raw etcd CAS
+semantics, conflict-retry tests) can disable named rules file-wide::
+
+    # repro-lint: disable=RPR004 - this file tests raw put/CAS semantics
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import re
+import sys
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from .rules import ALL_RULES, FileContext, Finding, ProjectContext, run_rules
+
+__all__ = ["lint_paths", "lint_source", "main"]
+
+_NOQA_RE = re.compile(r"#\s*noqa(?P<codes>:[^#]*)?", re.IGNORECASE)
+_CODE_RE = re.compile(r"[A-Z]+[0-9]+")
+_PRAGMA_RE = re.compile(r"#\s*repro-lint:\s*disable=(?P<codes>[A-Z0-9, ]+)")
+
+
+def _noqa_map(source: str) -> Dict[int, Set[str]]:
+    """line -> set of suppressed codes; the empty set means 'all codes'."""
+    out: Dict[int, Set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        m = _NOQA_RE.search(line)
+        if m is None:
+            continue
+        codes = m.group("codes")
+        if codes is None:
+            out[lineno] = set()  # bare noqa: suppress everything
+        else:
+            out[lineno] = set(_CODE_RE.findall(codes))
+    return out
+
+
+def _file_pragma(source: str) -> Set[str]:
+    """Codes disabled file-wide via ``# repro-lint: disable=...``."""
+    out: Set[str] = set()
+    for m in _PRAGMA_RE.finditer(source):
+        out.update(_CODE_RE.findall(m.group("codes")))
+    return out
+
+
+def _suppressed(
+    finding: Finding, noqa: Dict[int, Set[str]], file_wide: Set[str]
+) -> bool:
+    if finding.rule_id in file_wide:
+        return True
+    codes = noqa.get(finding.line)
+    if codes is None:
+        return False
+    return not codes or finding.rule_id in codes
+
+
+def _iter_py_files(paths: Sequence[str]) -> Iterable[Path]:
+    seen: Set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        candidates = sorted(path.rglob("*.py")) if path.is_dir() else [path]
+        for file in candidates:
+            resolved = file.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                yield file
+
+
+def lint_source(
+    source: str, path: str = "<string>", project: ProjectContext | None = None
+) -> List[Finding]:
+    """Lint one source blob (the unit the fixture tests drive)."""
+    tree = ast.parse(source, filename=path)
+    ctx = FileContext(path, source, tree)
+    if project is None:
+        project = ProjectContext()
+        project.collect(ctx)
+    findings = run_rules(ctx, project)
+    noqa = _noqa_map(source)
+    file_wide = _file_pragma(source)
+    return [f for f in findings if not _suppressed(f, noqa, file_wide)]
+
+
+def lint_paths(paths: Sequence[str]) -> Tuple[List[Finding], List[str]]:
+    """Lint every ``.py`` file under *paths*.
+
+    Returns ``(findings, errors)`` where *errors* are files that failed
+    to parse (reported, and counted as failures).
+    """
+    files: List[Tuple[Path, str, ast.Module]] = []
+    errors: List[str] = []
+    for file in _iter_py_files(paths):
+        try:
+            source = file.read_text(encoding="utf-8")
+            tree = ast.parse(source, filename=str(file))
+        except (OSError, SyntaxError) as err:
+            errors.append(f"{file}: {err}")
+            continue
+        files.append((file, source, tree))
+
+    project = ProjectContext()
+    contexts = [FileContext(str(file), source, tree) for file, source, tree in files]
+    for ctx in contexts:
+        project.collect(ctx)
+
+    findings: List[Finding] = []
+    for ctx in contexts:
+        noqa = _noqa_map(ctx.source)
+        file_wide = _file_pragma(ctx.source)
+        findings.extend(
+            f
+            for f in run_rules(ctx, project)
+            if not _suppressed(f, noqa, file_wide)
+        )
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+    return findings, errors
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.lint",
+        description="Sim-aware static analysis (RPR rule catalogue).",
+    )
+    parser.add_argument("paths", nargs="*", default=["src"], help="files or directories")
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.id}  {rule.title}")
+            print(f"        why: {rule.rationale}")
+            print(f"        fix: {rule.fixit}")
+        return 0
+
+    findings, errors = lint_paths(args.paths)
+    for error in errors:
+        print(f"error: {error}", file=sys.stderr)
+    for finding in findings:
+        print(finding.render())
+    total = len(findings) + len(errors)
+    if total:
+        print(f"\n{len(findings)} finding(s), {len(errors)} parse error(s)")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

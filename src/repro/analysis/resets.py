@@ -1,0 +1,64 @@
+"""Registry of reset hooks for process-global mutable state.
+
+The GPUID-counter bug class: a module-level counter (or cache, or table)
+survives across simulated scenarios in one Python process, so a run's
+outcome depends on what ran before it — replays diverge, test results
+shift when tests are reordered. Any module that must keep such state
+registers a reset hook here; scenario entry points (the tests' and
+benchmarks' autouse fixtures) call :func:`reset_all` instead of
+hand-listing every counter, so new state can never be forgotten.
+
+The linter's RPR003 rule enforces the contract statically: module-level
+mutable state without a registered reset (or an explicit suppression) is
+a lint error.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+__all__ = ["register_reset", "reset_all", "registered", "unregister_reset"]
+
+#: The registry itself is process-global mutable state by necessity — it
+#: is the reset mechanism, is append-mostly, and resetting it would
+#: unregister every hook. Hence the explicit suppression.
+_RESETS: Dict[str, Callable[[], None]] = {}  # noqa: RPR003 - the registry is the reset mechanism
+
+
+def register_reset(name: str, hook: Optional[Callable[[], None]] = None):
+    """Register *hook* to run on every :func:`reset_all`.
+
+    *name* identifies the state being reset (convention:
+    ``"<module>.<state>"``); re-registering a name replaces its hook,
+    which keeps module reloads idempotent. Usable as a decorator::
+
+        @register_reset("repro.core.vgpu.gpuid_counter")
+        def reset_gpuid_counter() -> None: ...
+    """
+    if hook is None:
+
+        def decorator(fn: Callable[[], None]) -> Callable[[], None]:
+            _RESETS[name] = fn
+            return fn
+
+        return decorator
+    _RESETS[name] = hook
+    return hook
+
+
+def unregister_reset(name: str) -> None:
+    """Drop a hook (tests of the registry itself)."""
+    _RESETS.pop(name, None)
+
+
+def registered() -> Tuple[str, ...]:
+    """Names of every registered reset hook, sorted."""
+    return tuple(sorted(_RESETS))
+
+
+def reset_all() -> Tuple[str, ...]:
+    """Run every registered hook (sorted by name); returns what ran."""
+    names = registered()
+    for name in names:
+        _RESETS[name]()
+    return names

@@ -9,7 +9,7 @@ coverage.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, Generator, List, Optional, Sequence
 
 from ..cluster.cluster import Cluster, ClusterConfig

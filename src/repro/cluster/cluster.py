@@ -8,7 +8,7 @@ for 32 GPUs total (§5.1).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Generator, List, Optional, Sequence
+from typing import Generator, List, Optional, Sequence
 
 from ..gpu.backend import TokenBackend
 from ..gpu.swap import SwapManager
@@ -266,7 +266,7 @@ class Cluster:
         pending = set(names)
         while pending:
             done = set()
-            for name in pending:
+            for name in sorted(pending):
                 pod = self.api.get("Pod", name, namespace)
                 if pod is None or pod.status.phase in terminal:
                     done.add(name)

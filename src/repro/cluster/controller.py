@@ -172,7 +172,7 @@ class WorkQueue:
     def reset_in_flight(self) -> None:
         """Forget checkouts whose workers died mid-reconcile (controller
         stop/restart); their dirty keys re-enqueue so no event is lost."""
-        for key in list(self._processing):
+        for key in sorted(self._processing):
             self.done(key)
 
 

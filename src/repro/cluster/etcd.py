@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Any, Dict, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Optional
 
 from ..sim import Environment, Store
 
@@ -77,6 +77,10 @@ class Etcd:
         self._data: Dict[str, KeyValue] = {}
         self._revision = 0
         self._watches: List[_Watch] = []
+        #: Optional duck-typed observer (see repro.analysis.race): notified
+        #: of every committed read/write/delete with the actor's identity
+        #: implied by ``env.active_process``. None in normal runs.
+        self.tracker: Optional[Any] = None
 
     # -- reads -----------------------------------------------------------
     @property
@@ -85,11 +89,18 @@ class Etcd:
         return self._revision
 
     def get(self, key: str) -> Optional[KeyValue]:
-        return self._data.get(key)
+        kv = self._data.get(key)
+        if kv is not None and self.tracker is not None:
+            self.tracker.record_read(key, kv)
+        return kv
 
     def range(self, prefix: str) -> List[KeyValue]:
         """All key-values whose key starts with *prefix*, key-ordered."""
-        return [kv for k, kv in sorted(self._data.items()) if k.startswith(prefix)]
+        out = [kv for k, kv in sorted(self._data.items()) if k.startswith(prefix)]
+        if self.tracker is not None:
+            for kv in out:
+                self.tracker.record_read(kv.key, kv)
+        return out
 
     def keys(self, prefix: str = "") -> Iterator[str]:
         return (k for k in sorted(self._data) if k.startswith(prefix))
@@ -98,15 +109,21 @@ class Etcd:
         return len(self._data)
 
     # -- writes ----------------------------------------------------------
-    def put(self, key: str, value: Any) -> KeyValue:
-        """Unconditional write. Returns the new :class:`KeyValue`."""
+    def _commit(self, key: str, value: Any, blind: bool) -> KeyValue:
+        """Apply a write that has already passed its precondition."""
         self._revision += 1
         prev = self._data.get(key)
         create_rev = prev.create_revision if prev else self._revision
         kv = KeyValue(key, value, create_rev, self._revision)
         self._data[key] = kv
+        if self.tracker is not None:
+            self.tracker.record_write(key, prev, kv, blind=blind)
         self._notify(WatchEvent(WatchEventType.PUT, kv, prev))
         return kv
+
+    def put(self, key: str, value: Any) -> KeyValue:
+        """Unconditional write. Returns the new :class:`KeyValue`."""
+        return self._commit(key, value, blind=True)
 
     def put_if(self, key: str, value: Any, mod_revision: int) -> KeyValue:
         """Compare-and-swap: write only if the key's mod_revision matches.
@@ -120,7 +137,7 @@ class Etcd:
             raise CasFailure(
                 f"{key}: expected mod_revision {mod_revision}, found {current}"
             )
-        return self.put(key, value)
+        return self._commit(key, value, blind=False)
 
     def delete(self, key: str) -> Optional[KeyValue]:
         """Delete *key*; returns the removed value or ``None``."""
@@ -128,6 +145,8 @@ class Etcd:
         if prev is None:
             return None
         self._revision += 1
+        if self.tracker is not None:
+            self.tracker.record_delete(key, prev)
         tombstone = KeyValue(key, None, prev.create_revision, self._revision)
         self._notify(WatchEvent(WatchEventType.DELETE, tombstone, prev))
         return prev

@@ -18,7 +18,7 @@ looks fresh again.
 
 from __future__ import annotations
 
-from typing import Generator, List, Optional
+from typing import Generator, List
 
 from ..sim import Environment
 from .apiserver import APIServer, Conflict, NotFound, ServiceUnavailable

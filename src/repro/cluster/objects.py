@@ -20,6 +20,8 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional
 
+from ..analysis.resets import register_reset
+
 __all__ = [
     "Quantities",
     "ObjectMeta",
@@ -46,6 +48,13 @@ _uid_counter = itertools.count(1)
 
 def _new_uid() -> str:
     return f"uid-{next(_uid_counter):08d}"
+
+
+@register_reset("repro.cluster.objects.uid_counter")
+def reset_uid_counter() -> None:
+    """Restart UID generation (fresh-process object identity)."""
+    global _uid_counter
+    _uid_counter = itertools.count(1)
 
 
 class Quantities:

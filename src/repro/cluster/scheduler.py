@@ -143,7 +143,7 @@ class KubeScheduler:
         return False
 
     def _retry_unschedulable(self) -> None:
-        for key in list(self._unschedulable):
+        for key in sorted(self._unschedulable):
             self.queue.add(key)
 
     # -- scheduling loop -----------------------------------------------------------

@@ -182,7 +182,7 @@ class KubeShareDevMgr(Controller):
             if pod.name.startswith(PLACEHOLDER_PREFIX):
                 vgpu = self.pool.by_placeholder(pod.name)
                 if vgpu is not None:
-                    for key in list(vgpu.attached):
+                    for key in sorted(vgpu.attached):
                         self.queue.add(key)
             else:
                 for owner in pod.metadata.owner_references:
@@ -458,7 +458,7 @@ class KubeShareDevMgr(Controller):
         if self.pool.get(vgpu.gpuid) is not vgpu:
             return  # already torn down (events can repeat)
         self.vgpus_torn_down_total += 1
-        for key in list(vgpu.attached):
+        for key in sorted(vgpu.attached):
             namespace, name = key.split("/", 1)
             sp = self.api.get("SharePod", name, namespace)
             if sp is None or sp.status.phase in _TERMINAL:

@@ -110,7 +110,7 @@ class SharePodClient:
         pending = set(names)
         while pending:
             done = set()
-            for name in pending:
+            for name in sorted(pending):
                 sp = self.api.get("SharePod", name, namespace)
                 if sp is None or sp.status.phase in _TERMINAL:
                     done.add(name)

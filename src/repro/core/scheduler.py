@@ -337,9 +337,9 @@ class KubeShareSched(Controller):
         pool = self._pool_view()
         devices = build_device_views(pool, sharepods)
 
-        t0 = time.perf_counter()
+        t0 = time.perf_counter()  # noqa: RPR001 - Fig 11 measures host wall time of Algorithm 1 itself
         decision = schedule_request(RequestView.from_sharepod(sp), devices)
-        self.algo_wall_times.append((len(sharepods) + 1, time.perf_counter() - t0))
+        self.algo_wall_times.append((len(sharepods) + 1, time.perf_counter() - t0))  # noqa: RPR001 - Fig 11 host timing
 
         if decision.rejected:
             self.rejected_total += 1
@@ -354,7 +354,7 @@ class KubeShareSched(Controller):
                 for s in sharepods
                 if s.spec.gpu_id is not None and s.status.phase not in _TERMINAL
             }
-            in_flight = len({g for g in assigned_ids if g not in pool})
+            in_flight = len({g for g in assigned_ids if g not in pool})  # noqa: RPR006 - order-insensitive: only the count is used
             if len(pool) + in_flight >= max(self._cluster_gpu_capacity(), 1):
                 # Defer without blocking the worker; capacity-free events
                 # also requeue us (see filter()).

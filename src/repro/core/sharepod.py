@@ -22,9 +22,9 @@ from __future__ import annotations
 
 import copy
 from dataclasses import dataclass, field
-from typing import Any, Dict, Mapping, Optional
+from typing import Any, Mapping, Optional
 
-from ..cluster.objects import ObjectMeta, PodPhase, PodSpec, PodStatus
+from ..cluster.objects import ObjectMeta, PodPhase, PodSpec
 
 __all__ = ["SharePodSpec", "SharePodStatus", "SharePod", "SpecError"]
 

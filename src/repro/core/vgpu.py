@@ -19,6 +19,8 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict, List, Optional, Set
 
+from ..analysis.resets import register_reset
+
 __all__ = [
     "VGPUPhase",
     "VGPU",
@@ -45,6 +47,7 @@ def new_gpuid() -> str:
     return f"vgpu-{digest}"
 
 
+@register_reset("repro.core.vgpu.gpuid_counter")
 def reset_gpuid_counter() -> None:
     """Restart GPUID generation from 1 (a fresh control plane's counter).
 

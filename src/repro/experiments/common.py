@@ -11,8 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Type
 
-from ..baselines.base import GPURequirements, JobHandle, SharingSystem
-from ..baselines.kubeshare_sys import KubeShareSystem
+from ..baselines.base import GPURequirements, SharingSystem
 from ..cluster.cluster import Cluster
 from ..gpu.nvml import NVMLSampler
 from ..metrics.analysis import makespan, throughput_jobs_per_minute

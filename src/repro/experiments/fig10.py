@@ -20,7 +20,7 @@ because the per-node container runtime serializes setup work).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Sequence
+from typing import List, Sequence
 
 from ..baselines.base import GPURequirements
 from ..baselines.kubeshare_sys import KubeShareSystem

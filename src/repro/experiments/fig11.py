@@ -77,10 +77,10 @@ def run(
         pool, sharepods = make_population(n, seed=seed)
         samples = []
         for _ in range(repeats):
-            t0 = time.perf_counter()
+            t0 = time.perf_counter()  # noqa: RPR001 - the experiment measures host wall time of the algorithm
             devices = build_device_views(pool, sharepods)
             schedule_request(request, devices)
-            samples.append(time.perf_counter() - t0)
+            samples.append(time.perf_counter() - t0)  # noqa: RPR001 - host timing is the measurement
         arr = np.asarray(samples)
         points.append(
             Fig11Point(

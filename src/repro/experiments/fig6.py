@@ -26,7 +26,7 @@ policy can only converge to each job's own request, so we reproduce
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, Tuple
 
 from ..gpu.backend import TokenBackend
 from ..gpu.device import GPUDevice

@@ -139,6 +139,9 @@ class TokenBackend:
         self.restarts_total = 0
         #: device uuid -> failure reason, for devices declared lost.
         self._dead: Dict[str, str] = {}
+        #: Optional duck-typed observer (see repro.analysis.race): told of
+        #: every token grant so double-grants can be flagged at the source.
+        self.tracker = None
 
     # -- registration ----------------------------------------------------
     def register(
@@ -348,6 +351,8 @@ class TokenBackend:
             self._maybe_grant(device_uuid)
             return
         token = Token(device_uuid, client_id, self.env.now, self.quota)
+        if self.tracker is not None:
+            self.tracker.record_token_grant(device_uuid, token, state.token)
         state.token = token
         state.grants_total += 1
         state.handoffs_total += 1

@@ -18,7 +18,8 @@ from __future__ import annotations
 import itertools
 from typing import TYPE_CHECKING, Dict, Generator, Optional
 
-from .device import ComputeSession, GPUDevice, GpuOutOfMemory
+from ..analysis.resets import register_reset
+from .device import ComputeSession, GPUDevice
 from .interception import HookRegistry
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -27,6 +28,12 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = ["CudaAPI", "CudaContext", "CudaError", "DevicePointer"]
 
 _ptr_counter = itertools.count(0x7F0000000000)
+
+
+@register_reset("repro.gpu.cuda.ptr_counter")
+def _reset_ptr_counter() -> None:
+    global _ptr_counter
+    _ptr_counter = itertools.count(0x7F0000000000)
 
 
 class CudaError(Exception):

@@ -315,7 +315,7 @@ class VGPUDeviceLibrary:
         backend = self.container.node_services.get(TokenBackend.SERVICE_NAME)
         if backend is None:
             return
-        for dev in self._registered_devices:
+        for dev in sorted(self._registered_devices):
             token = self._tokens.pop(dev, None)
             if token is not None and token.valid:
                 backend.release(token)

@@ -12,6 +12,7 @@ from __future__ import annotations
 import itertools
 from typing import Dict, Optional, Sequence
 
+from ..analysis.resets import register_reset
 from ..cluster.runtime import ContainerContext
 from ..sim import Environment
 from .backend import TokenBackend
@@ -28,6 +29,12 @@ from .frontend import (
 __all__ = ["standalone_context", "kubeshare_env_vars"]
 
 _counter = itertools.count(1)
+
+
+@register_reset("repro.gpu.standalone.container_counter")
+def _reset_counter() -> None:
+    global _counter
+    _counter = itertools.count(1)
 
 
 def kubeshare_env_vars(

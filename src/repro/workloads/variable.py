@@ -11,8 +11,8 @@ during peaks and releases it in troughs.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Callable, Generator, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, Generator, List, Optional, Tuple
 
 from ..gpu.device import V100_MEMORY
 from .jobs import JobStats

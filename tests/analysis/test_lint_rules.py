@@ -1,0 +1,327 @@
+"""Fixture tests for every RPR lint rule: one snippet that must trip the
+rule (positive) and one that must not (negative), driven through
+:func:`repro.analysis.lint.lint_source` exactly as the CLI would."""
+
+import textwrap
+
+from repro.analysis.lint import lint_source
+from repro.analysis.rules import ALL_RULES, FileContext, ProjectContext
+import ast
+
+
+def findings(source: str, project: ProjectContext = None):
+    return lint_source(textwrap.dedent(source), path="fixture.py", project=project)
+
+
+def rule_ids(source: str, project: ProjectContext = None):
+    return sorted({f.rule_id for f in findings(source, project)})
+
+
+class TestRPR001WallClock:
+    def test_time_time_flagged(self):
+        assert rule_ids("""
+            import time
+            def tick(env):
+                return time.time()
+        """) == ["RPR001"]
+
+    def test_datetime_now_flagged(self):
+        assert "RPR001" in rule_ids("""
+            from datetime import datetime
+            stamp = datetime.now()
+        """)
+
+    def test_perf_counter_flagged(self):
+        assert "RPR001" in rule_ids("""
+            from time import perf_counter
+            t0 = perf_counter()
+        """)
+
+    def test_virtual_time_clean(self):
+        assert rule_ids("""
+            def tick(env):
+                return env.now
+        """) == []
+
+    def test_noqa_suppresses(self):
+        assert rule_ids("""
+            import time
+            t0 = time.perf_counter()  # noqa: RPR001 - measuring host wall time
+        """) == []
+
+    def test_foreign_noqa_does_not_suppress(self):
+        assert rule_ids("""
+            import time
+            t0 = time.perf_counter()  # noqa: BLE001
+        """) == ["RPR001"]
+
+
+class TestRPR002GlobalRng:
+    def test_module_random_flagged(self):
+        assert rule_ids("""
+            import random
+            def jitter():
+                return random.random()
+        """) == ["RPR002"]
+
+    def test_unseeded_shuffle_flagged(self):
+        assert "RPR002" in rule_ids("""
+            from random import shuffle
+            def mix(xs):
+                shuffle(xs)
+        """)
+
+    def test_seeded_instance_clean(self):
+        assert rule_ids("""
+            import random
+            def jitter(seed):
+                rng = random.Random(seed)
+                return rng.random()
+        """) == []
+
+    def test_seeded_numpy_generator_clean(self):
+        assert rule_ids("""
+            import numpy as np
+            def draw(seed):
+                rng = np.random.default_rng(seed)
+                return rng.normal()
+        """) == []
+
+    def test_unseeded_numpy_flagged(self):
+        assert "RPR002" in rule_ids("""
+            import numpy as np
+            def draw():
+                return np.random.normal()
+        """)
+
+
+class TestRPR003ModuleState:
+    def test_bare_counter_flagged(self):
+        assert rule_ids("""
+            import itertools
+            _counter = itertools.count(1)
+        """) == ["RPR003"]
+
+    def test_mutable_dict_flagged(self):
+        assert "RPR003" in rule_ids("""
+            _cache = {}
+        """)
+
+    def test_registered_reset_clean(self):
+        assert rule_ids("""
+            import itertools
+            from repro.analysis.resets import register_reset
+            _counter = itertools.count(1)
+
+            @register_reset("fixture.counter")
+            def _reset() -> None:
+                global _counter
+                _counter = itertools.count(1)
+        """) == []
+
+    def test_clear_style_reset_clean(self):
+        assert rule_ids("""
+            from repro.analysis.resets import register_reset
+            _cache = {}
+            register_reset("fixture.cache", _cache.clear)
+        """) == []
+
+    def test_constants_exempt(self):
+        assert rule_ids("""
+            ALL_NAMES = ["a", "b"]
+            __all__ = ["ALL_NAMES"]
+        """) == []
+
+
+class TestRPR004LostUpdate:
+    def test_blind_etcd_put_flagged(self):
+        assert rule_ids("""
+            def bump(etcd, key):
+                kv = etcd.get(key)
+                etcd.put(key, kv.value + 1)
+        """) == ["RPR004"]
+
+    def test_get_then_update_flagged(self):
+        assert rule_ids("""
+            def promote(api, name):
+                obj = api.get("Pod", name)
+                obj.status.phase = "Running"
+                api.update(obj)
+        """) == ["RPR004"]
+
+    def test_conflict_handler_clean(self):
+        assert rule_ids("""
+            def promote(api, name):
+                while True:
+                    obj = api.get("Pod", name)
+                    obj.status.phase = "Running"
+                    try:
+                        api.update(obj)
+                        return
+                    except Conflict:
+                        continue
+        """) == []
+
+    def test_cas_put_if_clean(self):
+        assert rule_ids("""
+            def bump(etcd, key):
+                kv = etcd.get(key)
+                etcd.put_if(key, kv.value + 1, kv.mod_revision)
+        """) == []
+
+    def test_patch_clean(self):
+        assert rule_ids("""
+            def promote(api, name):
+                api.patch("Pod", name, lambda p: p)
+        """) == []
+
+    def test_plain_dict_get_update_clean(self):
+        # dict.get / dict.update must not be mistaken for apiserver calls.
+        assert rule_ids("""
+            def merge(table, extra):
+                current = table.get("k")
+                table.update(extra)
+        """) == []
+
+
+class TestRPR005UnfencedFactory:
+    def test_factory_ignoring_fenced_api_flagged(self):
+        assert rule_ids("""
+            from repro.cluster.ha import HAControllerGroup
+
+            class Ctl:
+                def __init__(self, cluster):
+                    self.api = cluster.api
+
+            def factory(api, cluster, name):
+                return Ctl(cluster)
+
+            def build(env, api, cluster):
+                return HAControllerGroup(env, api, "devmgr", factory)
+        """) == ["RPR005"]
+
+    def test_factory_using_fenced_api_clean(self):
+        assert rule_ids("""
+            from repro.cluster.ha import HAControllerGroup
+
+            class Ctl:
+                def __init__(self, api):
+                    self.api = api
+
+            def factory(api, cluster, name):
+                return Ctl(api)
+
+            def build(env, api, cluster):
+                return HAControllerGroup(env, api, "devmgr", factory)
+        """) == []
+
+
+class TestRPR006SetIteration:
+    def test_for_over_set_literal_flagged(self):
+        assert rule_ids("""
+            def pick():
+                for node in {"a", "b"}:
+                    return node
+        """) == ["RPR006"]
+
+    def test_for_over_set_local_flagged(self):
+        assert "RPR006" in rule_ids("""
+            def drain(keys):
+                pending = set(keys)
+                for key in pending:
+                    yield key
+        """)
+
+    def test_list_of_set_flagged(self):
+        assert "RPR006" in rule_ids("""
+            def snapshot(s):
+                live = set(s)
+                return list(live)
+        """)
+
+    def test_sorted_clean(self):
+        assert rule_ids("""
+            def drain(keys):
+                pending = set(keys)
+                for key in sorted(pending):
+                    yield key
+        """) == []
+
+    def test_set_attr_cross_file_flagged(self):
+        project = ProjectContext()
+        decl = textwrap.dedent("""
+            class Queue:
+                def __init__(self):
+                    self._live = set()
+        """)
+        use = textwrap.dedent("""
+            def drain(q):
+                for key in q._live:
+                    yield key
+        """)
+        project.collect(FileContext("decl.py", decl, ast.parse(decl)))
+        use_tree = ast.parse(use)
+        project.collect(FileContext("use.py", use, use_tree))
+        ids = {f.rule_id for f in lint_source(use, path="use.py", project=project)}
+        assert "RPR006" in ids
+
+    def test_local_list_overrides_foreign_set_attr(self):
+        # Another file's `self._pending = set()` must not taint a class
+        # whose own `_pending` is a list.
+        project = ProjectContext()
+        decl = textwrap.dedent("""
+            class Queue:
+                def __init__(self):
+                    self._pending = set()
+        """)
+        use = textwrap.dedent("""
+            from typing import List
+
+            class Retrier:
+                def __init__(self):
+                    self._pending: List[str] = []
+
+                def drain(self):
+                    for entry in self._pending:
+                        yield entry
+        """)
+        project.collect(FileContext("decl.py", decl, ast.parse(decl)))
+        project.collect(FileContext("use.py", use, ast.parse(use)))
+        assert lint_source(use, path="use.py", project=project) == []
+
+    def test_order_insensitive_reduction_clean(self):
+        assert rule_ids("""
+            def check(ids):
+                s = set(ids)
+                return all(i.startswith("vgpu-") for i in s)
+        """) == []
+
+
+class TestHarness:
+    def test_every_rule_has_metadata(self):
+        for rule in ALL_RULES:
+            assert rule.id.startswith("RPR")
+            assert rule.title and rule.rationale and rule.fixit
+
+    def test_file_pragma_disables_named_rule(self):
+        assert rule_ids("""
+            # repro-lint: disable=RPR004 - raw CAS semantics are the subject
+            def bump(etcd, key):
+                etcd.put(key, 1)
+        """) == []
+
+    def test_file_pragma_does_not_disable_other_rules(self):
+        assert rule_ids("""
+            # repro-lint: disable=RPR004 - narrow suppression
+            import time
+            t0 = time.time()
+        """) == ["RPR001"]
+
+    def test_findings_render_with_location_and_fixit(self):
+        out = findings("""
+            import time
+            t0 = time.time()
+        """)
+        assert len(out) == 1
+        rendered = out[0].render()
+        assert "fixture.py" in rendered and "RPR001" in rendered and "fix:" in rendered

@@ -1,0 +1,95 @@
+"""The reset-hook registry and the hooks the repo registers with it."""
+
+
+from repro.analysis.resets import (
+    register_reset,
+    registered,
+    reset_all,
+    unregister_reset,
+)
+
+
+class TestRegistry:
+    def test_register_and_run(self):
+        calls = []
+        register_reset("test.registry.a", lambda: calls.append("a"))
+        try:
+            assert "test.registry.a" in registered()
+            ran = reset_all()
+            assert "test.registry.a" in ran
+            assert calls == ["a"]
+        finally:
+            unregister_reset("test.registry.a")
+        assert "test.registry.a" not in registered()
+
+    def test_decorator_form(self):
+        calls = []
+
+        @register_reset("test.registry.deco")
+        def _reset() -> None:
+            calls.append("deco")
+
+        try:
+            reset_all()
+            assert calls == ["deco"]
+        finally:
+            unregister_reset("test.registry.deco")
+
+    def test_reregistration_replaces(self):
+        calls = []
+        register_reset("test.registry.dup", lambda: calls.append("old"))
+        register_reset("test.registry.dup", lambda: calls.append("new"))
+        try:
+            reset_all()
+            assert calls == ["new"]
+        finally:
+            unregister_reset("test.registry.dup")
+
+    def test_hooks_run_in_sorted_order(self):
+        calls = []
+        register_reset("test.registry.z", lambda: calls.append("z"))
+        register_reset("test.registry.a", lambda: calls.append("a"))
+        try:
+            reset_all()
+            assert calls == sorted(calls)
+        finally:
+            unregister_reset("test.registry.z")
+            unregister_reset("test.registry.a")
+
+
+class TestRepoHooks:
+    """Every known piece of process-global state is registered."""
+
+    EXPECTED = (
+        "repro.cluster.objects.uid_counter",
+        "repro.core.vgpu.gpuid_counter",
+        "repro.gpu.cuda.ptr_counter",
+        "repro.gpu.standalone.container_counter",
+    )
+
+    def test_all_counters_registered(self):
+        # Importing the package pulls in every module with global state.
+        import repro.cluster.objects  # noqa: F401
+        import repro.core.vgpu  # noqa: F401
+        import repro.gpu.cuda  # noqa: F401
+        import repro.gpu.standalone  # noqa: F401
+
+        names = registered()
+        for expected in self.EXPECTED:
+            assert expected in names
+
+    def test_gpuid_sequence_restarts(self):
+        from repro.core.vgpu import new_gpuid
+
+        reset_all()
+        first = [new_gpuid() for _ in range(3)]
+        reset_all()
+        assert [new_gpuid() for _ in range(3)] == first
+
+    def test_uid_sequence_restarts(self):
+        from repro.cluster.objects import ObjectMeta
+
+        reset_all()
+        first = ObjectMeta(name="x").uid
+        reset_all()
+        assert ObjectMeta(name="x").uid == first

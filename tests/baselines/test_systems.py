@@ -12,7 +12,7 @@ from repro.baselines import (
 )
 from repro.cluster.objects import GPU_RESOURCE, PodPhase
 from repro.sim import Environment
-from repro.workloads.jobs import InferenceJob, TrainingJob
+from repro.workloads.jobs import InferenceJob
 
 ALL_SYSTEMS = [
     NativeKubernetes,

@@ -12,10 +12,9 @@ from repro.baselines import (
     GaiaGPU,
     GPURequirements,
     KubeShareSystem,
-    NativeKubernetes,
 )
 from repro.cluster.objects import GPU_RESOURCE, PodPhase
-from repro.experiments.table1 import SYSTEMS, feature_matrix
+from repro.experiments.table1 import feature_matrix
 from repro.sim import Environment
 from repro.workloads.jobs import InferenceJob
 

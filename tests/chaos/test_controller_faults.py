@@ -6,7 +6,6 @@ resume with a stale lease epoch. Same seed + same schedule must produce
 an identical fault log and identical promotion history.
 """
 
-import pytest
 
 from repro.chaos import ChaosEngine, FaultKind
 from repro.cluster import Cluster, ClusterConfig

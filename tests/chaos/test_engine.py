@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.chaos import ChaosEngine, Fault, FaultKind
+from repro.chaos import ChaosEngine, FaultKind
 from repro.cluster import Cluster, ClusterConfig, ServiceUnavailable
 from repro.cluster.objects import ContainerSpec, ObjectMeta, Pod, PodPhase, PodSpec
 from repro.sim import Environment

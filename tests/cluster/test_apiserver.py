@@ -1,4 +1,5 @@
 """Unit tests for the API server (CRUD, optimistic concurrency, watches)."""
+# repro-lint: disable=RPR004 - update/Conflict semantics are the test subject
 
 import pytest
 

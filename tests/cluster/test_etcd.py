@@ -1,4 +1,5 @@
 """Unit tests for the etcd substrate."""
+# repro-lint: disable=RPR004 - this file tests raw put/CAS semantics; blind puts are the subject
 
 import pytest
 

@@ -1,6 +1,5 @@
 """Integration tests for kube-scheduler + kubelet + runtime on a cluster."""
 
-import pytest
 
 from repro.cluster import Cluster, ClusterConfig
 from repro.cluster.objects import (
@@ -11,7 +10,6 @@ from repro.cluster.objects import (
     PodPhase,
     PodSpec,
 )
-from repro.sim import Environment
 
 
 def gpu_pod(name, gpus=1, cpu=1.0, workload=None, node_selector=None):

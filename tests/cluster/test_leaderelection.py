@@ -117,11 +117,11 @@ class TestStealAfterExpiry:
         # Another writer renews first (resourceVersion moves on).
         fresh = api.get("Lease", "test-lease", LEASE_NAMESPACE)
         fresh.spec.renew_time = env.now
-        api.update(fresh)
+        api.update(fresh)  # noqa: RPR004 - deliberately racing two writers to assert CAS
         stale.spec.holder = "z"
         stale.spec.epoch += 1
         with pytest.raises(Conflict):
-            api.update(stale)
+            api.update(stale)  # noqa: RPR004 - the stale write is the test subject
         # The loser did not become holder.
         assert api.get("Lease", "test-lease", LEASE_NAMESPACE).spec.holder == "a"
 

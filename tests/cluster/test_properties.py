@@ -1,4 +1,5 @@
 """Property-based tests for the control-plane data structures."""
+# repro-lint: disable=RPR004 - hypothesis drives the raw etcd API; blind puts are the generated ops
 
 from hypothesis import given, settings
 from hypothesis import strategies as st

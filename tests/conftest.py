@@ -2,8 +2,19 @@
 
 import pytest
 
+from repro.analysis.resets import reset_all
 from repro.cluster import Cluster, ClusterConfig
 from repro.sim import Environment
+
+
+@pytest.fixture(autouse=True)
+def _fresh_process_state():
+    """Reset every registered piece of process-global mutable state
+    (GPUID/UID/pointer counters, ...) so each test runs as if in a fresh
+    process. Modules register their own hooks via
+    :func:`repro.analysis.resets.register_reset`; nothing is hand-listed
+    here, so new global state can never be silently forgotten."""
+    reset_all()
 
 
 @pytest.fixture

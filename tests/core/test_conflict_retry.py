@@ -6,7 +6,12 @@ leader election and fencing reuse), and :meth:`APIServer.patch` re-reads
 before every retry so a conflicting writer's changes are never silently
 overwritten — the pattern DevMgr and the scheduler use for every
 status/spec mutation.
+
+These tests deliberately perform the hazardous get→update shape to
+assert that Conflict fires; the lint rule they would trip exists to
+keep that shape out of *controllers*, not out of its own tests.
 """
+# repro-lint: disable=RPR004 - deliberate get→update races are the test subject
 
 import pytest
 

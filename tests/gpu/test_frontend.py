@@ -10,7 +10,6 @@ from repro.gpu.frontend import (
     ENV_LIMIT,
     ENV_MEM,
     ENV_REQUEST,
-    VGPUDeviceLibrary,
 )
 from repro.gpu.standalone import kubeshare_env_vars, standalone_context
 from repro.sim import Environment

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.gpu.backend import TokenBackend
-from repro.gpu.device import GPUDevice, GpuOutOfMemory, V100_MEMORY
+from repro.gpu.device import GPUDevice, GpuOutOfMemory
 from repro.gpu.frontend import ENV_MEM_OVERCOMMIT
 from repro.gpu.standalone import kubeshare_env_vars, standalone_context
 from repro.gpu.swap import SwapManager

@@ -3,12 +3,9 @@
 import pytest
 
 from repro.sim import (
-    AllOf,
     AnyOf,
-    Condition,
     ConditionValue,
     Environment,
-    Event,
     Interrupt,
 )
 

@@ -10,6 +10,8 @@ run repeats the *same* fault schedule with the recovery machinery
 disabled (``node_lifecycle=False``) and demonstrably does not recover.
 """
 
+import os
+
 import pytest
 
 from repro.analysis import install_from_env
@@ -17,6 +19,9 @@ from repro.chaos import ChaosEngine, FaultKind
 from repro.cluster import Cluster, ClusterConfig
 from repro.cluster.objects import PodPhase
 from repro.core import KubeShare
+from repro.obs import ENV_DIR as OBS_DIR
+from repro.obs import disable as obs_disable
+from repro.obs import install_from_env as obs_install
 from repro.sim import Environment
 from repro.workloads.jobs import InferenceJob
 
@@ -44,6 +49,10 @@ def run_scenario(recovery: bool) -> dict:
     # over-grants the moment they happen inside the chaos schedule.
     detector = install_from_env(cluster)
     ks = KubeShare(cluster, isolation="token").start()
+    # Opt-in observability (REPRO_OBS=1): spans, Events, decision log, and
+    # metric families for this run, exported to REPRO_OBS_DIR afterwards.
+    label = "chaos-recovery" if recovery else "chaos-control"
+    hub = obs_install(cluster, kubeshare=ks, label=label)
 
     stats = []
     names = []
@@ -87,6 +96,9 @@ def run_scenario(recovery: bool) -> dict:
     post_rate = rate(POST_WINDOW)
     if detector is not None:
         detector.check()  # fails loudly on any recorded violation
+    if hub is not None:
+        hub.export_dir(os.environ.get(OBS_DIR, "obs-artifacts"))
+        obs_disable()
     return {
         "pre_rate": pre_rate,
         "post_rate": post_rate,

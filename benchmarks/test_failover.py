@@ -14,6 +14,8 @@ Failover runs are deterministic: the same seed produces identical
 promotion times and an identical final placement map.
 """
 
+import os
+
 import pytest
 
 from repro.analysis import install_from_env
@@ -21,6 +23,9 @@ from repro.chaos import ChaosEngine, FaultKind
 from repro.cluster import Cluster, ClusterConfig
 from repro.cluster.objects import PodPhase
 from repro.core import HAKubeShare, PLACEHOLDER_PREFIX, reset_gpuid_counter
+from repro.obs import ENV_DIR as OBS_DIR
+from repro.obs import disable as obs_disable
+from repro.obs import install_from_env as obs_install
 from repro.sim import Environment
 
 pytestmark = pytest.mark.benchmark(group="chaos")
@@ -51,6 +56,9 @@ def run_scenario(replicas: int) -> dict:
     # over-grants the moment they happen inside the failover schedule.
     detector = install_from_env(cluster)
     ks = HAKubeShare(cluster, replicas=replicas, isolation="token").start()
+    # Opt-in observability (REPRO_OBS=1): spans, Events, decision log, and
+    # metric families for this run, exported to REPRO_OBS_DIR afterwards.
+    hub = obs_install(cluster, kubeshare=ks, label=f"failover-r{replicas}")
 
     steady = [f"steady{i}" for i in range(N_STEADY)]
     burst = [f"burst{i}" for i in range(N_BURST)]
@@ -84,6 +92,9 @@ def run_scenario(replicas: int) -> dict:
     env.run(until=HORIZON)
     if detector is not None:
         detector.check()  # fails loudly on any recorded violation
+    if hub is not None:
+        hub.export_dir(os.environ.get(OBS_DIR, "obs-artifacts"))
+        obs_disable()
 
     names = steady + burst
     sharepods = {n: ks.get(n) for n in names}

@@ -26,6 +26,8 @@ semantics, conflict-retry tests) can disable named rules file-wide::
 
 from __future__ import annotations
 
+# repro-lint: disable=RPR007 - this module IS the lint CLI; findings go to stdout
+
 import argparse
 import ast
 import re

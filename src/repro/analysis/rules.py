@@ -16,6 +16,7 @@ RPR003  module-level mutable state without a registered reset hook
 RPR004  lost-update hazard: blind etcd put / unguarded get→update
 RPR005  leader controller built against an unfenced apiserver handle
 RPR006  unsorted set iteration (hash order feeds control flow)
+RPR007  bare print() in library code (bypasses the event/log layer)
 """
 
 from __future__ import annotations
@@ -79,6 +80,10 @@ _FIX_SORTED = (
     "iterate sorted(...): set order depends on PYTHONHASHSEED, so the "
     "same seed can yield different schedules across processes"
 )
+_FIX_PRINT = (
+    "emit a Kubernetes-style Event (repro.obs.event) or record a metric; "
+    "stdout from library code is invisible to the observability pipeline"
+)
 
 ALL_RULES: Tuple[RuleInfo, ...] = (
     RuleInfo(
@@ -122,6 +127,14 @@ ALL_RULES: Tuple[RuleInfo, ...] = (
         "set iteration order varies with PYTHONHASHSEED; when it feeds a "
         "scheduling or recovery decision, replays diverge across processes.",
         _FIX_SORTED,
+    ),
+    RuleInfo(
+        "RPR007",
+        "bare print() in library code",
+        "library output on stdout bypasses the Event store, the trace, and "
+        "the metric families, so it never reaches `repro.obs` consumers; "
+        "only experiments/ and CLI entry points may print.",
+        _FIX_PRINT,
     ),
 )
 
@@ -619,6 +632,48 @@ def _set_iter_msg(expr: ast.AST) -> str:
 
 
 # ---------------------------------------------------------------------------
+# RPR007 — bare print() in library code
+# ---------------------------------------------------------------------------
+
+#: basenames that ARE user-facing terminals: CLI entry points may print.
+_PRINT_EXEMPT_BASENAMES = ("cli.py", "__main__.py")
+#: directories whose whole purpose is terminal output.
+_PRINT_EXEMPT_DIRS = ("experiments",)
+
+
+def _print_rule_applies(path: str) -> bool:
+    parts = path.replace("\\", "/").split("/")
+    # Library scope only: src/repro/** (tests and benchmarks may print).
+    try:
+        i = parts.index("repro")
+    except ValueError:
+        return False
+    if i == 0 or parts[i - 1] != "src":
+        return False
+    inside = parts[i + 1 :]
+    if not inside:
+        return False
+    if any(d in inside[:-1] for d in _PRINT_EXEMPT_DIRS):
+        return False
+    return inside[-1] not in _PRINT_EXEMPT_BASENAMES
+
+
+def _check_bare_print(ctx: FileContext) -> Iterator[Finding]:
+    if not _print_rule_applies(ctx.path):
+        return
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        if isinstance(node.func, ast.Name) and node.func.id == "print":
+            yield _finding(
+                ctx,
+                node,
+                "RPR007",
+                "bare `print()` in library code bypasses the event/log layer",
+            )
+
+
+# ---------------------------------------------------------------------------
 # driver
 # ---------------------------------------------------------------------------
 
@@ -643,5 +698,6 @@ def run_rules(ctx: FileContext, project: ProjectContext) -> List[Finding]:
     findings.extend(_check_lost_update(ctx))
     findings.extend(_check_fenced_factories(ctx))
     findings.extend(_check_set_iteration(ctx, project))
+    findings.extend(_check_bare_print(ctx))
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
     return findings

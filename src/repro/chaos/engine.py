@@ -30,6 +30,7 @@ from typing import Generator, List, Optional, Tuple
 from ..cluster.cluster import Cluster, WorkerNode
 from ..cluster.leaderelection import ControllerReplica, HAControllerGroup, ReplicaState
 from ..cluster.objects import GPU_RESOURCE
+from ..obs import runtime as obs
 from .faults import Fault, FaultKind
 
 __all__ = ["ChaosEngine"]
@@ -184,6 +185,7 @@ class ChaosEngine:
             except Exception as err:  # noqa: BLE001 - chaos must not crash the sim
                 target, outcome = fault.target, f"error: {err!r}"
             self.log.append((self.env.now, fault, target, outcome))
+            obs.fault_injected(fault.kind.value, target or "", outcome)
 
     def _apply(self, fault: Fault) -> Tuple[Optional[str], str]:
         kind = fault.kind

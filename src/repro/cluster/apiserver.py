@@ -25,6 +25,7 @@ from __future__ import annotations
 import copy
 from typing import Any, Callable, List, Optional, Tuple
 
+from ..obs import runtime as obs
 from ..sim import Environment
 from .etcd import CasFailure, Etcd, WatchEvent, WatchEventType
 from .objects import DEFAULT_NAMESPACE, LabelSelector, Node, Pod
@@ -97,7 +98,9 @@ class APIServer:
 
     def __init__(self, env: Environment, etcd: Optional[Etcd] = None) -> None:
         self.env = env
-        self.etcd = etcd or Etcd(env)
+        # Explicit None check: an *empty* Etcd is falsy (it has __len__),
+        # so `etcd or Etcd(env)` would silently discard a provided store.
+        self.etcd = etcd if etcd is not None else Etcd(env)
         self._kinds: set[str] = set(self.BUILTIN_KINDS)
         #: chaos knobs: requests fail with :class:`ServiceUnavailable`
         #: until ``down_until``; ``extra_latency`` is added by callers that
@@ -188,6 +191,12 @@ class APIServer:
             raise AlreadyExists(key) from None
         # The KV holds a reference to `stored`; record the final RV on it.
         stored.metadata.resource_version = kv.mod_revision
+        if obs.enabled():
+            obs.api_write(
+                "create", stored.kind, stored.metadata.namespace, stored.metadata.name
+            )
+            if stored.kind == "SharePod":
+                obs.sharepod_created(stored)
         return _clone(stored)
 
     def get(
@@ -235,6 +244,10 @@ class APIServer:
                 raise NotFound(key) from None
             raise Conflict(str(err)) from None
         stored.metadata.resource_version = kv.mod_revision
+        if obs.enabled():
+            obs.api_write(
+                "update", stored.kind, stored.metadata.namespace, stored.metadata.name
+            )
         return _clone(stored)
 
     def patch(
@@ -280,6 +293,8 @@ class APIServer:
         prev = self.etcd.delete(self._key(kind, namespace, name))
         if prev is None:
             raise NotFound(self._key(kind, namespace, name))
+        if obs.enabled():
+            obs.api_write("delete", kind, namespace, name)
         return _clone(prev.value)
 
     def try_delete(

@@ -11,6 +11,7 @@ from __future__ import annotations
 import random
 from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
 
+from ..obs import runtime as obs
 from ..sim import Environment, Process, Store
 from .apiserver import APIServer, ServiceUnavailable, translate_event
 from .etcd import WatchEventType
@@ -36,6 +37,9 @@ class Informer:
         self._handlers: List[Handler] = []
         self._proc = None
         self._stream = None
+        #: etcd mod_revision of the newest event this informer has seen —
+        #: the gap to ``etcd.revision`` is the informer's observed lag.
+        self.last_seen_revision: int = 0
 
     def add_handler(self, handler: Handler) -> None:
         self._handlers.append(handler)
@@ -64,6 +68,9 @@ class Informer:
             self._prune_vanished()
         while True:
             raw = yield stream.get()
+            self.last_seen_revision = max(
+                self.last_seen_revision, raw.kv.mod_revision
+            )
             etype, obj = translate_event(raw)
             if obj is None:  # tombstone with no previous value
                 continue
@@ -104,6 +111,9 @@ class Informer:
             for handler in self._handlers:
                 handler(WatchEventType.DELETE, obj)
         for key, obj in current.items():
+            self.last_seen_revision = max(
+                self.last_seen_revision, obj.metadata.resource_version
+            )
             cached = self.cache.get(key)
             if (
                 cached is None
@@ -295,9 +305,10 @@ class Controller:
                 # API round-trips slow down accordingly.
                 yield self.env.timeout(self.api.extra_latency)
             try:
-                yield self.env.process(
-                    self.reconcile(key), name=f"{self.name}:reconcile"
-                )
+                with obs.reconcile_ctx(self, key):
+                    yield self.env.process(
+                        self.reconcile(key), name=f"{self.name}:reconcile"
+                    )
             except Exception as err:  # noqa: BLE001 - controller must survive
                 self.reconcile_errors.append((self.env.now, key, repr(err)))
                 n = self._failures.get(key, 0) + 1

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Generator, Optional
 
+from ..obs import runtime as obs
 from ..sim import Environment, Process
 from .apiserver import (
     AlreadyExists,
@@ -188,8 +189,24 @@ class Kubelet:
                 )
                 env_vars.update(resp.env)
         except InsufficientDevices as err:
+            obs.event(
+                "FailedAllocation",
+                str(err),
+                involved_kind="Pod",
+                involved_name=pod.name,
+                involved_namespace=pod.metadata.namespace,
+                type="Warning",
+                source=f"kubelet:{self.node_name}",
+            )
             self._set_phase(pod, PodPhase.FAILED, message=str(err))
             return
+        if extended:
+            obs.instant(
+                "deviceplugin.allocate",
+                f"kubelet:{self.node_name}",
+                trace_id=pod.metadata.key,
+                pod=pod.name,
+            )
 
         ctx = ContainerContext(
             env=self.env,
@@ -200,12 +217,26 @@ class Kubelet:
             gpu_registry=self.gpu_registry,
             node_services=self.node_services,
         )
-        handle = yield self.env.process(
-            self.runtime.start_container(ctx, pod.spec.workload),
-            name=f"runc:{pod.name}",
-        )
+        with obs.span(
+            "container.start",
+            f"kubelet:{self.node_name}",
+            trace_id=pod.metadata.key,
+            pod=pod.name,
+        ):
+            handle = yield self.env.process(
+                self.runtime.start_container(ctx, pod.spec.workload),
+                name=f"runc:{pod.name}",
+            )
 
         self._set_phase(pod, PodPhase.RUNNING, env=env_vars)
+        obs.event(
+            "Started",
+            f"container started on {self.node_name}",
+            involved_kind="Pod",
+            involved_name=pod.name,
+            involved_namespace=pod.metadata.namespace,
+            source=f"kubelet:{self.node_name}",
+        )
         exited_ok = yield handle.wait()
         phase = PodPhase.SUCCEEDED if exited_ok else PodPhase.FAILED
         message = "" if exited_ok else repr(handle.exit_value)

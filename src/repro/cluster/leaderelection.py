@@ -39,6 +39,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Any, Callable, Generator, List, Optional, Tuple
 
+from ..obs import runtime as obs
 from ..sim import Environment
 from .apiserver import (
     AlreadyExists,
@@ -309,6 +310,8 @@ class LeaderElector:
         self.is_leader = False
         self.token = None
         self.transitions.append((self.env.now, f"lost: {reason}", 0))
+        if obs.enabled():
+            obs.leader_lost(self.lease_name, self.identity, reason)
         if self.on_stopped_leading is not None:
             self.on_stopped_leading()
 
@@ -389,11 +392,14 @@ class ControllerReplica:
         exactly as with a real controller-manager crash."""
         if self.state is ReplicaState.CRASHED:
             return
+        was_leader = self.state is ReplicaState.LEADER
         self.elector.stop()
         self._stop_controller()
         self.elector.is_leader = False
         self.elector.token = None
         self.state = ReplicaState.CRASHED
+        if was_leader and obs.enabled():
+            obs.leader_lost(self.group.name, self.identity, "replica crashed")
 
     def restart(self) -> None:
         """Boot a crashed replica back up as a standby."""
@@ -501,6 +507,8 @@ class HAControllerGroup:
     ) -> None:
         self.promotions.append((self.env.now, replica.identity, token.epoch))
         self.controllers.append(replica.controller)
+        if obs.enabled():
+            obs.leader_changed(self.name, replica.identity, token.epoch)
 
     # -- views -------------------------------------------------------------
     @property

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Generator, List
 
+from ..obs import runtime as obs
 from ..sim import Environment
 from .apiserver import APIServer, Conflict, NotFound, ServiceUnavailable
 from .objects import Node, Pod, PodPhase
@@ -105,6 +106,17 @@ class NodeLifecycleController:
             self.api.patch("Node", node_name, mutate, namespace="")
             if not ready:
                 self.not_ready_total += 1
+            obs.event(
+                "NodeReady" if ready else "NodeNotReady",
+                "heartbeat fresh again"
+                if ready
+                else f"no heartbeat for more than {self.lease_duration}s",
+                involved_kind="Node",
+                involved_name=node_name,
+                involved_namespace="",
+                type="Normal" if ready else "Warning",
+                source="node-lifecycle",
+            )
         except (NotFound, ServiceUnavailable, Conflict):
             pass
 
@@ -124,5 +136,14 @@ class NodeLifecycleController:
             try:
                 self.api.delete("Pod", pod.name, pod.metadata.namespace)
                 self.evicted_pods_total += 1
+                obs.event(
+                    "Evicted",
+                    f"node {node_name} is NotReady",
+                    involved_kind="Pod",
+                    involved_name=pod.name,
+                    involved_namespace=pod.metadata.namespace,
+                    type="Warning",
+                    source="node-lifecycle",
+                )
             except (NotFound, ServiceUnavailable):
                 pass

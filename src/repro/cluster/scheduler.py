@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Dict, Generator, List, Optional, Tuple
 
+from ..obs import runtime as obs
 from ..sim import Environment
 from .apiserver import (
     APIServer,
@@ -167,6 +168,16 @@ class KubeScheduler:
             self.attempts_total += 1
             node = self._select_node(pod)
             if node is None:
+                if key not in self._unschedulable:
+                    obs.event(
+                        "FailedScheduling",
+                        "no node satisfies the pod's resource requests",
+                        involved_kind="Pod",
+                        involved_name=name,
+                        involved_namespace=namespace,
+                        type="Warning",
+                        source=self.name,
+                    )
                 self._unschedulable.add(key)
                 continue
             try:
@@ -179,6 +190,17 @@ class KubeScheduler:
                 continue
             self.binds_total += 1
             self._unschedulable.discard(key)
+            obs.instant(
+                "bind", self.name, trace_id=key, pod=name, node=node
+            )
+            obs.event(
+                "Scheduled",
+                f"assigned to {node}",
+                involved_kind="Pod",
+                involved_name=name,
+                involved_namespace=namespace,
+                source=self.name,
+            )
 
     # -- filter & score ---------------------------------------------------------------
     def _select_node(self, pod: Pod) -> Optional[str]:

@@ -47,6 +47,7 @@ from ..gpu.frontend import (
     ENV_MEM,
     ENV_REQUEST,
 )
+from ..obs import runtime as obs
 from ..sim import Environment
 from .policies import OnDemandPolicy, PoolPolicy
 from .sharepod import SharePod
@@ -290,6 +291,14 @@ class KubeShareDevMgr(Controller):
             pass
         timing["vgpu_requested"] = self.env.now
         self.vgpus_created_total += 1
+        obs.event(
+            "VGPUCreated",
+            f"vGPU {gpuid} requested via placeholder {vgpu.placeholder_pod}",
+            involved_kind="SharePod",
+            involved_name=sp.name,
+            involved_namespace=sp.metadata.namespace,
+            source=self.name,
+        )
         return vgpu
 
     def _try_materialize(self, vgpu: VGPU, timing: Dict[str, float]) -> Generator:
@@ -308,6 +317,15 @@ class KubeShareDevMgr(Controller):
             vgpu.uuid = uuid.split(",")[0] if uuid else None
             vgpu.node_name = pod.spec.node_name
             timing["vgpu_ready"] = self.env.now
+            obs.event(
+                "VGPUMaterialized",
+                f"vGPU {vgpu.gpuid} bound to physical GPU {vgpu.uuid} "
+                f"on {vgpu.node_name}",
+                involved_kind="Pod",
+                involved_name=vgpu.placeholder_pod,
+                involved_namespace=pod.metadata.namespace,
+                source=self.name,
+            )
         elif pod.status.phase is PodPhase.FAILED:
             # Could not acquire a GPU; retry by recreating the placeholder.
             self.api.try_delete("Pod", vgpu.placeholder_pod)
@@ -364,6 +382,15 @@ class KubeShareDevMgr(Controller):
             self.api.patch("SharePod", sp.name, mutate, sp.metadata.namespace)
         except NotFound:  # pragma: no cover - concurrent delete
             pass
+        obs.event(
+            "Bound",
+            f"pod {sp.name} bound to vGPU {vgpu.gpuid} "
+            f"(GPU {vgpu.uuid}) on node {vgpu.node_name}",
+            involved_kind="SharePod",
+            involved_name=sp.name,
+            involved_namespace=sp.metadata.namespace,
+            source=self.name,
+        )
 
     def _mirror_pod_status(
         self, sp: SharePod, key: str, timing: Dict[str, float]
@@ -396,6 +423,10 @@ class KubeShareDevMgr(Controller):
             self.api.patch("SharePod", sp.name, mutate, sp.metadata.namespace)
         except NotFound:
             return
+        if phase is PodPhase.RUNNING:
+            obs.sharepod_running(key)
+        elif phase is PodPhase.FAILED:
+            obs.sharepod_failed(key, pod.status.message or "pod failed")
         if phase in _TERMINAL:
             self._detach(key)
 
@@ -458,6 +489,14 @@ class KubeShareDevMgr(Controller):
         if self.pool.get(vgpu.gpuid) is not vgpu:
             return  # already torn down (events can repeat)
         self.vgpus_torn_down_total += 1
+        obs.event(
+            "VGPUTornDown",
+            f"vGPU {vgpu.gpuid} lost its device: {reason}",
+            involved_kind="GPU",
+            involved_name=vgpu.uuid or vgpu.gpuid,
+            type="Warning",
+            source=self.name,
+        )
         for key in sorted(vgpu.attached):
             namespace, name = key.split("/", 1)
             sp = self.api.get("SharePod", name, namespace)
@@ -504,6 +543,15 @@ class KubeShareDevMgr(Controller):
         except NotFound:
             return
         self.sharepods_rescheduled_total += 1
+        obs.event(
+            "Rescheduled",
+            f"placement cleared, back to KubeShare-Sched: {reason}",
+            involved_kind="SharePod",
+            involved_name=sp.name,
+            involved_namespace=sp.metadata.namespace,
+            type="Warning",
+            source=self.name,
+        )
 
     def _fail_sharepod(self, sp: SharePod, key: str, reason: str) -> None:
         """``restart_policy: never`` — the SharePod dies with its device."""
@@ -520,6 +568,16 @@ class KubeShareDevMgr(Controller):
             self.api.patch("SharePod", sp.name, mutate, sp.metadata.namespace)
         except NotFound:
             pass
+        obs.sharepod_failed(key, reason)
+        obs.event(
+            "SharePodFailed",
+            f"device lost and restart_policy is never: {reason}",
+            involved_kind="SharePod",
+            involved_name=sp.name,
+            involved_namespace=sp.metadata.namespace,
+            type="Warning",
+            source=self.name,
+        )
 
     # -- reservation prewarm -------------------------------------------------------------------
     def prewarm(self, count: int, namespace: str = "default") -> List[str]:

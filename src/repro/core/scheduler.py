@@ -34,6 +34,7 @@ from ..cluster.apiserver import APIServer, NotFound
 from ..cluster.controller import Controller
 from ..cluster.etcd import WatchEventType
 from ..cluster.objects import GPU_RESOURCE, PodPhase
+from ..obs import runtime as obs
 from ..sim import Environment
 from .sharepod import SharePod
 from .vgpu import (
@@ -114,7 +115,10 @@ def _leftover(r: RequestView, d: DeviceView) -> float:
 
 
 def schedule_request(
-    r: RequestView, devices: List[DeviceView], placement: str = "paper"
+    r: RequestView,
+    devices: List[DeviceView],
+    placement: str = "paper",
+    audit=None,
 ) -> Decision:
     """Algorithm 1: choose a vGPU (GPUID) for request *r*.
 
@@ -127,29 +131,52 @@ def schedule_request(
     ``"paper"`` — best fit on label-free devices, worst fit on labelled
     ones (Algorithm 1's split); ``"best_fit"`` / ``"worst_fit"`` /
     ``"first_fit"`` — the same heuristic over all candidates.
+
+    *audit* is an optional decision-log sink (duck-typed, see
+    :class:`repro.obs.decisions.DecisionAudit`): every candidate
+    considered is reported with its verdict, rejection reason, and fit
+    score. ``None`` (the default) costs nothing; auditing never alters
+    the decision.
     """
     if placement not in ("paper", "best_fit", "worst_fit", "first_fit"):
         raise ValueError(f"unknown placement policy {placement!r}")
+    if audit is not None:
+        audit.begin(r, devices, placement)
     # -- Step 1: assign by affinity label (lines 1-14) ---------------------
     if r.aff is not None:
         target = next((d for d in devices if r.aff in d.aff), None)
         if target is not None:
+            reason = None
             if r.excl != target.excl:
-                return Decision.reject(
+                reason = (
                     f"affinity device {target.gpuid} has exclusion label "
                     f"{target.excl!r}, request has {r.excl!r}"
                 )
-            if r.anti_aff is not None and r.anti_aff in target.anti_aff:
-                return Decision.reject(
+            elif r.anti_aff is not None and r.anti_aff in target.anti_aff:
+                reason = (
                     f"affinity device {target.gpuid} already hosts "
                     f"anti-affinity label {r.anti_aff!r}"
                 )
-            if not _fits(r, target):
-                return Decision.reject(
+            elif not _fits(r, target):
+                reason = (
                     f"affinity device {target.gpuid} lacks capacity "
                     f"(util {target.util:.2f}/{r.util:.2f}, "
                     f"mem {target.mem:.2f}/{r.mem:.2f})"
                 )
+            if reason is not None:
+                if audit is not None:
+                    audit.consider(target.gpuid, "affinity", False, reason=reason)
+                    audit.reject(reason)
+                return Decision.reject(reason)
+            if audit is not None:
+                audit.consider(
+                    target.gpuid,
+                    "affinity",
+                    True,
+                    reason=f"carries affinity label {r.aff!r}",
+                    score=_leftover(r, target),
+                )
+                audit.choose(target.gpuid, False, "affinity")
             if r.anti_aff is not None:
                 target.anti_aff.add(r.anti_aff)
             target.aff.add(r.aff)
@@ -165,6 +192,19 @@ def schedule_request(
             target = DeviceView(gpuid=new_gpuid())
             devices.append(target)
             is_new = True
+        if audit is not None:
+            audit.consider(
+                target.gpuid,
+                "affinity",
+                True,
+                reason=(
+                    "new vGPU seeded for unseen affinity label"
+                    if is_new
+                    else "idle device seeded for unseen affinity label"
+                ),
+                score=_leftover(r, target),
+            )
+            audit.choose(target.gpuid, is_new, "affinity-new")
         target.aff.add(r.aff)
         if r.anti_aff is not None:
             target.anti_aff.add(r.anti_aff)
@@ -179,37 +219,84 @@ def schedule_request(
     for d in devices:
         if d.idle:
             candidates.append(d)  # idle devices pass unconditionally
+            if audit is not None:
+                audit.consider(d.gpuid, "filter", True, reason="idle")
             continue
         if (r.excl is not None or d.excl is not None) and r.excl != d.excl:
+            if audit is not None:
+                audit.consider(
+                    d.gpuid,
+                    "filter",
+                    False,
+                    reason=f"exclusion mismatch ({d.excl!r} vs {r.excl!r})",
+                )
             continue
         if r.anti_aff is not None and r.anti_aff in d.anti_aff:
+            if audit is not None:
+                audit.consider(
+                    d.gpuid,
+                    "filter",
+                    False,
+                    reason=f"hosts anti-affinity label {r.anti_aff!r}",
+                )
             continue
         if not _fits(r, d):
+            if audit is not None:
+                audit.consider(
+                    d.gpuid,
+                    "filter",
+                    False,
+                    reason=(
+                        f"insufficient capacity (util {d.util:.2f}/{r.util:.2f}, "
+                        f"mem {d.mem:.2f}/{r.mem:.2f})"
+                    ),
+                )
             continue
         candidates.append(d)
+        if audit is not None:
+            audit.consider(d.gpuid, "filter", True)
 
     # -- Step 3: placement (lines 21-26) --------------------------------------
     target = None
+    rule = ""
     if placement == "paper":
         no_aff = [d for d in candidates if not d.aff]
+        if audit is not None:
+            for d in candidates:
+                audit.consider(
+                    d.gpuid,
+                    "placement",
+                    True,
+                    score=_leftover(r, d),
+                    pool="label-free" if not d.aff else "labelled",
+                )
         if no_aff:  # best fit among label-free devices
             target = min(no_aff, key=lambda d: (_leftover(r, d), d.gpuid))
+            rule = "best-fit(label-free)"
         else:
             with_aff = [d for d in candidates if d.aff]
             if with_aff:  # worst fit among labelled devices
                 target = max(with_aff, key=lambda d: (_leftover(r, d), d.gpuid))
+                rule = "worst-fit(labelled)"
     elif candidates:
+        if audit is not None:
+            for d in candidates:
+                audit.consider(d.gpuid, "placement", True, score=_leftover(r, d))
         if placement == "best_fit":
             target = min(candidates, key=lambda d: (_leftover(r, d), d.gpuid))
         elif placement == "worst_fit":
             target = max(candidates, key=lambda d: (_leftover(r, d), d.gpuid))
         else:  # first_fit: stable order of appearance
             target = candidates[0]
+        rule = placement
     is_new = False
     if target is None:
         target = DeviceView(gpuid=new_gpuid())
         devices.append(target)
         is_new = True
+        rule = "new-device"
+    if audit is not None:
+        audit.choose(target.gpuid, is_new, rule)
     target.excl = r.excl
     if r.anti_aff is not None:
         target.anti_aff.add(r.anti_aff)
@@ -337,12 +424,23 @@ class KubeShareSched(Controller):
         pool = self._pool_view()
         devices = build_device_views(pool, sharepods)
 
+        audit = obs.decision_audit()
         t0 = time.perf_counter()  # noqa: RPR001 - Fig 11 measures host wall time of Algorithm 1 itself
-        decision = schedule_request(RequestView.from_sharepod(sp), devices)
+        decision = schedule_request(RequestView.from_sharepod(sp), devices, audit=audit)
         self.algo_wall_times.append((len(sharepods) + 1, time.perf_counter() - t0))  # noqa: RPR001 - Fig 11 host timing
 
         if decision.rejected:
             self.rejected_total += 1
+            obs.commit_decision(audit, key, decision)
+            obs.event(
+                "FailedScheduling",
+                f"unschedulable: {decision.reason}",
+                involved_kind="SharePod",
+                involved_name=name,
+                involved_namespace=namespace,
+                type="Warning",
+                source=self.name,
+            )
             self._fail(namespace, name, decision.reason)
             return
 
@@ -358,6 +456,16 @@ class KubeShareSched(Controller):
             if len(pool) + in_flight >= max(self._cluster_gpu_capacity(), 1):
                 # Defer without blocking the worker; capacity-free events
                 # also requeue us (see filter()).
+                obs.commit_decision(audit, key, decision, outcome="deferred")
+                obs.event(
+                    "SchedulingDeferred",
+                    "new vGPU needed but cluster GPU capacity is exhausted; "
+                    "will retry when capacity frees",
+                    involved_kind="SharePod",
+                    involved_name=name,
+                    involved_namespace=namespace,
+                    source=self.name,
+                )
                 self.env.process(self._requeue_later(key, self.defer_delay))
                 return
 
@@ -371,6 +479,16 @@ class KubeShareSched(Controller):
         except NotFound:
             return
         self.scheduled_total += 1
+        obs.commit_decision(audit, key, decision)
+        obs.event(
+            "Scheduled",
+            f"assigned vGPU {decision.gpuid}"
+            + (" (new vGPU)" if decision.is_new else ""),
+            involved_kind="SharePod",
+            involved_name=name,
+            involved_namespace=namespace,
+            source=self.name,
+        )
         return
         yield  # pragma: no cover - generator by contract
 

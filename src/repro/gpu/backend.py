@@ -30,6 +30,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, Generator, List, Optional, Tuple
 
+from ..obs import runtime as obs
 from ..sim import Environment, Event
 from .device import DeviceLostError
 
@@ -183,6 +184,22 @@ class TokenBackend:
         if state is None or client_id not in state.clients:
             return 0.0
         return state.clients[client_id].usage(self.env.now, self.window)
+
+    def device_uuids(self) -> List[str]:
+        """Sorted uuids of every device with backend state (obs sampler)."""
+        return sorted(self._devices)
+
+    def window_occupancy(self, device_uuid: str) -> float:
+        """Aggregate sliding-window hold fraction across all clients of a
+        device — how full its quota window is (obs gauge, read-only)."""
+        state = self._devices.get(device_uuid)
+        if state is None:
+            return 0.0
+        now = self.env.now
+        total = sum(
+            record.usage(now, self.window) for record in state.clients.values()
+        )
+        return min(1.0, total)
 
     def stats(self, device_uuid: str) -> Dict[str, int]:
         state = self._devices.setdefault(device_uuid, _DeviceState())
@@ -341,6 +358,8 @@ class TokenBackend:
             # window slides, so check again shortly.
             if state.queue and not state.retry_scheduled:
                 state.retry_scheduled = True
+                if obs.enabled():
+                    obs.token_deny(device_uuid, len(state.queue))
                 self.env.process(self._retry_later(device_uuid))
             return
         client_id, grant = state.queue.pop(idx)
@@ -357,6 +376,8 @@ class TokenBackend:
         state.grants_total += 1
         state.handoffs_total += 1
         record.hold_start = self.env.now
+        if obs.enabled():
+            obs.token_grant(device_uuid, client_id, self.quota)
         grant.succeed(token)
         yield self.env.timeout(self.quota)
         if state.token is token and token.valid:

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Dict, Generator, Optional
 
+from ..obs import runtime as obs
 from .backend import Token, TokenBackend, TokenBackendUnavailable
 from .cuda import CudaAPI, CudaContext, DevicePointer
 from .device import GpuOutOfMemory
@@ -231,27 +232,29 @@ class VGPUDeviceLibrary:
         remaining = float(work)
         self._launches_active[dev] = self._launches_active.get(dev, 0) + 1
         try:
-            while remaining > 1e-12:
-                token = self._tokens.get(dev)
-                if token is None or not token.valid or token.remaining(env.now) <= 1e-12:
-                    token = yield from self._acquire(backend, dev)
-                    self._tokens[dev] = token
-                chunk = min(remaining, token.remaining(env.now), MAX_KERNEL_CHUNK)
-                if chunk <= 1e-12:
-                    self._tokens.pop(dev, None)
-                    continue
-                yield from next_fn(ctx, chunk, None)
-                remaining -= chunk
-                if appetite < 1.0 and remaining > 1e-12:
-                    # An application below saturation idles between kernel
-                    # bursts (no client request pending). Revoke the token
-                    # so the idle gap is usable by other containers and
-                    # does not count as our usage.
-                    gap = chunk * (1.0 - appetite) / appetite
-                    token = self._tokens.pop(dev, None)
-                    if token is not None and token.valid:
-                        backend.release(token)
-                    yield env.timeout(gap)
+            with obs.launch_ctx(self.container.pod_name, dev, work):
+                while remaining > 1e-12:
+                    token = self._tokens.get(dev)
+                    if token is None or not token.valid or token.remaining(env.now) <= 1e-12:
+                        with obs.token_wait_ctx(self.container.pod_name, dev):
+                            token = yield from self._acquire(backend, dev)
+                        self._tokens[dev] = token
+                    chunk = min(remaining, token.remaining(env.now), MAX_KERNEL_CHUNK)
+                    if chunk <= 1e-12:
+                        self._tokens.pop(dev, None)
+                        continue
+                    yield from next_fn(ctx, chunk, None)
+                    remaining -= chunk
+                    if appetite < 1.0 and remaining > 1e-12:
+                        # An application below saturation idles between kernel
+                        # bursts (no client request pending). Revoke the token
+                        # so the idle gap is usable by other containers and
+                        # does not count as our usage.
+                        gap = chunk * (1.0 - appetite) / appetite
+                        token = self._tokens.pop(dev, None)
+                        if token is not None and token.valid:
+                            backend.release(token)
+                        yield env.timeout(gap)
         finally:
             self._launches_active[dev] -= 1
             if self._launches_active[dev] == 0 and not self._idle_watch.get(dev):

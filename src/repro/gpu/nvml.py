@@ -16,7 +16,7 @@ from typing import Dict, List, Sequence
 import numpy as np
 
 from ..sim import Environment
-from .device import GPUDevice
+from .device import DeviceLostError, GPUDevice
 
 __all__ = ["NVMLSampler", "UtilizationSeries"]
 
@@ -36,7 +36,18 @@ class UtilizationSeries:
 
 
 class NVMLSampler:
-    """Samples device utilization every *interval* seconds."""
+    """Samples device utilization every *interval* seconds.
+
+    Real NVML returns ``NVML_ERROR_GPU_IS_LOST`` when a device has fallen
+    off the bus (e.g. an uncorrectable ECC error injected by
+    :mod:`repro.chaos`). The sampler mirrors that: a failed device never
+    raises out of the sampling loop — it either leaves a *gap* in the
+    series (``on_failure="gap"``, the default) or records 0.0
+    (``on_failure="zero"``), and failed reads are counted in
+    :attr:`gaps`. When the device recovers, sampling resumes from a
+    re-seeded busy baseline so the first post-recovery sample does not
+    smear the whole outage into one interval.
+    """
 
     def __init__(
         self,
@@ -44,28 +55,66 @@ class NVMLSampler:
         devices: Sequence[GPUDevice],
         interval: float = 1.0,
         active_threshold: float = 0.01,
+        on_failure: str = "gap",
     ) -> None:
         if interval <= 0:
             raise ValueError("interval must be > 0")
+        if on_failure not in ("gap", "zero"):
+            raise ValueError(f"on_failure must be 'gap' or 'zero', not {on_failure!r}")
         self.env = env
         self.devices = list(devices)
         self.interval = interval
         self.active_threshold = active_threshold
+        self.on_failure = on_failure
         self.series: Dict[str, UtilizationSeries] = {
             d.uuid: UtilizationSeries() for d in self.devices
         }
+        #: failed reads per device (NVML_ERROR_GPU_IS_LOST analogue).
+        self.gaps: Dict[str, int] = {d.uuid: 0 for d in self.devices}
         self._last_busy: Dict[str, float] = {}
         self._proc = None
 
     def start(self) -> "NVMLSampler":
         if self._proc is None:
-            self._last_busy = {d.uuid: d.busy_time() for d in self.devices}
+            self._last_busy = {
+                d.uuid: d.busy_time() for d in self.devices if not d.failed
+            }
             self._proc = self.env.process(self._run(), name="nvml-sampler")
         return self
 
     def stop(self) -> None:
         if self._proc is not None and self._proc.is_alive:
             self._proc.interrupt("stop")
+
+    def _sample_device(self, dev: GPUDevice, now: float) -> None:
+        s = self.series[dev.uuid]
+        if dev.failed:
+            # The device is off the bus: drop the stale baseline so the
+            # first post-recovery interval starts fresh.
+            self.gaps[dev.uuid] += 1
+            self._last_busy.pop(dev.uuid, None)
+            if self.on_failure == "zero":
+                s.times.append(now)
+                s.values.append(0.0)
+            return
+        try:
+            busy = dev.busy_time()
+        except DeviceLostError:
+            self.gaps[dev.uuid] += 1
+            self._last_busy.pop(dev.uuid, None)
+            if self.on_failure == "zero":
+                s.times.append(now)
+                s.values.append(0.0)
+            return
+        last = self._last_busy.get(dev.uuid)
+        self._last_busy[dev.uuid] = busy
+        if last is None:
+            # First healthy read (fresh start or just recovered): only a
+            # baseline, there is no interval to attribute work to yet.
+            return
+        util = (busy - last) / self.interval
+        s.times.append(now)
+        s.values.append(min(1.0, max(0.0, util)))
 
     def _run(self):
         from ..sim import Interrupt
@@ -75,12 +124,7 @@ class NVMLSampler:
                 yield self.env.timeout(self.interval)
                 now = self.env.now
                 for dev in self.devices:
-                    busy = dev.busy_time()
-                    util = (busy - self._last_busy[dev.uuid]) / self.interval
-                    self._last_busy[dev.uuid] = busy
-                    s = self.series[dev.uuid]
-                    s.times.append(now)
-                    s.values.append(min(1.0, max(0.0, util)))
+                    self._sample_device(dev, now)
         except Interrupt:
             return
 
@@ -88,19 +132,33 @@ class NVMLSampler:
     def device_utilization(self, uuid: str) -> UtilizationSeries:
         return self.series[uuid]
 
+    def _sample_instants(self) -> List[float]:
+        """Union of sample times across devices, in order (gap-tolerant)."""
+        seen: Dict[float, None] = {}
+        for s in self.series.values():
+            for t in s.times:
+                seen[t] = None
+        return sorted(seen)
+
     def average_utilization(self, active_only: bool = False) -> UtilizationSeries:
         """Average across devices at each sample instant.
 
         With ``active_only=True`` only devices above the activity threshold
-        count — the "average utilization of active GPUs" view.
+        count — the "average utilization of active GPUs" view. Devices in a
+        failure gap at an instant contribute nothing rather than shifting
+        everyone else's samples.
         """
         out = UtilizationSeries()
         if not self.devices:
             return out
-        n_samples = min(len(s.times) for s in self.series.values())
-        for i in range(n_samples):
-            vals = [self.series[d.uuid].values[i] for d in self.devices]
-            t = self.series[self.devices[0].uuid].times[i]
+        by_time = {
+            d.uuid: dict(zip(self.series[d.uuid].times, self.series[d.uuid].values))
+            for d in self.devices
+        }
+        for t in self._sample_instants():
+            vals = [
+                by_time[d.uuid][t] for d in self.devices if t in by_time[d.uuid]
+            ]
             if active_only:
                 vals = [v for v in vals if v >= self.active_threshold]
             out.times.append(t)
@@ -108,17 +166,22 @@ class NVMLSampler:
         return out
 
     def active_gpus(self) -> UtilizationSeries:
-        """Number of active GPUs (utilization above threshold) over time."""
+        """Number of active GPUs (utilization above threshold) over time.
+
+        A device inside a failure gap is simply not active at that instant.
+        """
         out = UtilizationSeries()
         if not self.devices:
             return out
-        n_samples = min(len(s.times) for s in self.series.values())
-        for i in range(n_samples):
-            t = self.series[self.devices[0].uuid].times[i]
+        by_time = {
+            d.uuid: dict(zip(self.series[d.uuid].times, self.series[d.uuid].values))
+            for d in self.devices
+        }
+        for t in self._sample_instants():
             count = sum(
                 1
                 for d in self.devices
-                if self.series[d.uuid].values[i] >= self.active_threshold
+                if by_time[d.uuid].get(t, 0.0) >= self.active_threshold
             )
             out.times.append(t)
             out.values.append(float(count))

@@ -41,26 +41,42 @@ class TimeSeries:
         return self.values[-1] if self.values else None
 
     def window_mean(self, t0: float, t1: float) -> float:
-        """Mean of samples with t0 <= t < t1."""
+        """Mean of samples in the half-open window ``[t0, t1)``.
+
+        ``t1`` is exclusive so adjacent windows partition the samples: a
+        sample recorded exactly at ``t1`` belongs to the next window,
+        never to both. An empty window yields 0.0.
+        """
+        if t1 < t0:
+            raise ValueError(f"window ends before it starts: [{t0}, {t1})")
         t, v = self.as_arrays()
         mask = (t >= t0) & (t < t1)
         return float(np.mean(v[mask])) if mask.any() else 0.0
 
     def resample(self, step: float) -> "TimeSeries":
-        """Bucket-average onto a regular grid (for plotting/comparison)."""
+        """Bucket-average onto a regular grid (for plotting/comparison).
+
+        Buckets are the half-open intervals ``[start + i*step,
+        start + (i+1)*step)`` anchored at the first sample. Bucket indices
+        come from a direct floor division (not from float-accumulated
+        edges), so a sample sitting exactly on an edge always lands in the
+        bucket it opens, and the final partial bucket is averaged exactly
+        like every full one instead of merging into its neighbour when
+        ``end - start`` is a multiple of ``step``.
+        """
         if step <= 0:
             raise ValueError("step must be > 0")
         out = TimeSeries(name=self.name)
         if not self.times:
             return out
         t, v = self.as_arrays()
-        start, end = t[0], t[-1]
-        edges = np.arange(start, end + step, step)
-        idx = np.digitize(t, edges) - 1
-        for i in range(len(edges)):
+        start = t[0]
+        # The 1e-9 nudge snaps samples that float error left a hair below
+        # an edge (e.g. (t-start)/step == 2.9999999999999996) up onto it.
+        idx = np.floor((t - start) / step + 1e-9).astype(np.int64)
+        for i in np.unique(idx):
             mask = idx == i
-            if mask.any():
-                out.record(float(edges[i]), float(v[mask].mean()))
+            out.record(float(start + i * step), float(v[mask].mean()))
         return out
 
 

@@ -1,0 +1,43 @@
+"""Cross-layer observability in virtual time.
+
+Four instruments over one simulated run, all recording against
+``sim.Environment.now`` (never the wall clock) so enabling them cannot
+perturb a seeded schedule:
+
+* :mod:`repro.obs.tracing` — context-propagated spans over the full
+  SharePod journey, exportable as Chrome trace-event JSON (Perfetto);
+* :mod:`repro.obs.kevents` — Kubernetes-style ``Event`` objects with
+  reason/involvedObject/count dedup, stored through the apiserver;
+* :mod:`repro.obs.decisions` — the Algorithm 1 decision log: every
+  candidate GPU per scheduling pass with verdicts, scores, rejections;
+* :mod:`repro.obs.runtime` — the hub tying them to a
+  :class:`~repro.metrics.MetricsRegistry` (work-queue depth, informer
+  lag, etcd revision rate, token grant/deny counters, quota-window
+  occupancy), dumped via :mod:`repro.obs.promfmt` in Prometheus text
+  exposition format.
+
+CLI: ``python -m repro.obs {trace,events,explain,export}`` — see
+``README.md`` for the quickstart. Arm benchmarks with ``REPRO_OBS=1``.
+"""
+
+from .runtime import (
+    ENV_DIR,
+    ENV_FLAG,
+    ObsHub,
+    current,
+    disable,
+    enable,
+    enabled,
+    install_from_env,
+)
+
+__all__ = [
+    "ObsHub",
+    "ENV_FLAG",
+    "ENV_DIR",
+    "current",
+    "enabled",
+    "enable",
+    "disable",
+    "install_from_env",
+]

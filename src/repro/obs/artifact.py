@@ -1,0 +1,189 @@
+"""Run artifacts: load, export, and render observability snapshots.
+
+An artifact is the JSON dict produced by :meth:`ObsHub.snapshot` — spans,
+events, decision log, counters, and sampled series of one run. Everything
+here operates on that plain dict, so the CLI works identically on a live
+hub and on a file saved by an armed benchmark.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional
+
+from .kevents import events_table
+from .promfmt import prometheus_text
+from .tracing import chrome_trace_json
+
+__all__ = [
+    "load",
+    "export_all",
+    "explain",
+    "trace_summary",
+    "artifact_prometheus_text",
+]
+
+
+def load(path: str) -> Dict[str, object]:
+    with open(path) as fh:
+        art = json.load(fh)
+    for field in ("spans", "events", "decisions", "counters", "series"):
+        art.setdefault(field, [] if field != "counters" and field != "series" else {})
+    return art
+
+
+class _RegistryView:
+    """Adapt artifact counters/series dicts to the promfmt interface."""
+
+    class _TS:
+        def __init__(self, data):
+            self.values = data["values"]
+
+    def __init__(self, art: Dict[str, object]) -> None:
+        self.counters = art.get("counters", {})
+        self.series = {
+            name: self._TS(data) for name, data in art.get("series", {}).items()
+        }
+
+
+def artifact_prometheus_text(art: Dict[str, object]) -> str:
+    return prometheus_text(_RegistryView(art))
+
+
+def export_all(art: Dict[str, object], directory: str, label: str) -> List[str]:
+    """Write the four standard artifact files; returns their paths."""
+    os.makedirs(directory, exist_ok=True)
+    paths = []
+    path = os.path.join(directory, f"{label}.json")
+    with open(path, "w") as fh:
+        json.dump(art, fh)
+    paths.append(path)
+    path = os.path.join(directory, f"{label}.trace.json")
+    with open(path, "w") as fh:
+        fh.write(chrome_trace_json(art["spans"]))  # type: ignore[arg-type]
+    paths.append(path)
+    path = os.path.join(directory, f"{label}.events.txt")
+    with open(path, "w") as fh:
+        fh.write(events_table(art["events"]) + "\n")  # type: ignore[arg-type]
+    paths.append(path)
+    path = os.path.join(directory, f"{label}.prom")
+    with open(path, "w") as fh:
+        fh.write(artifact_prometheus_text(art))
+    paths.append(path)
+    return paths
+
+
+def trace_summary(art: Dict[str, object]) -> str:
+    spans: List[dict] = art["spans"]  # type: ignore[assignment]
+    tracks: Dict[str, int] = {}
+    errors = 0
+    for s in spans:
+        tracks[str(s["track"])] = tracks.get(str(s["track"]), 0) + 1
+        if s["status"] == "error":
+            errors += 1
+    lines = [
+        f"{len(spans)} spans on {len(tracks)} tracks "
+        f"({errors} error, {art.get('dropped_spans', 0)} dropped), "
+        f"virtual end time t={art.get('now', 0.0):.3f}s"
+    ]
+    for track in sorted(tracks):
+        lines.append(f"  {track:<32} {tracks[track]:>6} spans")
+    return "\n".join(lines)
+
+
+def _match_sharepod(art: Dict[str, object], sharepod: str) -> Optional[str]:
+    """Resolve a bare name or full key against the artifact's decisions,
+    spans, and events; returns the canonical ``namespace/name`` key."""
+    keys = []
+    for rec in art["decisions"]:  # type: ignore[union-attr]
+        keys.append(str(rec["sharepod"]))
+    for span in art["spans"]:  # type: ignore[union-attr]
+        if span.get("trace_id"):
+            keys.append(str(span["trace_id"]))
+    for ev in art["events"]:  # type: ignore[union-attr]
+        if ev.get("involved_kind") == "SharePod":
+            keys.append(f"{ev['involved_namespace']}/{ev['involved_name']}")
+    for key in keys:
+        if key == sharepod or key.split("/", 1)[-1] == sharepod:
+            return key
+    return None
+
+
+def explain(art: Dict[str, object], sharepod: str) -> str:
+    """The full placement story of one SharePod, human-readable."""
+    key = _match_sharepod(art, sharepod)
+    if key is None:
+        known = sorted(
+            {
+                str(r["sharepod"])
+                for r in art["decisions"]  # type: ignore[union-attr]
+            }
+        )
+        return (
+            f"no record of SharePod {sharepod!r} in this artifact\n"
+            f"known: {', '.join(known) if known else '(none)'}"
+        )
+    lines = [f"SharePod {key}", ""]
+
+    decisions = [
+        r for r in art["decisions"] if r["sharepod"] == key  # type: ignore[union-attr]
+    ]
+    lines.append(f"— Algorithm 1: {len(decisions)} scheduling pass(es)")
+    for n, rec in enumerate(decisions, 1):
+        req = rec["request"]
+        lines.append(
+            f"  pass {n} @ t={rec['t']:.3f}s  placement={rec['placement']}  "
+            f"request(util={req.get('gpu_request')}, mem={req.get('gpu_mem')}, "
+            f"aff={req.get('affinity')}, anti={req.get('anti_affinity')}, "
+            f"excl={req.get('exclusion')})"
+        )
+        for cand in rec["candidates"]:
+            verdict = "pass" if cand["passed"] else "reject"
+            extra = []
+            if cand["score"] is not None:
+                extra.append(f"score={cand['score']:.3f}")
+            if cand["pool"]:
+                extra.append(f"pool={cand['pool']}")
+            if cand["reason"]:
+                extra.append(cand["reason"])
+            suffix = f" ({', '.join(extra)})" if extra else ""
+            lines.append(
+                f"    [{cand['stage']:<9}] {cand['gpuid']}: {verdict}{suffix}"
+            )
+        if rec["rejected"]:
+            lines.append(f"    => REJECTED: {rec['reason']}")
+        else:
+            new = " (new vGPU)" if rec["is_new"] else ""
+            lines.append(f"    => chose {rec['chosen']} by {rec['rule']}{new}")
+    if not decisions:
+        lines.append("  (none recorded)")
+
+    ns, name = key.split("/", 1)
+    events = [
+        e
+        for e in art["events"]  # type: ignore[union-attr]
+        if e["involved_name"] == name
+        and e["involved_kind"] in ("SharePod", "Pod")
+        and e["involved_namespace"] == ns
+    ]
+    lines += ["", f"— Events ({len(events)})"]
+    if events:
+        lines.append(events_table(events))
+
+    spans = [
+        s
+        for s in art["spans"]  # type: ignore[union-attr]
+        if s.get("trace_id") == key
+    ]
+    spans.sort(key=lambda s: (s["start"], s["span_id"]))
+    lines += ["", f"— Timeline ({len(spans)} spans)"]
+    for s in spans:
+        end = s["end"] if s["end"] is not None else s["start"]
+        dur = float(end) - float(s["start"])
+        mark = "·" if s.get("instant") else ("!" if s["status"] == "error" else "▸")
+        lines.append(
+            f"  {float(s['start']):9.3f}s {mark} {s['track']:<24} "
+            f"{s['name']}" + (f"  [{dur * 1000:.1f} ms]" if not s.get("instant") else "")
+        )
+    return "\n".join(lines)

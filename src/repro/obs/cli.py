@@ -1,0 +1,104 @@
+"""``python -m repro.obs`` — inspect observability artifacts.
+
+Subcommands:
+
+* ``trace``   — summarize spans and write Chrome trace-event JSON
+                (open in Perfetto / chrome://tracing);
+* ``events``  — the run's Kubernetes-style events, kubectl-table style;
+* ``explain`` — the full placement story of one SharePod: every
+                Algorithm 1 candidate with verdicts and scores, the
+                events, and the span timeline;
+* ``export``  — write artifact + trace + events + Prometheus text.
+
+Input is either ``--artifact FILE`` (saved by an armed benchmark, see
+``REPRO_OBS=1``) or ``--scenario failover|chaos`` to re-run a capstone
+benchmark in-process with identical seeds and constants.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, Optional
+
+from . import artifact as artifact_mod
+from .kevents import events_table
+from .tracing import chrome_trace_json
+
+__all__ = ["main"]
+
+
+def _load(args) -> Dict[str, object]:
+    if args.artifact:
+        return artifact_mod.load(args.artifact)
+    from .scenarios import SCENARIOS
+
+    name = args.scenario or "failover"
+    runner = SCENARIOS.get(name)
+    if runner is None:
+        raise SystemExit(
+            f"unknown scenario {name!r}; choose from {sorted(SCENARIOS)}"
+        )
+    print(f"running scenario {name!r} (seeded, deterministic)...", file=sys.stderr)
+    return runner()
+
+
+def _add_source_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--artifact",
+        help="artifact JSON saved by an armed benchmark (REPRO_OBS=1)",
+    )
+    p.add_argument(
+        "--scenario",
+        choices=("failover", "chaos"),
+        help="re-run a capstone benchmark in-process (default: failover)",
+    )
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_trace = sub.add_parser("trace", help="summarize spans / export Chrome trace")
+    _add_source_args(p_trace)
+    p_trace.add_argument("-o", "--output", help="write Chrome trace-event JSON here")
+
+    p_events = sub.add_parser("events", help="print the run's events")
+    _add_source_args(p_events)
+
+    p_explain = sub.add_parser("explain", help="placement story of one SharePod")
+    p_explain.add_argument("sharepod", help="SharePod name or namespace/name")
+    _add_source_args(p_explain)
+
+    p_export = sub.add_parser("export", help="write all artifact files")
+    _add_source_args(p_export)
+    p_export.add_argument("--dir", default="obs-artifacts", help="output directory")
+    p_export.add_argument("--label", default=None, help="artifact file stem")
+
+    args = parser.parse_args(argv)
+    art = _load(args)
+
+    if args.command == "trace":
+        print(artifact_mod.trace_summary(art))
+        if args.output:
+            with open(args.output, "w") as fh:
+                fh.write(chrome_trace_json(art["spans"]))  # type: ignore[arg-type]
+            print(f"wrote {args.output}")
+    elif args.command == "events":
+        print(events_table(art["events"]))  # type: ignore[arg-type]
+    elif args.command == "explain":
+        print(artifact_mod.explain(art, args.sharepod))
+    elif args.command == "export":
+        label = args.label or str(art.get("label") or "run")
+        paths = artifact_mod.export_all(art, args.dir, label)
+        for path in paths:
+            print(f"wrote {path}")
+        counters = art.get("counters") or {}
+        if counters:
+            print(json.dumps(dict(sorted(counters.items())), indent=2))
+    return 0

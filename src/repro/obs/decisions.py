@@ -1,0 +1,160 @@
+"""Scheduler decision log: why Algorithm 1 placed each SharePod where it did.
+
+Every invocation of :func:`repro.core.scheduler.schedule_request` can be
+audited through a :class:`DecisionAudit`: the algorithm reports every
+candidate GPU it considered, the stage at which it was accepted or
+rejected (affinity match, filter, placement), the affinity /
+anti-affinity / exclusion verdicts, the fit score (residual capacity
+after hypothetical placement — lower = tighter fit), and the final
+choice with the rule that made it. The completed records live in a
+:class:`DecisionLog` keyed by SharePod, which is what
+``python -m repro.obs explain <sharepod>`` prints.
+
+The audit is pure bookkeeping — no clock reads, no randomness, no
+yields — so auditing a run cannot perturb its schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["CandidateRecord", "DecisionRecord", "DecisionAudit", "DecisionLog"]
+
+
+@dataclass
+class CandidateRecord:
+    """One (device, stage) consideration inside a scheduling pass."""
+
+    gpuid: str
+    #: "affinity" | "filter" | "placement"
+    stage: str
+    passed: bool
+    reason: str = ""
+    #: fit score at the placement stage: ``_leftover(r, d)``; lower means
+    #: a tighter (better) best-fit.
+    score: Optional[float] = None
+    #: placement sub-pool: "label-free" (best fit) or "labelled" (worst fit).
+    pool: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "gpuid": self.gpuid,
+            "stage": self.stage,
+            "passed": self.passed,
+            "reason": self.reason,
+            "score": self.score,
+            "pool": self.pool,
+        }
+
+
+@dataclass
+class DecisionRecord:
+    """One full Algorithm 1 invocation."""
+
+    t: float
+    sharepod: str
+    request: Dict[str, object] = field(default_factory=dict)
+    placement: str = "paper"
+    candidates: List[CandidateRecord] = field(default_factory=list)
+    chosen: Optional[str] = None
+    is_new: bool = False
+    rejected: bool = False
+    reason: str = ""
+    #: which rule produced the choice: "affinity", "affinity-new",
+    #: "best-fit(label-free)", "worst-fit(labelled)", "best_fit",
+    #: "worst_fit", "first_fit", or "new-device".
+    rule: str = ""
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "t": self.t,
+            "sharepod": self.sharepod,
+            "request": dict(self.request),
+            "placement": self.placement,
+            "candidates": [c.to_dict() for c in self.candidates],
+            "chosen": self.chosen,
+            "is_new": self.is_new,
+            "rejected": self.rejected,
+            "reason": self.reason,
+            "rule": self.rule,
+        }
+
+
+class DecisionAudit:
+    """Collects one scheduling pass; handed to ``schedule_request``.
+
+    ``schedule_request`` accepts ``audit=None`` (the default — zero cost)
+    or any object with this interface; it never imports this module.
+    """
+
+    def __init__(self) -> None:
+        self.record = DecisionRecord(t=0.0, sharepod="")
+
+    # -- called by schedule_request ---------------------------------------
+    def begin(self, r, devices, placement: str) -> None:
+        self.record.placement = placement
+        self.record.request = {
+            "gpu_request": r.util,
+            "gpu_mem": r.mem,
+            "affinity": r.aff,
+            "anti_affinity": r.anti_aff,
+            "exclusion": r.excl,
+            "devices_visible": len(devices),
+        }
+
+    def consider(
+        self,
+        gpuid: str,
+        stage: str,
+        passed: bool,
+        reason: str = "",
+        score: Optional[float] = None,
+        pool: Optional[str] = None,
+    ) -> None:
+        self.record.candidates.append(
+            CandidateRecord(
+                gpuid=gpuid,
+                stage=stage,
+                passed=passed,
+                reason=reason,
+                score=score,
+                pool=pool,
+            )
+        )
+
+    def choose(self, gpuid: str, is_new: bool, rule: str) -> None:
+        self.record.chosen = gpuid
+        self.record.is_new = is_new
+        self.record.rule = rule
+
+    def reject(self, reason: str) -> None:
+        self.record.rejected = True
+        self.record.reason = reason
+
+
+class DecisionLog:
+    """All committed decision records of a run, in commit order."""
+
+    def __init__(self) -> None:
+        self.records: List[DecisionRecord] = []
+
+    def new_audit(self) -> DecisionAudit:
+        return DecisionAudit()
+
+    def commit(self, audit: DecisionAudit, sharepod: str, t: float) -> DecisionRecord:
+        audit.record.sharepod = sharepod
+        audit.record.t = t
+        self.records.append(audit.record)
+        return audit.record
+
+    def for_sharepod(self, key: str) -> List[DecisionRecord]:
+        """Records for a SharePod, matched by full key or bare name."""
+        return [
+            r
+            for r in self.records
+            if r.sharepod == key or r.sharepod.split("/", 1)[-1] == key
+        ]
+
+    def to_dicts(self) -> List[Dict[str, object]]:
+        return [r.to_dict() for r in self.records]

@@ -1,0 +1,58 @@
+"""Prometheus text exposition over :class:`repro.metrics.MetricsRegistry`.
+
+Metric names follow the Prometheus convention directly in the registry
+key: ``family`` or ``family{label="value",...}``. Counters are exposed as
+``counter``; time series as ``gauge`` carrying the last recorded sample
+(the full series lives in the run artifact).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Tuple
+
+__all__ = ["prometheus_text"]
+
+_FAMILY_RE = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{.*\})?$")
+
+
+def _family(name: str) -> str:
+    m = _FAMILY_RE.match(name)
+    return m.group(1) if m else name
+
+
+def _grouped(names: List[str]) -> List[Tuple[str, List[str]]]:
+    """Group metric names by family, preserving first-seen family order."""
+    order: List[str] = []
+    groups: Dict[str, List[str]] = {}
+    for name in names:
+        fam = _family(name)
+        if fam not in groups:
+            groups[fam] = []
+            order.append(fam)
+        groups[fam].append(name)
+    return [(fam, groups[fam]) for fam in order]
+
+
+def _fmt_value(v: float) -> str:
+    if float(v).is_integer():
+        return str(int(v))
+    return repr(float(v))
+
+
+def prometheus_text(registry) -> str:
+    """Dump a MetricsRegistry in Prometheus text exposition format."""
+    lines: List[str] = []
+    for fam, names in _grouped(sorted(registry.counters)):
+        lines.append(f"# TYPE {fam} counter")
+        for name in names:
+            lines.append(f"{name} {_fmt_value(registry.counters[name])}")
+    for fam, names in _grouped(sorted(registry.series)):
+        lines.append(f"# TYPE {fam} gauge")
+        for name in names:
+            ts = registry.series[name]
+            if ts.values:
+                lines.append(f"{name} {_fmt_value(ts.values[-1])}")
+            else:
+                lines.append(f"{name} 0")
+    return "\n".join(lines) + "\n"

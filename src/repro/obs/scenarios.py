@@ -1,0 +1,147 @@
+"""In-process scenario runners for the obs CLI.
+
+``python -m repro.obs explain steady0`` needs an instrumented run to
+explain. These runners reproduce the two capstone benchmarks —
+``benchmarks/test_failover.py`` (HA DevMgr leader killed mid-burst,
+seed 13) and ``benchmarks/test_chaos_recovery.py`` (busiest node crashed,
+seed 11) — with identical constants, under an enabled hub, and hand back
+the artifact. Because both the benchmarks and the simulator are seeded
+and deterministic, the CLI's story is the benchmark's story.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..analysis.resets import reset_all
+from ..chaos import ChaosEngine
+from ..cluster import Cluster, ClusterConfig
+from ..core import HAKubeShare, KubeShare
+from ..sim import Environment
+from .runtime import ObsHub, disable, enable
+
+__all__ = ["run_failover", "run_chaos", "SCENARIOS"]
+
+# Constants mirrored from benchmarks/test_failover.py.
+FAILOVER_SEED = 13
+N_STEADY = 4
+N_BURST = 8
+BURST_START = 40.0
+BURST_GAP = 1.25
+FAILOVER_FAULT_AT = 45.0
+FAILOVER_HORIZON = 70.0
+
+# Constants mirrored from benchmarks/test_chaos_recovery.py.
+CHAOS_SEED = 11
+CHAOS_N_JOBS = 6
+CHAOS_DEMAND = 0.35
+CHAOS_FAULT_AT = 45.0
+CHAOS_HORIZON = 85.0
+
+
+def run_failover(replicas: int = 2, label: str = "failover") -> Dict[str, object]:
+    """The HA failover benchmark under observation; returns the artifact."""
+    from ..workloads.jobs import InferenceJob
+
+    reset_all()
+    env = Environment()
+    cluster = Cluster(env, ClusterConfig(nodes=4, gpus_per_node=2)).start()
+    hub = ObsHub(env, label=label)
+    hub.attach_cluster(cluster)
+    enable(hub)
+    try:
+        ks = HAKubeShare(cluster, replicas=replicas, isolation="token").start()
+        hub.attach_kubeshare(ks)
+        hub.start_sampler()
+
+        for i in range(N_STEADY):
+            name = f"steady{i}"
+            job = InferenceJob.from_demand(name, demand=0.35, duration=400.0)
+            ks.submit(
+                ks.make_sharepod(
+                    name,
+                    gpu_request=0.35,
+                    gpu_limit=0.6,
+                    gpu_mem=0.3,
+                    workload=job.workload(),
+                )
+            )
+
+        def submitter():
+            for i in range(N_BURST):
+                name = f"burst{i}"
+                job = InferenceJob.from_demand(name, demand=0.2, duration=200.0)
+                ks.submit(
+                    ks.make_sharepod(
+                        name,
+                        gpu_request=0.2,
+                        gpu_limit=0.4,
+                        gpu_mem=0.3,
+                        workload=job.workload(),
+                    )
+                )
+                yield env.timeout(BURST_GAP)
+
+        def start_burst():
+            yield env.timeout(BURST_START)
+            env.process(submitter(), name="burst-submitter")
+
+        env.process(start_burst(), name="burst-starter")
+
+        engine = ChaosEngine(cluster, kubeshare=ks, seed=FAILOVER_SEED)
+        engine.register_controllers(ks.sched_group, ks.devmgr_group)
+        engine.controller_crash(at=FAILOVER_FAULT_AT, target="kubeshare-devmgr")
+        engine.start()
+
+        env.run(until=FAILOVER_HORIZON)
+        return hub.snapshot()
+    finally:
+        disable()
+
+
+def run_chaos(recovery: bool = True, label: str = "chaos") -> Dict[str, object]:
+    """The chaos node-crash benchmark under observation; returns the artifact."""
+    from ..workloads.jobs import InferenceJob
+
+    reset_all()
+    env = Environment()
+    cluster = Cluster(
+        env, ClusterConfig(nodes=4, gpus_per_node=2, node_lifecycle=recovery)
+    ).start()
+    hub = ObsHub(env, label=label)
+    hub.attach_cluster(cluster)
+    enable(hub)
+    try:
+        ks = KubeShare(cluster, isolation="token").start()
+        hub.attach_kubeshare(ks)
+        hub.start_sampler()
+
+        for i in range(CHAOS_N_JOBS):
+            job = InferenceJob.from_demand(
+                f"job{i}", demand=CHAOS_DEMAND, duration=400.0
+            )
+            ks.submit(
+                ks.make_sharepod(
+                    f"sp{i}",
+                    gpu_request=CHAOS_DEMAND,
+                    gpu_limit=0.6,
+                    gpu_mem=0.3,
+                    workload=job.workload(),
+                    restart_policy="reschedule",
+                )
+            )
+
+        engine = ChaosEngine(cluster, kubeshare=ks, seed=CHAOS_SEED)
+        engine.node_crash(at=CHAOS_FAULT_AT)
+        engine.start()
+
+        env.run(until=CHAOS_HORIZON)
+        return hub.snapshot()
+    finally:
+        disable()
+
+
+SCENARIOS = {
+    "failover": run_failover,
+    "chaos": run_chaos,
+}

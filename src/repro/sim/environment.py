@@ -50,12 +50,18 @@ class Environment:
         self._queue: list[tuple[float, int, int, Event]] = []
         self._eid = count()
         self._active_proc: Optional[Process] = None
+        self._events_processed: int = 0
 
     # -- introspection ---------------------------------------------------
     @property
     def now(self) -> float:
         """Current simulation time."""
         return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Total events dispatched by :meth:`step` (observability gauge)."""
+        return self._events_processed
 
     @property
     def active_process(self) -> Optional[Process]:
@@ -103,6 +109,7 @@ class Environment:
         except IndexError:
             raise EmptySchedule() from None
 
+        self._events_processed += 1
         callbacks, event.callbacks = event.callbacks, None
         if callbacks is None:  # pragma: no cover - double-processing guard
             return

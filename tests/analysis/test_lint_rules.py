@@ -297,6 +297,44 @@ class TestRPR006SetIteration:
         """) == []
 
 
+class TestRPR007BarePrint:
+    SNIPPET = textwrap.dedent("""
+        def reconcile(key):
+            print("reconciling", key)
+    """)
+
+    def ids_at(self, path):
+        return sorted({f.rule_id for f in lint_source(self.SNIPPET, path=path)})
+
+    def test_library_print_flagged(self):
+        assert self.ids_at("src/repro/core/devmgr.py") == ["RPR007"]
+
+    def test_experiments_exempt(self):
+        assert self.ids_at("src/repro/experiments/fig9.py") == []
+
+    def test_cli_entry_points_exempt(self):
+        assert self.ids_at("src/repro/obs/cli.py") == []
+        assert self.ids_at("src/repro/obs/__main__.py") == []
+
+    def test_tests_and_benchmarks_exempt(self):
+        assert self.ids_at("tests/core/test_devmgr.py") == []
+        assert self.ids_at("benchmarks/test_failover.py") == []
+
+    def test_shadowed_print_not_flagged(self):
+        source = textwrap.dedent("""
+            def render(printer):
+                printer.print("fine: method call, not the builtin")
+        """)
+        assert lint_source(source, path="src/repro/core/devmgr.py") == []
+
+    def test_noqa_suppresses(self):
+        source = textwrap.dedent("""
+            def debug(key):
+                print("dbg", key)  # noqa: RPR007 - temporary debug aid
+        """)
+        assert lint_source(source, path="src/repro/core/devmgr.py") == []
+
+
 class TestHarness:
     def test_every_rule_has_metadata(self):
         for rule in ALL_RULES:

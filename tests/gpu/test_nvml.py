@@ -84,3 +84,113 @@ class TestSampler:
         n = len(sampler.device_utilization("g0").values)
         env.run(until=10)
         assert len(sampler.device_utilization("g0").values) == n
+
+
+def busy_tolerant(env, gpu, work):
+    """Like ``busy`` but survives the device dying under it."""
+
+    def proc():
+        from repro.gpu.device import DeviceLostError
+
+        s = gpu.open_session("w")
+        try:
+            yield from s.run(work)
+        except DeviceLostError:
+            return
+        finally:
+            s.close()
+
+    env.process(proc())
+
+
+class TestFailedDevice:
+    """NVML_ERROR_GPU_IS_LOST analogue: failed reads never raise."""
+
+    def test_on_failure_validation(self, env):
+        with pytest.raises(ValueError):
+            NVMLSampler(env, [], on_failure="raise")
+
+    def test_mid_run_failure_leaves_gap(self, env):
+        gpu = GPUDevice(env, "g0", "n0")
+
+        def chaos():
+            yield env.timeout(3.5)
+            gpu.fail("uncorrectable ECC error")
+
+        env.process(chaos())
+        sampler = NVMLSampler(env, [gpu], interval=1.0).start()
+        env.run(until=8)  # keeps sampling through the failure, no raise
+        series = sampler.device_utilization("g0")
+        assert series.times == [1.0, 2.0, 3.0]  # samples stop at the fault
+        assert sampler.gaps["g0"] == 5  # t=4..8 all failed reads
+
+    def test_mid_run_failure_zero_policy(self, env):
+        gpu = GPUDevice(env, "g0", "n0")
+        busy_tolerant(env, gpu, work=10.0)
+
+        def chaos():
+            yield env.timeout(2.5)
+            gpu.fail()
+
+        env.process(chaos())
+        sampler = NVMLSampler(env, [gpu], interval=1.0, on_failure="zero").start()
+        env.run(until=5)
+        series = sampler.device_utilization("g0")
+        assert series.times == [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert series.values[-1] == 0.0 and series.values[-2] == 0.0
+
+    def test_recovery_resumes_without_outage_smear(self, env):
+        gpu = GPUDevice(env, "g0", "n0")
+
+        def chaos():
+            yield env.timeout(2.5)
+            gpu.fail()
+            yield env.timeout(3.0)
+            gpu.recover()
+
+        env.process(chaos())
+
+        def worker():
+            # busy before the fault; busy again after recovery
+            s = gpu.open_session("w")
+            try:
+                yield from s.run(10.0)
+            except Exception:
+                pass
+            yield env.timeout(3.5)  # device recovers at t=5.5
+            s2 = gpu.open_session("w2")
+            yield from s2.run(3.0)
+            s2.close()
+
+        env.process(worker())
+        sampler = NVMLSampler(env, [gpu], interval=1.0).start()
+        env.run(until=9)
+        series = sampler.device_utilization("g0")
+        # The first post-recovery read (t=6) only re-seeds the baseline;
+        # real samples resume at t=7 and never exceed one interval's work.
+        assert 6.0 not in series.times
+        assert all(v <= 1.0 for v in series.values)
+        assert series.values[-1] == pytest.approx(1.0)
+
+    def test_aggregates_tolerate_gaps(self, env):
+        g0 = GPUDevice(env, "g0", "n0")
+        g1 = GPUDevice(env, "g1", "n0")
+        busy(env, g0, work=10.0)
+        busy_tolerant(env, g1, work=10.0)
+
+        def chaos():
+            yield env.timeout(2.5)
+            g1.fail()
+
+        env.process(chaos())
+        sampler = NVMLSampler(env, [g0, g1], interval=1.0).start()
+        env.run(until=6)
+        # g1's series is shorter; the aggregate views must not truncate
+        # g0's samples to match (the old min-length alignment bug).
+        avg = sampler.average_utilization()
+        assert avg.times == [1.0, 2.0, 3.0, 4.0, 5.0, 6.0]
+        assert avg.values[0] == pytest.approx(1.0)  # both busy
+        assert avg.values[-1] == pytest.approx(1.0)  # only g0 reports
+        counts = sampler.active_gpus().values
+        assert counts[0] == 2.0
+        assert counts[-1] == 1.0  # the failed device is simply not active

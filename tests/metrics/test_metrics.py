@@ -43,6 +43,22 @@ class TestTimeSeries:
         assert ts.window_mean(0, 5) == pytest.approx(2.0)
         assert ts.window_mean(100, 200) == 0.0
 
+    def test_window_mean_t1_exclusive(self):
+        # [t0, t1): the sample at t1 belongs to the next window, so
+        # adjacent windows partition the series with no double counting.
+        ts = TimeSeries()
+        for t in range(10):
+            ts.record(t, float(t))
+        assert ts.window_mean(0, 3) == pytest.approx(1.0)  # samples 0,1,2
+        assert ts.window_mean(3, 6) == pytest.approx(4.0)  # samples 3,4,5
+        assert ts.window_mean(9, 9.5) == pytest.approx(9.0)  # t0 inclusive
+
+    def test_window_mean_rejects_inverted_window(self):
+        ts = TimeSeries()
+        ts.record(0, 1.0)
+        with pytest.raises(ValueError):
+            ts.window_mean(5.0, 2.0)
+
     def test_resample_buckets(self):
         ts = TimeSeries()
         for t in range(10):
@@ -51,6 +67,44 @@ class TestTimeSeries:
         assert len(coarse) < len(ts)
         with pytest.raises(ValueError):
             ts.resample(0)
+
+    def test_resample_final_partial_bucket_kept(self):
+        # 0..10 s at step 4: buckets [0,4), [4,8) and the partial [8,10]
+        # must all appear, the last averaged like any full one.
+        ts = TimeSeries()
+        for t in range(11):
+            ts.record(float(t), float(t))
+        coarse = ts.resample(4.0)
+        assert coarse.times == [0.0, 4.0, 8.0]
+        assert coarse.values == pytest.approx([1.5, 5.5, 9.0])
+
+    def test_resample_sample_on_final_edge_opens_new_bucket(self):
+        # end - start an exact multiple of step: the sample sitting on the
+        # final edge opens its own bucket instead of merging backwards.
+        ts = TimeSeries()
+        for t in range(9):  # 0..8, step 4 → edges at 0, 4, 8
+            ts.record(float(t), float(t))
+        coarse = ts.resample(4.0)
+        assert coarse.times == [0.0, 4.0, 8.0]
+        assert coarse.values == pytest.approx([1.5, 5.5, 8.0])
+
+    def test_resample_float_edges_stable(self):
+        # 0.1 is not exactly representable; 3 * 0.1 / 0.3 floors to 0 with
+        # naive float bucketing. Every edge-adjacent sample must still land
+        # in the bucket it opens, and no sample may be dropped.
+        ts = TimeSeries()
+        n = 30
+        for i in range(n):
+            ts.record(i * 0.1, 1.0)
+        coarse = ts.resample(0.3)
+        assert len(coarse) == 10
+        assert coarse.times == pytest.approx([i * 0.3 for i in range(10)])
+        # All samples accounted for: every bucket holds exactly 3 samples
+        # of value 1.0, so each mean is exactly 1.0.
+        assert coarse.values == pytest.approx([1.0] * 10)
+
+    def test_resample_empty(self):
+        assert len(TimeSeries().resample(1.0)) == 0
 
     def test_empty_series(self):
         ts = TimeSeries()

@@ -1,0 +1,127 @@
+"""Scheduler decision log: Algorithm 1 self-reports every candidate."""
+
+from repro.core.scheduler import DeviceView, RequestView, schedule_request
+from repro.obs.artifact import explain
+from repro.obs.decisions import DecisionAudit, DecisionLog
+
+
+def audit_for(request, devices, placement="paper"):
+    log = DecisionLog()
+    audit = log.new_audit()
+    decision = schedule_request(request, devices, placement=placement, audit=audit)
+    rec = log.commit(audit, "default/sp0", t=1.0)
+    return decision, rec, log
+
+
+class TestAudit:
+    def test_filter_stage_records_every_busy_candidate(self):
+        devices = [
+            DeviceView("gpu0", util=0.9, mem=0.9, idle=False),
+            DeviceView("gpu1", util=0.4, mem=0.9, idle=False),
+            DeviceView("gpu2", util=0.05, mem=0.05, idle=False),
+        ]
+        r = RequestView(util=0.3, mem=0.1)
+        decision, rec, _ = audit_for(r, devices)
+        assert not decision.rejected
+        filtered = {c.gpuid: c for c in rec.candidates if c.stage == "filter"}
+        assert set(filtered) == {"gpu0", "gpu1", "gpu2"}
+        assert filtered["gpu0"].passed and filtered["gpu1"].passed
+        assert not filtered["gpu2"].passed
+        assert "insufficient capacity" in filtered["gpu2"].reason
+
+    def test_placement_stage_records_scores_and_rule(self):
+        devices = [
+            DeviceView("gpu0", util=0.9, mem=0.9, idle=False),
+            DeviceView("gpu1", util=0.4, mem=0.9, idle=False),
+        ]
+        r = RequestView(util=0.3, mem=0.1)
+        decision, rec, _ = audit_for(r, devices)
+        placed = [c for c in rec.candidates if c.stage == "placement"]
+        assert placed and all(c.score is not None for c in placed)
+        # Paper placement, label-free pool: best fit → the tighter gpu1.
+        assert decision.gpuid == "gpu1"
+        assert rec.chosen == "gpu1"
+        assert rec.rule == "best-fit(label-free)"
+        assert not rec.is_new
+
+    def test_affinity_rejection_recorded(self):
+        devices = [
+            DeviceView(
+                "gpu0", util=0.1, mem=0.1, aff={"model-a"}, idle=False
+            )
+        ]
+        r = RequestView(util=0.5, mem=0.5, aff="model-a")
+        decision, rec, _ = audit_for(r, devices)
+        assert decision.rejected
+        assert rec.rejected
+        assert "lacks capacity" in rec.reason
+        [cand] = [c for c in rec.candidates if c.stage == "affinity"]
+        assert not cand.passed
+
+    def test_new_device_choice_flagged(self):
+        decision, rec, _ = audit_for(RequestView(util=0.5, mem=0.5, aff="m"), [])
+        assert decision.is_new
+        assert rec.is_new
+        assert rec.rule == "affinity-new"
+
+    def test_request_snapshot_in_record(self):
+        devices = [DeviceView("gpu0")]
+        r = RequestView(util=0.25, mem=0.125)
+        _, rec, _ = audit_for(r, devices)
+        assert rec.request["gpu_request"] == 0.25
+        assert rec.request["gpu_mem"] == 0.125
+        assert rec.request["devices_visible"] == 1
+
+    def test_audit_never_alters_the_decision(self):
+        def fresh():
+            return [
+                DeviceView("gpu0", util=0.9, mem=0.9, idle=False),
+                DeviceView("gpu1", util=0.4, mem=0.9, idle=False),
+                DeviceView("gpu2", util=0.05, mem=0.05, idle=False),
+            ]
+
+        r = RequestView(util=0.3, mem=0.1)
+        plain = schedule_request(r, fresh())
+        audited, _, _ = audit_for(r, fresh())
+        assert (plain.gpuid, plain.is_new, plain.rejected) == (
+            audited.gpuid,
+            audited.is_new,
+            audited.rejected,
+        )
+
+    def test_for_sharepod_matches_bare_name_and_key(self):
+        log = DecisionLog()
+        log.commit(DecisionAudit(), "default/sp0", t=2.0)
+        assert log.for_sharepod("default/sp0") == log.records
+        assert log.for_sharepod("sp0") == log.records
+        assert log.for_sharepod("other") == []
+
+
+class TestExplain:
+    def art(self, log):
+        return {
+            "decisions": log.to_dicts(),
+            "spans": [],
+            "events": [],
+            "counters": {},
+            "series": {},
+        }
+
+    def test_explain_renders_the_story(self):
+        devices = [
+            DeviceView("gpu0", util=0.9, mem=0.9, idle=False),
+            DeviceView("gpu1", util=0.05, mem=0.05, idle=False),
+        ]
+        _, _, log = audit_for(RequestView(util=0.3, mem=0.1), devices)
+        text = explain(self.art(log), "sp0")
+        assert "SharePod default/sp0" in text
+        assert "Algorithm 1: 1 scheduling pass" in text
+        assert "insufficient capacity" in text
+        assert "=> chose gpu0" in text
+
+    def test_explain_unknown_sharepod_lists_known(self):
+        log = DecisionLog()
+        log.commit(DecisionAudit(), "default/sp0", t=0.0)
+        text = explain(self.art(log), "ghost")
+        assert "no record" in text
+        assert "default/sp0" in text

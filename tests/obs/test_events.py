@@ -1,0 +1,130 @@
+"""Kubernetes-style Event semantics: dedup/count, apiserver write-through,
+and outage buffering (observability must never take a controller down)."""
+
+import pytest
+
+from repro.cluster.apiserver import APIServer
+from repro.cluster.objects import ObjectMeta
+from repro.obs.kevents import EVENT_WARNING, EventRecorder, events_table
+from repro.sim import Environment
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def api(env):
+    server = APIServer(env)
+    server.register_crd("SharePod")
+    server.register_crd("Event")
+    return server
+
+
+def tick(env, until):
+    """Advance virtual time (the recorder stamps events with env.now)."""
+
+    def idle():
+        yield env.timeout(until - env.now)
+
+    proc = env.process(idle())
+    env.run(until=proc)
+
+
+class TestDedup:
+    def test_identical_emits_bump_count(self, env):
+        rec = EventRecorder(env)
+        first = rec.emit("FailedScheduling", "no GPU fits", "SharePod", "sp0")
+        tick(env, 3.0)
+        second = rec.emit("FailedScheduling", "no GPU fits", "SharePod", "sp0")
+        assert second is first
+        assert len(rec.ledger) == 1
+        assert first.count == 2
+        assert first.first_time == 0.0
+        assert first.last_time == 3.0
+        assert rec.emitted_total == 2
+
+    def test_dedup_key_includes_message_and_source(self, env):
+        rec = EventRecorder(env)
+        rec.emit("FailedScheduling", "no GPU fits", "SharePod", "sp0")
+        rec.emit("FailedScheduling", "node cordoned", "SharePod", "sp0")
+        rec.emit("FailedScheduling", "no GPU fits", "SharePod", "sp0", source="shadow")
+        assert len(rec.ledger) == 3
+        assert all(e.count == 1 for e in rec.ledger)
+
+    def test_dedup_key_includes_involved_object(self, env):
+        rec = EventRecorder(env)
+        rec.emit("Evicted", "node lost", "Pod", "p0")
+        rec.emit("Evicted", "node lost", "Pod", "p1")
+        assert len(rec.ledger) == 2
+
+    def test_uids_are_recorder_local(self, env):
+        # Event uids come from the recorder's own counter, so emitting
+        # events must not shift the shared ObjectMeta uid sequence (the
+        # tracing-on-vs-off determinism guarantee rests on this).
+        before = ObjectMeta(name="probe-a").uid
+        rec = EventRecorder(env)
+        ev = rec.emit("Scheduled", "bound", "SharePod", "sp0")
+        after = ObjectMeta(name="probe-b").uid
+        assert ev.metadata.uid.startswith("evt-")
+        n_before = int(before.split("-")[1])
+        n_after = int(after.split("-")[1])
+        assert n_after == n_before + 1
+
+    def test_views(self, env):
+        rec = EventRecorder(env)
+        rec.emit("Scheduled", "bound", "SharePod", "sp0")
+        rec.emit("Evicted", "node lost", "Pod", "p0", type=EVENT_WARNING)
+        assert [e.reason for e in rec.for_object("sp0")] == ["Scheduled"]
+        assert rec.for_object("sp0", kind="Pod") == []
+        assert [e.involved_name for e in rec.by_reason("Evicted")] == ["p0"]
+        table = events_table(rec.to_dicts())
+        assert "Scheduled" in table and "pod/p0" in table
+
+
+class TestWriteThrough:
+    def test_event_stored_through_apiserver(self, env, api):
+        rec = EventRecorder(env, api=api)
+        rec.emit("Scheduled", "bound to GPU0", "SharePod", "sp0")
+        [stored] = api.list("Event")
+        assert stored.reason == "Scheduled"
+        assert stored.count == 1
+        assert rec.pending_writes == 0
+
+    def test_repeat_emit_patches_stored_count(self, env, api):
+        rec = EventRecorder(env, api=api)
+        rec.emit("FailedScheduling", "no fit", "SharePod", "sp0")
+        tick(env, 2.0)
+        rec.emit("FailedScheduling", "no fit", "SharePod", "sp0")
+        [stored] = api.list("Event")
+        assert stored.count == 2
+        assert stored.last_time == 2.0
+
+    def test_outage_buffers_instead_of_raising(self, env, api):
+        rec = EventRecorder(env, api=api)
+        api.set_outage(5.0)
+        rec.emit("Evicted", "node lost", "Pod", "p0")  # must not raise
+        assert rec.pending_writes == 1
+        assert rec.failed_writes == 1
+        assert len(rec.ledger) == 1  # the local ledger is the truth
+
+    def test_backlog_flushes_after_outage(self, env, api):
+        rec = EventRecorder(env, api=api)
+        api.set_outage(5.0)
+        rec.emit("Evicted", "node lost", "Pod", "p0")
+        rec.emit("Evicted", "node lost", "Pod", "p1")
+        assert rec.pending_writes == 2
+        tick(env, 6.0)  # outage over
+        rec.emit("Scheduled", "bound", "SharePod", "sp0")  # triggers flush
+        assert rec.pending_writes == 0
+        stored = {e.involved_name for e in api.list("Event")}
+        assert stored == {"p0", "p1", "sp0"}
+
+    def test_explicit_flush_drains_backlog(self, env, api):
+        rec = EventRecorder(env, api=api)
+        api.set_outage(5.0)
+        rec.emit("Evicted", "node lost", "Pod", "p0")
+        tick(env, 6.0)
+        assert rec.flush() == 1
+        assert rec.pending_writes == 0

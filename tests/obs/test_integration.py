@@ -1,0 +1,161 @@
+"""End-to-end observability: the full SharePod journey is captured, and
+arming the hub does not perturb the schedule (identical-seed replay)."""
+
+import os
+
+import pytest
+
+from repro.analysis.resets import reset_all
+from repro.cluster import Cluster, ClusterConfig
+from repro.cluster.objects import PodPhase
+from repro.core import KubeShare
+from repro.obs import ObsHub, disable, enable, install_from_env
+from repro.sim import Environment
+from repro.workloads.jobs import InferenceJob
+
+HORIZON = 30.0
+N_PODS = 3
+
+
+def run_scenario(observed: bool):
+    """One deterministic small run; returns (outcome dict, hub or None)."""
+    reset_all()
+    env = Environment()
+    cluster = Cluster(env, ClusterConfig(nodes=2, gpus_per_node=2)).start()
+    hub = None
+    if observed:
+        hub = enable(
+            ObsHub(env, label="obs-it")
+            .attach_cluster(cluster)
+            .start_sampler()
+        )
+    ks = KubeShare(cluster, isolation="token").start()
+    if hub is not None:
+        hub.attach_kubeshare(ks)
+    for i in range(N_PODS):
+        job = InferenceJob.from_demand(f"job{i}", demand=0.3, duration=200.0)
+        ks.submit(
+            ks.make_sharepod(
+                f"sp{i}",
+                gpu_request=0.3,
+                gpu_limit=0.5,
+                gpu_mem=0.3,
+                workload=job.workload(),
+            )
+        )
+    env.run(until=HORIZON)
+    outcome = {
+        "placement": {
+            f"sp{i}": (
+                ks.get(f"sp{i}").status.phase,
+                ks.get(f"sp{i}").spec.gpu_id,
+                ks.get(f"sp{i}").status.pod_name,
+            )
+            for i in range(N_PODS)
+        },
+        "pod_uids": sorted(p.metadata.uid for p in cluster.api.list("Pod")),
+    }
+    disable()
+    return outcome, hub
+
+
+@pytest.fixture
+def observed_run():
+    outcome, hub = run_scenario(observed=True)
+    return outcome, hub
+
+
+class TestJourneyCapture:
+    def test_sharepods_run_and_roots_close_ok(self, observed_run):
+        outcome, hub = observed_run
+        for name, (phase, gpu_id, pod_name) in outcome["placement"].items():
+            assert phase is PodPhase.RUNNING, f"{name}: {phase}"
+            assert gpu_id is not None and pod_name is not None
+        for key, root in hub.roots.items():
+            assert root.end is not None and root.status == "ok", key
+
+    def test_spans_cover_every_layer(self, observed_run):
+        _, hub = observed_run
+        names = {s.name for s in hub.tracer.spans}
+        tracks = {s.track for s in hub.tracer.spans}
+        assert "reconcile" in names
+        assert "container.start" in names
+        assert "token.grant" in names
+        assert "cuLaunchKernel" in names
+        assert "create SharePod" in names  # apiserver instants
+        assert "apiserver" in tracks
+        assert any(t.startswith("kubelet:") for t in tracks)
+        assert any(t.startswith("app:") for t in tracks)
+        assert hub.tracer.dropped == 0
+
+    def test_journey_is_stitched_by_trace_id(self, observed_run):
+        _, hub = observed_run
+        story = hub.tracer.for_trace("default/sp0")
+        tracks = {s.track for s in story}
+        # The one trace crosses the apiserver, the scheduler/devmgr
+        # controllers, the kubelet, and the in-container app track.
+        assert len(tracks) >= 4
+
+    def test_events_tell_the_placement_story(self, observed_run):
+        _, hub = observed_run
+        reasons = {e.reason for e in hub.events.ledger}
+        assert {"Scheduled", "Bound", "Started", "VGPUCreated"} <= reasons
+        # Write-through: the events are also listable via the apiserver.
+        stored = hub.events.api.list("Event")
+        assert len(stored) == len(hub.events.ledger)
+        assert hub.events.pending_writes == 0
+
+    def test_decisions_recorded_per_sharepod(self, observed_run):
+        _, hub = observed_run
+        for i in range(N_PODS):
+            recs = hub.decisions.for_sharepod(f"sp{i}")
+            assert recs, f"sp{i} has no decision record"
+            assert all(not r.rejected for r in recs)
+            assert recs[-1].chosen is not None
+
+    def test_sampler_populates_metric_families(self, observed_run):
+        _, hub = observed_run
+        series = hub.metrics.series
+        assert len(series["repro_etcd_revision"]) > 0
+        assert any(n.startswith("repro_gpu_quota_occupancy{") for n in series)
+        assert any(n.startswith("repro_workqueue_depth{") for n in series)
+        assert any(n.startswith("repro_informer_lag{") for n in series)
+        counters = hub.metrics.counters
+        assert any(n.startswith("repro_token_grants_total{") for n in counters)
+        assert any(n.startswith("repro_api_writes_total{") for n in counters)
+
+    def test_export_dir_writes_all_artifacts(self, observed_run, tmp_path):
+        _, hub = observed_run
+        paths = hub.export_dir(str(tmp_path))
+        assert [os.path.basename(p) for p in paths] == [
+            "obs-it.json",
+            "obs-it.trace.json",
+            "obs-it.events.txt",
+            "obs-it.prom",
+        ]
+        for p in paths:
+            assert os.path.getsize(p) > 0
+
+
+class TestDeterminism:
+    def test_observed_run_replays_identically(self):
+        plain, _ = run_scenario(observed=False)
+        observed, _ = run_scenario(observed=True)
+        assert plain["placement"] == observed["placement"]
+        assert plain["pod_uids"] == observed["pod_uids"]
+
+
+class TestInstallFromEnv:
+    def test_disabled_by_default(self, monkeypatch, env, small_cluster):
+        monkeypatch.delenv("REPRO_OBS", raising=False)
+        assert install_from_env(small_cluster) is None
+        monkeypatch.setenv("REPRO_OBS", "0")
+        assert install_from_env(small_cluster) is None
+
+    def test_enabled_when_opted_in(self, monkeypatch, env, small_cluster):
+        monkeypatch.setenv("REPRO_OBS", "1")
+        hub = install_from_env(small_cluster, label="smoke")
+        assert hub is not None
+        assert hub.label == "smoke"
+        assert hub.events.api is small_cluster.api
+        disable()

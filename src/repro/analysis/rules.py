@@ -17,6 +17,7 @@ RPR004  lost-update hazard: blind etcd put / unguarded get→update
 RPR005  leader controller built against an unfenced apiserver handle
 RPR006  unsorted set iteration (hash order feeds control flow)
 RPR007  bare print() in library code (bypasses the event/log layer)
+RPR008  sorted()/list() copy or full relist in a # hot-path function
 """
 
 from __future__ import annotations
@@ -84,6 +85,12 @@ _FIX_PRINT = (
     "emit a Kubernetes-style Event (repro.obs.event) or record a metric; "
     "stdout from library code is invisible to the observability pipeline"
 )
+_FIX_HOT_COPY = (
+    "serve the data from a cached, invalidation-driven index (e.g. "
+    "repro.core.viewindex.DeviceViewIndex) or hoist the copy out of the "
+    "hot function; suppress with a justification when the copy IS the "
+    "reference path"
+)
 
 ALL_RULES: Tuple[RuleInfo, ...] = (
     RuleInfo(
@@ -135,6 +142,15 @@ ALL_RULES: Tuple[RuleInfo, ...] = (
         "the metric families, so it never reaches `repro.obs` consumers; "
         "only experiments/ and CLI entry points may print.",
         _FIX_PRINT,
+    ),
+    RuleInfo(
+        "RPR008",
+        "O(n) copy or full relist inside a `# hot-path` function",
+        "functions marked `# hot-path` run once per simulation event or "
+        "scheduling pass; a sorted()/list() copy or an api.list() relist "
+        "there makes the whole run superlinear — the relist-and-resort-"
+        "per-pass bug class the device-view index exists to kill.",
+        _FIX_HOT_COPY,
     ),
 )
 
@@ -674,6 +690,52 @@ def _check_bare_print(ctx: FileContext) -> Iterator[Finding]:
 
 
 # ---------------------------------------------------------------------------
+# RPR008 — O(n) copies / relists inside a # hot-path function
+# ---------------------------------------------------------------------------
+
+#: marker comment declaring a function performance-critical. Place it on
+#: the ``def`` line or on its own comment line directly above the ``def``.
+_HOT_MARKER = "# hot-path"
+
+
+def _hot_functions(ctx: FileContext) -> Iterator[ast.AST]:
+    lines = ctx.source.splitlines()
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        def_line = lines[node.lineno - 1] if node.lineno <= len(lines) else ""
+        above = lines[node.lineno - 2].strip() if node.lineno >= 2 else ""
+        if _HOT_MARKER in def_line or (
+            above.startswith("#") and _HOT_MARKER in above
+        ):
+            yield node
+
+
+def _check_hot_path_copies(ctx: FileContext) -> Iterator[Finding]:
+    for fn in _hot_functions(ctx):
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in ("sorted", "list"):
+                yield _finding(
+                    ctx,
+                    node,
+                    "RPR008",
+                    f"`{func.id}()` copy inside hot-path function `{fn.name}`",
+                )
+            elif isinstance(func, ast.Attribute) and func.attr == "list":
+                target = _dotted(func.value)
+                what = f"`{target}.list()`" if target else "`.list()`"
+                yield _finding(
+                    ctx,
+                    node,
+                    "RPR008",
+                    f"full {what} relist inside hot-path function `{fn.name}`",
+                )
+
+
+# ---------------------------------------------------------------------------
 # driver
 # ---------------------------------------------------------------------------
 
@@ -699,5 +761,6 @@ def run_rules(ctx: FileContext, project: ProjectContext) -> List[Finding]:
     findings.extend(_check_fenced_factories(ctx))
     findings.extend(_check_set_iteration(ctx, project))
     findings.extend(_check_bare_print(ctx))
+    findings.extend(_check_hot_path_copies(ctx))
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
     return findings

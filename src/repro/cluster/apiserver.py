@@ -26,6 +26,7 @@ import copy
 from typing import Any, Callable, List, Optional, Tuple
 
 from ..obs import runtime as obs
+from ..perf import fastpath
 from ..sim import Environment
 from .etcd import CasFailure, Etcd, WatchEvent, WatchEventType
 from .objects import DEFAULT_NAMESPACE, LabelSelector, Node, Pod
@@ -80,14 +81,30 @@ def translate_event(ev: WatchEvent) -> Tuple[WatchEventType, Any]:
 
     For DELETE events the previous stored value is returned (the tombstone
     itself carries ``None``).
+
+    Copy-on-write fan-out: one watch event is delivered to every matching
+    subscriber, so the translated clone is cached on the event itself —
+    N watchers share one clone instead of paying for N. Consumers must
+    treat delivered objects as **read-only** (every mutation path in this
+    codebase goes through ``api.patch`` on a freshly ``get``-cloned
+    object, which is also what optimistic concurrency requires). The
+    ``REPRO_SLOW_KERNEL`` reference mode clones per delivery.
     """
     if ev.type is WatchEventType.DELETE:
         payload = ev.prev.value if ev.prev is not None else None
     else:
         payload = ev.kv.value
-    obj = _clone(payload) if payload is not None else None
-    if obj is not None:
-        obj.metadata.resource_version = ev.kv.mod_revision
+    if payload is None:
+        return (ev.type, None)
+    if not fastpath.slow_kernel:
+        obj = ev.translated
+        if obj is None:
+            obj = _clone(payload)
+            obj.metadata.resource_version = ev.kv.mod_revision
+            ev.translated = obj
+        return (ev.type, obj)
+    obj = _clone(payload)
+    obj.metadata.resource_version = ev.kv.mod_revision
     return (ev.type, obj)
 
 

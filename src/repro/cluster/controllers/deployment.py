@@ -17,6 +17,7 @@ import copy
 from dataclasses import dataclass, field
 from typing import Dict, Generator, Optional
 
+from ...perf import fastpath
 from ...sim import Environment
 from ..apiserver import AlreadyExists, APIServer, NotFound
 from ..controller import Controller
@@ -41,14 +42,23 @@ class Deployment:
     kind = "Deployment"
 
     def clone(self) -> "Deployment":
-        workload = self.template.workload
-        self.template.workload = None
-        try:
-            dup = copy.deepcopy(self)
-        finally:
-            self.template.workload = workload
-        dup.template.workload = workload
-        return dup
+        if fastpath.slow_kernel:
+            workload = self.template.workload
+            self.template.workload = None
+            try:
+                dup = copy.deepcopy(self)
+            finally:
+                self.template.workload = workload
+            dup.template.workload = workload
+            return dup
+        return Deployment(
+            metadata=self.metadata.clone(),
+            replicas=self.replicas,
+            selector=LabelSelector(self.selector.match_labels),
+            template=self.template.clone(),
+            template_labels=dict(self.template_labels),
+            revision=self.revision,
+        )
 
 
 class DeploymentController(Controller):

@@ -14,6 +14,7 @@ import copy
 from dataclasses import dataclass, field
 from typing import Any, Callable, Generator, List, Optional
 
+from ...perf import fastpath
 from ...sim import Environment
 from ..apiserver import AlreadyExists, APIServer, NotFound
 from ..controller import Controller
@@ -36,14 +37,22 @@ class ReplicaSet:
     kind = "ReplicaSet"
 
     def clone(self) -> "ReplicaSet":
-        workload = self.template.workload
-        self.template.workload = None
-        try:
-            dup = copy.deepcopy(self)
-        finally:
-            self.template.workload = workload
-        dup.template.workload = workload
-        return dup
+        if fastpath.slow_kernel:
+            workload = self.template.workload
+            self.template.workload = None
+            try:
+                dup = copy.deepcopy(self)
+            finally:
+                self.template.workload = workload
+            dup.template.workload = workload
+            return dup
+        return ReplicaSet(
+            metadata=self.metadata.clone(),
+            replicas=self.replicas,
+            selector=LabelSelector(self.selector.match_labels),
+            template=self.template.clone(),
+            template_labels=dict(self.template_labels),
+        )
 
 
 class ReplicaSetController(Controller):

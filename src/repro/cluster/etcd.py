@@ -11,9 +11,9 @@ Reproduces the subset of etcd semantics Kubernetes relies on:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from enum import Enum
-from typing import Any, Dict, Iterator, List, Optional
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 from ..sim import Environment, Store
 
@@ -33,12 +33,16 @@ class KeyValue:
     mod_revision: int
 
 
-@dataclass(frozen=True)
+@dataclass
 class WatchEvent:
     type: WatchEventType
     kv: KeyValue
     #: The previous value for PUTs that overwrite, and for DELETEs.
     prev: Optional[KeyValue] = None
+    #: Copy-on-write fan-out slot: the one translated clone shared by all
+    #: watchers of this event (see ``apiserver.translate_event``). Never
+    #: part of equality/repr; ``None`` until the first translation.
+    translated: Optional[Any] = field(default=None, compare=False, repr=False)
 
 
 class CasFailure(Exception):
@@ -77,6 +81,11 @@ class Etcd:
         self._data: Dict[str, KeyValue] = {}
         self._revision = 0
         self._watches: List[_Watch] = []
+        #: synchronous commit hooks ``(prefix, fn)`` — unlike watches, these
+        #: run inside the write itself (no Store hop), which is what lets
+        #: derived caches (the scheduler's device-view index) invalidate
+        #: before any reader can observe the new state.
+        self._listeners: List[Tuple[str, Callable[[WatchEvent], None]]] = []
         #: Optional duck-typed observer (see repro.analysis.race): notified
         #: of every committed read/write/delete with the actor's identity
         #: implied by ``env.active_process``. None in normal runs.
@@ -101,6 +110,17 @@ class Etcd:
             for kv in out:
                 self.tracker.record_read(kv.key, kv)
         return out
+
+    def snapshot(self, prefix: str) -> List[KeyValue]:
+        """Like :meth:`range`, but without notifying the read tracker.
+
+        For *derived caches* that are invalidated synchronously via
+        :meth:`add_listener`: their rebuild reads are not part of any
+        read-modify-write cycle (every write they feed is still guarded by
+        a tracked ``get``), so recording them would only attribute
+        cache-refill noise to whichever process happened to trigger the
+        rebuild."""
+        return [kv for k, kv in sorted(self._data.items()) if k.startswith(prefix)]
 
     def keys(self, prefix: str = "") -> Iterator[str]:
         return (k for k in sorted(self._data) if k.startswith(prefix))
@@ -173,12 +193,30 @@ class Etcd:
         except ValueError:  # pragma: no cover - already removed
             pass
 
+    # -- synchronous listeners --------------------------------------------
+    def add_listener(
+        self, prefix: str, fn: Callable[[WatchEvent], None]
+    ) -> Callable[[WatchEvent], None]:
+        """Subscribe *fn* to every committed write/delete under *prefix*.
+
+        Listeners run synchronously inside the commit (the informer feed
+        without the queue hop); they must be cheap and must not write."""
+        self._listeners.append((prefix, fn))
+        return fn
+
+    def remove_listener(self, fn: Callable[[WatchEvent], None]) -> None:
+        self._listeners = [(p, f) for p, f in self._listeners if f is not fn]
+
     def _notify(self, event: WatchEvent) -> None:
+        key = event.kv.key
+        for prefix, fn in self._listeners:
+            if key.startswith(prefix):
+                fn(event)
         live = []
         for w in self._watches:
             if w.cancelled:
                 continue
             live.append(w)
-            if event.kv.key.startswith(w.prefix):
+            if key.startswith(w.prefix):
                 w.events.put(event)
         self._watches = live

@@ -40,6 +40,7 @@ from enum import Enum
 from typing import Any, Callable, Generator, List, Optional, Tuple
 
 from ..obs import runtime as obs
+from ..perf import fastpath
 from ..sim import Environment
 from .apiserver import (
     AlreadyExists,
@@ -94,7 +95,18 @@ class Lease:
         return self.metadata.name
 
     def clone(self) -> "Lease":
-        return copy.deepcopy(self)
+        if fastpath.slow_kernel:
+            return copy.deepcopy(self)
+        return Lease(
+            metadata=self.metadata.clone(),
+            spec=LeaseSpec(
+                holder=self.spec.holder,
+                lease_duration=self.spec.lease_duration,
+                acquire_time=self.spec.acquire_time,
+                renew_time=self.spec.renew_time,
+                epoch=self.spec.epoch,
+            ),
+        )
 
 
 @dataclass(frozen=True)

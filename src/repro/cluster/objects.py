@@ -21,6 +21,7 @@ from enum import Enum
 from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional
 
 from ..analysis.resets import register_reset
+from ..perf import fastpath
 
 __all__ = [
     "Quantities",
@@ -103,6 +104,22 @@ class ObjectMeta:
         """``namespace/name`` — the canonical store key."""
         return f"{self.namespace}/{self.name}"
 
+    def clone(self) -> "ObjectMeta":
+        # The uid is passed through explicitly: cloning must never draw
+        # from the uid counter, or apiserver round-trips would shift the
+        # identity sequence of later objects.
+        return ObjectMeta(
+            name=self.name,
+            namespace=self.namespace,
+            labels=dict(self.labels),
+            annotations=dict(self.annotations),
+            uid=self.uid,
+            resource_version=self.resource_version,
+            creation_time=self.creation_time,
+            deletion_time=self.deletion_time,
+            owner_references=list(self.owner_references),
+        )
+
 
 @dataclass
 class ContainerSpec:
@@ -114,6 +131,16 @@ class ContainerSpec:
     requests: Dict[str, float] = field(default_factory=dict)
     limits: Dict[str, float] = field(default_factory=dict)
     env: Dict[str, str] = field(default_factory=dict)
+
+    def clone(self) -> "ContainerSpec":
+        return ContainerSpec(
+            name=self.name,
+            image=self.image,
+            command=list(self.command),
+            requests=dict(self.requests),
+            limits=dict(self.limits),
+            env=dict(self.env),
+        )
 
 
 @dataclass
@@ -138,6 +165,17 @@ class PodSpec:
             total = Quantities.add(total, c.requests)
         return total
 
+    def clone(self) -> "PodSpec":
+        # The workload factory is shared by reference, matching the
+        # deepcopy path (which nulls it out around the copy).
+        return PodSpec(
+            containers=[c.clone() for c in self.containers],
+            node_name=self.node_name,
+            node_selector=dict(self.node_selector),
+            scheduler_name=self.scheduler_name,
+            workload=self.workload,
+        )
+
 
 class PodPhase(str, Enum):
     PENDING = "Pending"
@@ -155,6 +193,15 @@ class PodStatus:
     #: Environment variables actually injected into the (single) container
     #: at start time — this is where ``NVIDIA_VISIBLE_DEVICES`` shows up.
     container_env: Dict[str, str] = field(default_factory=dict)
+
+    def clone(self) -> "PodStatus":
+        return PodStatus(
+            phase=self.phase,
+            message=self.message,
+            start_time=self.start_time,
+            finish_time=self.finish_time,
+            container_env=dict(self.container_env),
+        )
 
 
 @dataclass
@@ -177,14 +224,20 @@ class Pod:
 
     def clone(self) -> "Pod":
         """Deep copy, sharing only the (immutable) workload factory."""
-        workload = self.spec.workload
-        self.spec.workload = None
-        try:
-            dup = copy.deepcopy(self)
-        finally:
-            self.spec.workload = workload
-        dup.spec.workload = workload
-        return dup
+        if fastpath.slow_kernel:
+            workload = self.spec.workload
+            self.spec.workload = None
+            try:
+                dup = copy.deepcopy(self)
+            finally:
+                self.spec.workload = workload
+            dup.spec.workload = workload
+            return dup
+        return Pod(
+            metadata=self.metadata.clone(),
+            spec=self.spec.clone(),
+            status=self.status.clone(),
+        )
 
 
 @dataclass
@@ -197,6 +250,15 @@ class NodeStatus:
     last_heartbeat: Optional[float] = None
     #: UUIDs of devices the kubelet currently reports unhealthy.
     unhealthy_gpus: List[str] = field(default_factory=list)
+
+    def clone(self) -> "NodeStatus":
+        return NodeStatus(
+            capacity=dict(self.capacity),
+            allocatable=dict(self.allocatable),
+            ready=self.ready,
+            last_heartbeat=self.last_heartbeat,
+            unhealthy_gpus=list(self.unhealthy_gpus),
+        )
 
 
 @dataclass
@@ -211,7 +273,9 @@ class Node:
         return self.metadata.name
 
     def clone(self) -> "Node":
-        return copy.deepcopy(self)
+        if fastpath.slow_kernel:
+            return copy.deepcopy(self)
+        return Node(metadata=self.metadata.clone(), status=self.status.clone())
 
 
 class LabelSelector:

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import Any, Mapping, Optional
 
 from ..cluster.objects import ObjectMeta, PodPhase, PodSpec
+from ..perf import fastpath
 
 __all__ = ["SharePodSpec", "SharePodStatus", "SharePod", "SpecError"]
 
@@ -76,6 +77,20 @@ class SharePodSpec:
                 f"got {self.restart_policy!r}"
             )
 
+    def clone(self) -> "SharePodSpec":
+        return SharePodSpec(
+            pod_spec=self.pod_spec.clone(),
+            gpu_request=self.gpu_request,
+            gpu_limit=self.gpu_limit,
+            gpu_mem=self.gpu_mem,
+            gpu_id=self.gpu_id,
+            node_name=self.node_name,
+            sched_affinity=self.sched_affinity,
+            sched_anti_affinity=self.sched_anti_affinity,
+            sched_exclusion=self.sched_exclusion,
+            restart_policy=self.restart_policy,
+        )
+
 
 @dataclass
 class SharePodStatus:
@@ -88,6 +103,17 @@ class SharePodStatus:
     start_time: Optional[float] = None
     finish_time: Optional[float] = None
     scheduled_time: Optional[float] = None
+
+    def clone(self) -> "SharePodStatus":
+        return SharePodStatus(
+            phase=self.phase,
+            message=self.message,
+            gpu_uuid=self.gpu_uuid,
+            pod_name=self.pod_name,
+            start_time=self.start_time,
+            finish_time=self.finish_time,
+            scheduled_time=self.scheduled_time,
+        )
 
 
 @dataclass
@@ -105,14 +131,20 @@ class SharePod:
         return self.metadata.name
 
     def clone(self) -> "SharePod":
-        workload = self.spec.pod_spec.workload
-        self.spec.pod_spec.workload = None
-        try:
-            dup = copy.deepcopy(self)
-        finally:
-            self.spec.pod_spec.workload = workload
-        dup.spec.pod_spec.workload = workload
-        return dup
+        if fastpath.slow_kernel:
+            workload = self.spec.pod_spec.workload
+            self.spec.pod_spec.workload = None
+            try:
+                dup = copy.deepcopy(self)
+            finally:
+                self.spec.pod_spec.workload = workload
+            dup.spec.pod_spec.workload = workload
+            return dup
+        return SharePod(
+            metadata=self.metadata.clone(),
+            spec=self.spec.clone(),
+            status=self.status.clone(),
+        )
 
     # -- dict (YAML-ish) construction, for examples/tests -------------------
     @classmethod

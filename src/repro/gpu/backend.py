@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 from typing import Deque, Dict, Generator, List, Optional, Tuple
 
 from ..obs import runtime as obs
+from ..perf import fastpath
 from ..sim import Environment, Event
 from .device import DeviceLostError
 
@@ -85,20 +86,58 @@ class ClientRecord:
     #: closed (start, end) token-hold intervals, pruned to the window.
     intervals: Deque[Tuple[float, float]] = field(default_factory=deque)
     hold_start: Optional[float] = None
+    #: running sum of the durations of every interval still in the deque
+    #: (maintained by :meth:`push_interval` / :meth:`_prune`).
+    _dur_sum: float = 0.0
+    #: the ``now`` of the last prune — expired intervals are dropped once
+    #: per clock advance, not on every read.
+    _pruned_at: float = float("-inf")
 
-    def usage(self, now: float, window: float) -> float:
-        """Fraction of the last *window* seconds this client held the token."""
+    def push_interval(self, start: float, end: float) -> None:
+        """Record a closed token-hold interval."""
+        self.intervals.append((start, end))
+        self._dur_sum += end - start
+
+    def _prune(self, horizon: float) -> None:
+        intervals = self.intervals
+        while intervals and intervals[0][1] <= horizon:
+            start, end = intervals.popleft()
+            self._dur_sum -= end - start
+        if not intervals:
+            self._dur_sum = 0.0  # kill any accumulated float residue
+
+    def usage(self, now: float, window: float) -> float:  # hot-path
+        """Fraction of the last *window* seconds this client held the token.
+
+        O(1) amortized: a running sum of interval durations plus a single
+        adjustment for the (at most one, since intervals are disjoint and
+        ordered) interval straddling the window's left edge. The slow
+        reference path re-sums the whole deque on every read.
+        """
+        if window <= 0:
+            return 0.0
         horizon = now - window
-        while self.intervals and self.intervals[0][1] <= horizon:
-            self.intervals.popleft()
-        held = sum(
-            min(end, now) - max(start, horizon)
-            for start, end in self.intervals
-            if end > horizon
-        )
+        if fastpath.slow_kernel:
+            self._prune(horizon)
+            held = sum(
+                min(end, now) - max(start, horizon)
+                for start, end in self.intervals
+                if end > horizon
+            )
+            if self.hold_start is not None:
+                held += now - max(self.hold_start, horizon)
+            return min(1.0, held / window)
+        if now != self._pruned_at:
+            self._prune(horizon)
+            self._pruned_at = now
+        held = self._dur_sum
+        if self.intervals:
+            first_start = self.intervals[0][0]
+            if first_start < horizon:
+                held -= horizon - first_start
         if self.hold_start is not None:
             held += now - max(self.hold_start, horizon)
-        return min(1.0, held / window) if window > 0 else 0.0
+        return min(1.0, held / window)
 
 
 class _DeviceState:
@@ -292,7 +331,7 @@ class TokenBackend:
     # -- internal ---------------------------------------------------------------
     def _end_hold(self, state: _DeviceState, record: ClientRecord) -> None:
         if record.hold_start is not None:
-            record.intervals.append((record.hold_start, self.env.now))
+            record.push_interval(record.hold_start, self.env.now)
             record.hold_start = None
 
     def _pick(self, state: _DeviceState) -> Optional[int]:

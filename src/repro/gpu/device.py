@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from typing import Dict, Generator, List, Optional
 
+from ..perf import fastpath
 from ..sim import Environment, Event
 from .sharing import ShareEntry, elastic_shares
 
@@ -129,6 +130,12 @@ class ComputeSession:
                 change = self.device.change_event()
                 yield finish | change
                 remaining -= (env.now - started) * rate
+                if not fastpath.slow_kernel and finish.callbacks is not None:
+                    # A rate change won the race: the stale finish timer
+                    # would otherwise sit in the heap until its original
+                    # expiry. Tombstone it so re-slicing costs one live
+                    # event per rate change, not one per abandoned slice.
+                    finish.cancel()
         finally:
             self.demand = 0.0
             self.device._recompute()
@@ -169,6 +176,9 @@ class GPUDevice:
         #: the device threw an uncorrectable error and is unusable.
         self.failed = False
         self.fail_reason: Optional[str] = None
+        #: failed state at the last _recompute (forces a waiter wake-up on
+        #: every fail/recover transition even if no rate changed).
+        self._last_failed = False
         self._mem_by_owner: Dict[str, int] = {}
         self._sessions: List[ComputeSession] = []
         self._change: Event = env.event()
@@ -272,7 +282,7 @@ class GPUDevice:
         self._mem_by_owner.clear()
         self._recompute()
 
-    def _recompute(self) -> None:
+    def _recompute(self) -> None:  # hot-path
         """Re-solve the elastic shares after any membership/demand change."""
         now = self.env.now
         self.busy_integral += self._busy_rate * (now - self._busy_last)
@@ -298,18 +308,34 @@ class GPUDevice:
         ]
         alloc = elastic_shares(entries, capacity=1.0) if entries else []
 
+        new_rates = {}
+        for s, a in zip(demanding, alloc):
+            new_rates[id(s)] = float(a) * (1.0 if s.isolated else contended_eff)
+
+        changed = self.failed is not self._last_failed
+        self._last_failed = self.failed
+        busy_rate = 0.0
         for s in self._sessions:
             s._accumulate(now)
-            s.rate = 0.0
-        for s, a in zip(demanding, alloc):
-            s.rate = float(a) * (1.0 if s.isolated else contended_eff)
+            rate = new_rates.get(id(s), 0.0)
+            if rate != s.rate:
+                changed = True
+            s.rate = rate
+            busy_rate += rate
+        self._busy_rate = busy_rate
 
-        self._busy_rate = sum(s.rate for s in self._sessions)
-
-        # Wake every waiter exactly once.
-        old, self._change = self._change, self.env.event()
-        if not old.triggered:
-            old.succeed()
+        # Wake every waiter exactly once — and, on the fast path, only
+        # when some session's rate actually changed (or the device's
+        # failed flag flipped). An unchanged allocation means every woken
+        # session would recompute the *same* absolute finish time and go
+        # back to sleep; skipping the wake coalesces those redundant
+        # re-slices. The failed-flag term matters because a session can
+        # legitimately hold rate 0 on a saturated device and must still
+        # observe the loss.
+        if changed or fastpath.slow_kernel:
+            old, self._change = self._change, self.env.event()
+            if not old.triggered:
+                old.succeed()
 
     # -- utilization accounting -----------------------------------------------------
     def busy_time(self) -> float:

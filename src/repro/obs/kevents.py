@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..cluster.objects import DEFAULT_NAMESPACE, ObjectMeta
+from ..perf import fastpath
 
 __all__ = ["KubeEvent", "EventRecorder", "EVENT_NORMAL", "EVENT_WARNING"]
 
@@ -63,7 +64,21 @@ class KubeEvent:
         return f"{self.involved_kind}/{self.involved_namespace}/{self.involved_name}"
 
     def clone(self) -> "KubeEvent":
-        return copy.deepcopy(self)
+        if fastpath.slow_kernel:
+            return copy.deepcopy(self)
+        return KubeEvent(
+            metadata=self.metadata.clone(),
+            reason=self.reason,
+            message=self.message,
+            type=self.type,
+            involved_kind=self.involved_kind,
+            involved_namespace=self.involved_namespace,
+            involved_name=self.involved_name,
+            source=self.source,
+            count=self.count,
+            first_time=self.first_time,
+            last_time=self.last_time,
+        )
 
     def to_dict(self) -> Dict[str, object]:
         return {

@@ -1,0 +1,74 @@
+"""CLI for the perf harness: ``python -m repro.perf``.
+
+Examples::
+
+    python -m repro.perf                         # full suite -> BENCH_perf.json
+    python -m repro.perf --scenario fig8         # one scenario
+    python -m repro.perf --fast-only             # skip the reference runs
+    python -m repro.perf --check benchmarks/perf/baseline.json
+    python -m repro.perf --update-baseline benchmarks/perf/baseline.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .harness import check_report, run_suite, write_report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.perf", description="KubeShare-repro perf harness"
+    )
+    parser.add_argument(
+        "--out",
+        default="BENCH_perf.json",
+        help="report path (default: BENCH_perf.json in the current directory)",
+    )
+    parser.add_argument(
+        "--scenario",
+        action="append",
+        dest="scenarios",
+        help="run only this scenario (repeatable; default: all)",
+    )
+    parser.add_argument(
+        "--fast-only",
+        action="store_true",
+        help="skip the REPRO_SLOW_KERNEL reference runs (no speedup/identical fields)",
+    )
+    parser.add_argument(
+        "--check",
+        metavar="BASELINE",
+        help="compare against a baseline report; non-zero exit on regression",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        metavar="BASELINE",
+        help="also write the report to this baseline path",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_suite(names=args.scenarios, reference=not args.fast_only)
+    write_report(report, args.out)
+    print(f"[perf] report written to {args.out}")
+
+    if args.update_baseline:
+        write_report(report, args.update_baseline)
+        print(f"[perf] baseline updated at {args.update_baseline}")
+
+    if args.check:
+        with open(args.check) as fh:
+            baseline = json.load(fh)
+        errors = check_report(report, baseline)
+        if errors:
+            for err in errors:
+                print(f"[perf] REGRESSION: {err}", file=sys.stderr)
+            return 1
+        print(f"[perf] regression check against {args.check}: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,59 @@
+"""The fast-path/reference-mode switch for the performance overhaul.
+
+Every optimization added by the perf work is *behaviour-preserving*: the
+fast paths coalesce events, cache derived views, and replace
+``copy.deepcopy`` with hand-written field copies, but identical-seed runs
+must stay byte-identical in everything observable — event order, decision
+logs, placements, Perfetto traces.
+
+``REPRO_SLOW_KERNEL=1`` selects the pre-optimization reference
+implementations at every gated site. The determinism replay tests
+(``tests/perf/test_determinism_replay.py``) run the canonical chaos and
+failover scenarios in both modes and assert the artifacts match, which is
+what turns "provably unchanged" from a code-review claim into a CI gate.
+
+The flag is read once at import; tests flip it in-process via
+:func:`refresh` (or the :func:`force` context manager) after mutating
+``os.environ``. Hot paths read the module attribute directly
+(``fastpath.slow_kernel``) — one dict lookup, no function call.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["ENV_FLAG", "slow_kernel", "refresh", "force"]
+
+#: Environment variable selecting the reference (pre-optimization) mode.
+ENV_FLAG = "REPRO_SLOW_KERNEL"
+
+_FALSY = ("", "0", "false", "no", "off")
+
+
+def _read() -> bool:
+    return os.environ.get(ENV_FLAG, "").strip().lower() not in _FALSY
+
+
+#: ``True`` → run the slow reference implementations everywhere.
+slow_kernel: bool = _read()
+
+
+def refresh() -> bool:
+    """Re-read :data:`ENV_FLAG` from the environment (test hook)."""
+    global slow_kernel
+    slow_kernel = _read()
+    return slow_kernel
+
+
+@contextmanager
+def force(slow: bool) -> Iterator[None]:
+    """Temporarily force slow/fast mode regardless of the environment."""
+    global slow_kernel
+    saved = slow_kernel
+    slow_kernel = slow
+    try:
+        yield
+    finally:
+        slow_kernel = saved

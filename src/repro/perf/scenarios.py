@@ -1,0 +1,250 @@
+"""Canonical end-to-end scenarios for the perf harness.
+
+Three workloads exercise the three optimized layers end to end:
+
+* :func:`fig8` — the paper's throughput experiment (Figure 8a at a heavy
+  frequency factor) through both Native Kubernetes and KubeShare: the
+  full stack, dominated by the sim kernel and the GPU compute engine.
+* :func:`chaos` — the node-crash recovery capstone: heartbeats, node
+  lifecycle, eviction, DevMgr teardown and rescheduling (control plane +
+  GPU engine under churn).
+* :func:`failover` — the HA leader-failover capstone: leases, fencing,
+  promotion, and a scheduling burst through the cached device-view index
+  (control-plane heavy).
+
+Every scenario resets process-global state (:func:`reset_all`), runs at a
+fixed seed, and returns a plain dict::
+
+    {"summary": <JSON-serializable, deterministic>,
+     "events":  <total simulation events processed>,
+     "sim_time": <virtual seconds simulated>,
+     "obs":     <ObsHub snapshot dict, or None>}
+
+``summary`` (and ``obs`` when requested via *obs_label*) is the replay
+contract: an identical-seed run must produce a byte-identical value with
+the fast paths on or in ``REPRO_SLOW_KERNEL=1`` reference mode — the
+determinism tests in ``tests/perf`` assert exactly that.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+__all__ = ["fig8", "chaos", "failover", "SCENARIOS"]
+
+
+def _install_obs(env, cluster, ks, label: Optional[str]):
+    if label is None:
+        return None
+    from ..obs.runtime import ObsHub, enable
+
+    hub = ObsHub(env, label=label).attach_cluster(cluster)
+    hub.attach_kubeshare(ks)
+    hub.start_sampler()
+    return enable(hub)
+
+
+def _finish_obs(hub) -> Optional[Dict[str, Any]]:
+    if hub is None:
+        return None
+    from ..obs.runtime import disable
+
+    snap = hub.snapshot()
+    disable()
+    return snap
+
+
+def fig8(
+    n_jobs: int = 120,
+    factor: float = 9.0,
+    nodes: int = 8,
+    gpus_per_node: int = 4,
+    seed: int = 7,
+    obs_label: Optional[str] = None,
+) -> Dict[str, Any]:
+    """One heavy Figure 8a point through both systems (full stack)."""
+    from ..analysis.resets import reset_all
+    from ..experiments.common import run_inference_workload
+    from ..experiments.fig8 import BASE_JOBS_PER_MINUTE, JOB_DURATION, SYSTEMS
+    from ..workloads.generator import WorkloadGenerator
+
+    reset_all()
+    del obs_label  # fig8 has no chaos/control-plane artifacts worth capturing
+    events = 0
+    sim_time = 0.0
+    summary: Dict[str, Any] = {}
+    for system_cls in SYSTEMS:
+        workload = WorkloadGenerator(seed).inference_workload(
+            n_jobs=n_jobs,
+            jobs_per_minute=BASE_JOBS_PER_MINUTE * factor,
+            demand_mean=0.3,
+            demand_std=0.1,
+            duration=JOB_DURATION,
+        )
+        result = run_inference_workload(
+            system_cls, workload, nodes=nodes, gpus_per_node=gpus_per_node
+        )
+        env = result.extras["cluster"].env
+        events += env.events_processed
+        sim_time += env.now
+        summary[result.system] = {
+            "throughput_jobs_per_min": result.throughput_jobs_per_min,
+            "makespan": result.makespan,
+            "failed": result.failed_jobs,
+        }
+    return {"summary": summary, "events": events, "sim_time": sim_time, "obs": None}
+
+
+def chaos(obs_label: Optional[str] = None) -> Dict[str, Any]:
+    """Node-crash recovery (the chaos capstone, recovery stack enabled)."""
+    from ..analysis.resets import reset_all
+    from ..chaos import ChaosEngine
+    from ..cluster import Cluster, ClusterConfig
+    from ..core import KubeShare
+    from ..sim import Environment
+    from ..workloads.jobs import InferenceJob
+
+    reset_all()
+    env = Environment()
+    cluster = Cluster(
+        env, ClusterConfig(nodes=4, gpus_per_node=2, node_lifecycle=True)
+    ).start()
+    ks = KubeShare(cluster, isolation="token").start()
+    hub = _install_obs(env, cluster, ks, obs_label)
+
+    stats = []
+    names = []
+    for i in range(6):
+        job = InferenceJob.from_demand(f"job{i}", demand=0.35, duration=400.0)
+        workload = job.workload()
+        stats.append(workload.stats)
+        names.append(f"sp{i}")
+        ks.submit(
+            ks.make_sharepod(
+                f"sp{i}",
+                gpu_request=0.35,
+                gpu_limit=0.6,
+                gpu_mem=0.3,
+                workload=workload,
+                restart_policy="reschedule",
+            )
+        )
+
+    engine = ChaosEngine(cluster, kubeshare=ks, seed=11)
+    engine.node_crash(at=45.0)
+    engine.start()
+
+    def total_work() -> float:
+        return sum(s.work_done for s in stats)
+
+    def rate(t0: float, t1: float) -> float:
+        if env.now < t0:
+            env.run(until=t0)
+        w0 = total_work()
+        env.run(until=t1)
+        return (total_work() - w0) / (t1 - t0)
+
+    pre_rate = rate(25.0, 40.0)
+    post_rate = rate(70.0, 85.0)
+
+    summary = {
+        "pre_rate": pre_rate,
+        "post_rate": post_rate,
+        "chaos_log": [(t, f.kind.value, v, o) for t, f, v, o in engine.log],
+        "placed": {
+            n: (ks.get(n).status.phase.value, ks.get(n).spec.node_name)
+            for n in names
+        },
+        "rescheduled": ks.devmgr.sharepods_rescheduled_total,
+        "torn_down": ks.devmgr.vgpus_torn_down_total,
+    }
+    obs = _finish_obs(hub)
+    return {
+        "summary": summary,
+        "events": env.events_processed,
+        "sim_time": env.now,
+        "obs": obs,
+    }
+
+
+def failover(obs_label: Optional[str] = None) -> Dict[str, Any]:
+    """HA leader failover mid-burst (the leader-election capstone)."""
+    from ..analysis.resets import reset_all
+    from ..chaos import ChaosEngine
+    from ..cluster import Cluster, ClusterConfig
+    from ..core import HAKubeShare
+    from ..sim import Environment
+    from ..workloads.jobs import InferenceJob
+
+    reset_all()
+    env = Environment()
+    cluster = Cluster(env, ClusterConfig(nodes=4, gpus_per_node=2)).start()
+    ks = HAKubeShare(cluster, replicas=2, isolation="token").start()
+    hub = _install_obs(env, cluster, ks, obs_label)
+
+    steady = [f"steady{i}" for i in range(4)]
+    burst = [f"burst{i}" for i in range(8)]
+    for name in steady:
+        job = InferenceJob.from_demand(name, demand=0.35, duration=400.0)
+        ks.submit(
+            ks.make_sharepod(
+                name,
+                gpu_request=0.35,
+                gpu_limit=0.6,
+                gpu_mem=0.3,
+                workload=job.workload(),
+            )
+        )
+
+    def submitter():
+        for name in burst:
+            job = InferenceJob.from_demand(name, demand=0.2, duration=200.0)
+            ks.submit(
+                ks.make_sharepod(
+                    name,
+                    gpu_request=0.2,
+                    gpu_limit=0.4,
+                    gpu_mem=0.3,
+                    workload=job.workload(),
+                )
+            )
+            yield env.timeout(1.25)
+
+    def start_burst():
+        yield env.timeout(40.0)
+        env.process(submitter(), name="burst-submitter")
+
+    env.process(start_burst(), name="burst-starter")
+
+    engine = ChaosEngine(cluster, kubeshare=ks, seed=13)
+    engine.register_controllers(ks.sched_group, ks.devmgr_group)
+    engine.controller_crash(at=45.0, target="kubeshare-devmgr")
+    engine.start()
+
+    env.run(until=70.0)
+
+    summary = {
+        "chaos_log": [(t, f.kind.value, v, o) for t, f, v, o in engine.log],
+        "promotions": list(ks.devmgr_group.promotions),
+        "sched_promotions": list(ks.sched_group.promotions),
+        "placement": {
+            n: (
+                ks.get(n).status.phase.value,
+                ks.get(n).spec.gpu_id,
+                ks.get(n).status.pod_name,
+            )
+            for n in steady + burst
+        },
+        "pod_names": sorted(p.name for p in cluster.api.list("Pod")),
+    }
+    obs = _finish_obs(hub)
+    return {
+        "summary": summary,
+        "events": env.events_processed,
+        "sim_time": env.now,
+        "obs": obs,
+    }
+
+
+#: name → scenario callable, in harness execution order.
+SCENARIOS = {"fig8": fig8, "chaos": chaos, "failover": failover}

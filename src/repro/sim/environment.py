@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from itertools import count
 from typing import Any, Iterable, Optional, Union
 
@@ -34,6 +34,29 @@ class _StopSimulation(Exception):
         raise event._value
 
 
+class _StopSentinel(Event):
+    """Module-level no-op stop marker for ``run(until=<float>)``.
+
+    A single shared instance is pushed into the queue at the stop time —
+    no per-call :class:`Event` or callback-list allocation. It carries no
+    state and is recognized by identity in :meth:`Environment.step`, so
+    one instance can sit in any number of queues (or several times in the
+    same queue, for nested ``run`` calls) simultaneously.
+    """
+
+    __slots__ = ()
+
+    def __init__(self) -> None:
+        self.env = None  # type: ignore[assignment] - never scheduled via an env
+        self.callbacks = None  # never dispatched
+        self._value = None
+        self._ok = True
+        self._defused = False
+        self._cancelled = False
+
+
+_STOP = _StopSentinel()
+
 Until = Union[None, float, int, Event]
 
 
@@ -43,7 +66,14 @@ class Environment:
     Time is a float in arbitrary units (we use **seconds** throughout this
     project). Events are processed in ``(time, priority, insertion order)``
     order, which makes runs fully deterministic.
+
+    Cancelled (tombstoned) events — see :meth:`Event.cancel` — are
+    skipped by :meth:`step` without dispatching callbacks and without
+    counting toward :attr:`events_processed`; :meth:`peek` discards them
+    from the head of the queue, so both agree on the next *live* event.
     """
+
+    __slots__ = ("_now", "_queue", "_eid", "_active_proc", "_events_processed")
 
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now: float = float(initial_time)
@@ -94,20 +124,41 @@ class Environment:
     # -- scheduling --------------------------------------------------------
     def schedule(self, event: Event, priority: int = NORMAL, delay: float = 0.0) -> None:
         """Enqueue *event* to be processed after *delay*."""
-        heapq.heappush(
+        heappush(
             self._queue, (self._now + delay, priority, next(self._eid), event)
         )
 
     def peek(self) -> float:
-        """Time of the next scheduled event, or ``inf`` if none."""
-        return self._queue[0][0] if self._queue else float("inf")
+        """Time of the next live scheduled event, or ``inf`` if none."""
+        queue = self._queue
+        while queue:
+            head = queue[0]
+            if head[3]._cancelled:
+                # Agree with step(): tombstones are not events.
+                heappop(queue)
+                head[3].callbacks = None
+                continue
+            return head[0]
+        return float("inf")
 
-    def step(self) -> None:
+    def step(self) -> None:  # hot-path
         """Process the next event; raises :class:`EmptySchedule` if none."""
-        try:
-            self._now, _, _, event = heapq.heappop(self._queue)
-        except IndexError:
-            raise EmptySchedule() from None
+        queue = self._queue
+        while True:
+            try:
+                now, _, _, event = heappop(queue)
+            except IndexError:
+                raise EmptySchedule() from None
+            if not event._cancelled:
+                break
+            # Tombstoned by Event.cancel(): discard without dispatching
+            # (and without advancing the clock or the processed counter).
+            event.callbacks = None
+
+        self._now = now
+        if event is _STOP:
+            self._events_processed += 1
+            raise _StopSimulation(None)
 
         self._events_processed += 1
         callbacks, event.callbacks = event.callbacks, None
@@ -140,12 +191,8 @@ class Environment:
                     raise ValueError(
                         f"until ({at}) must not be before the current time ({self._now})"
                     )
-                stop = Event(self)
-                stop._ok = True
-                stop._value = None
-                stop.callbacks.append(_StopSimulation.callback)
                 # Priority below NORMAL so events at exactly `at` still run.
-                heapq.heappush(self._queue, (at, NORMAL + 1, next(self._eid), stop))
+                heappush(self._queue, (at, NORMAL + 1, next(self._eid), _STOP))
 
         try:
             while True:

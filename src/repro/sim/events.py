@@ -21,6 +21,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional
 
+from ..perf import fastpath
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .environment import Environment
     from .process import Process
@@ -88,7 +90,7 @@ class Event:
     their only argument once the event is processed.
     """
 
-    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused", "_cancelled")
 
     def __init__(self, env: "Environment") -> None:
         self.env = env
@@ -97,6 +99,7 @@ class Event:
         self._value: Any = PENDING
         self._ok: bool = True
         self._defused: bool = False
+        self._cancelled: bool = False
 
     # -- state ---------------------------------------------------------
     @property
@@ -129,6 +132,25 @@ class Event:
     @defused.setter
     def defused(self, value: bool) -> None:
         self._defused = bool(value)
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether the event was tombstoned via :meth:`cancel`."""
+        return self._cancelled
+
+    def cancel(self) -> None:
+        """Lazily cancel a scheduled event (tombstone, not removal).
+
+        The heap entry stays where it is; the environment discards it when
+        it reaches the head of the queue instead of dispatching it. This
+        makes cancelling a stale timer O(1) — the classic lazy-deletion
+        trick for binary-heap schedulers.
+
+        Only cancel events nothing else is waiting on (their callbacks
+        will never run). Cancelling an already-processed event is a no-op.
+        """
+        if self.callbacks is not None:
+            self._cancelled = True
 
     # -- triggering ----------------------------------------------------
     def succeed(self, value: Any = None) -> "Event":
@@ -292,11 +314,38 @@ class Condition(Event):
         if not event._ok:
             # Propagate the first failure.
             event.defused = True
+            if not fastpath.slow_kernel:
+                self._detach()
             self.fail(event._value)
         elif self._evaluate(self._events, self._count):
             value = ConditionValue()
             self._populate_value(value)
+            if not fastpath.slow_kernel:
+                self._detach()
             self.succeed(value)
+
+    def _detach(self) -> None:
+        """Unsubscribe from sub-events that have not fired yet.
+
+        Without this an AnyOf that fired leaves its ``_check`` hanging off
+        every still-pending sub-event (a shared ``change_event``, a long
+        timer), pinning the whole condition graph until those eventually
+        fire — long chaos runs accumulate garbage and every later dispatch
+        walks dead callbacks. The check is removed the way
+        ``Process._detach_from_target`` does it.
+
+        Behavior-neutral either way (a satisfied condition's ``_check``
+        returns immediately), so reference mode keeps the historical
+        leave-attached behavior — detaching is purely a fast-path win.
+        """
+        check = self._check
+        for ev in self._events:
+            callbacks = ev.callbacks
+            if callbacks is not None:
+                try:
+                    callbacks.remove(check)
+                except ValueError:  # already fired, or never subscribed
+                    pass
 
     @staticmethod
     def all_events(events: list[Event], count: int) -> bool:

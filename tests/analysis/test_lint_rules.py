@@ -335,6 +335,66 @@ class TestRPR007BarePrint:
         assert lint_source(source, path="src/repro/core/devmgr.py") == []
 
 
+class TestRPR008HotPathCopies:
+    def test_sorted_in_marked_function_flagged(self):
+        assert rule_ids("""
+            def step(self):  # hot-path
+                return sorted(self.queue)
+        """) == ["RPR008"]
+
+    def test_list_copy_in_marked_function_flagged(self):
+        assert rule_ids("""
+            # hot-path
+            def reconcile(self, key):
+                pods = list(self.cache)
+                return pods
+        """) == ["RPR008"]
+
+    def test_api_relist_in_marked_function_flagged(self):
+        out = findings("""
+            def reconcile(self, key):  # hot-path
+                return self.api.list("SharePod")
+        """)
+        assert [f.rule_id for f in out] == ["RPR008"]
+        assert "self.api.list()" in out[0].message
+        assert "DeviceViewIndex" in out[0].fixit
+
+    def test_unmarked_function_clean(self):
+        assert rule_ids("""
+            def rebuild(self):
+                return sorted(self.api.list("SharePod"), key=lambda s: s.name)
+        """) == []
+
+    def test_marked_function_without_copies_clean(self):
+        assert rule_ids("""
+            def usage(self, now, window):  # hot-path
+                return sum(end - start for start, end in self.intervals)
+        """) == []
+
+    def test_comprehension_not_flagged(self):
+        # A list *comprehension* builds the result it returns; only the
+        # wholesale copy builtins and relists are the bug class.
+        assert rule_ids("""
+            def step(self):  # hot-path
+                return [e for e in self.live if not e.cancelled]
+        """) == []
+
+    def test_noqa_suppresses(self):
+        assert rule_ids("""
+            def reconcile(self, key):  # hot-path
+                return self.api.list("SharePod")  # noqa: RPR008 - reference mode
+        """) == []
+
+    def test_marker_above_def_only_counts_comment_lines(self):
+        # The line above the def is code mentioning hot-path in a string,
+        # not a marker comment: the function is not hot.
+        assert rule_ids("""
+            MODE = "# hot-path"
+            def rebuild(self):
+                return list(self.cache)
+        """) == []
+
+
 class TestHarness:
     def test_every_rule_has_metadata(self):
         for rule in ALL_RULES:

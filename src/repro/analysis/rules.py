@@ -18,6 +18,7 @@ RPR005  leader controller built against an unfenced apiserver handle
 RPR006  unsorted set iteration (hash order feeds control flow)
 RPR007  bare print() in library code (bypasses the event/log layer)
 RPR008  sorted()/list() copy or full relist in a # hot-path function
+RPR009  unguarded api.delete / eviction call (no NotFound/Conflict handling)
 """
 
 from __future__ import annotations
@@ -91,6 +92,11 @@ _FIX_HOT_COPY = (
     "hot function; suppress with a justification when the copy IS the "
     "reference path"
 )
+_FIX_REVOKE = (
+    "route deletions through repro.policy.revocation.safe_delete / "
+    "tolerant_patch (NotFound- and Conflict-tolerant) or api.try_delete, "
+    "or catch NotFound in the enclosing function"
+)
 
 ALL_RULES: Tuple[RuleInfo, ...] = (
     RuleInfo(
@@ -151,6 +157,15 @@ ALL_RULES: Tuple[RuleInfo, ...] = (
         "there makes the whole run superlinear — the relist-and-resort-"
         "per-pass bug class the device-view index exists to kill.",
         _FIX_HOT_COPY,
+    ),
+    RuleInfo(
+        "RPR009",
+        "unguarded api.delete / eviction call",
+        "revocation paths race by design — a drain timer, the reaper, and "
+        "a preemptor can all target the same object, so a raw api.delete "
+        "with no NotFound/Conflict handling crashes the losing controller "
+        "instead of treating the repeat as already-done (idempotence).",
+        _FIX_REVOKE,
     ),
 )
 
@@ -736,6 +751,64 @@ def _check_hot_path_copies(ctx: FileContext) -> Iterator[Finding]:
 
 
 # ---------------------------------------------------------------------------
+# RPR009 — unguarded api.delete / eviction calls
+# ---------------------------------------------------------------------------
+
+#: attribute names that remove an object and raise NotFound when it is
+#: already gone. ``try_delete`` is the tolerant sibling and is exempt.
+_REVOKE_ATTRS = ("delete", "evict")
+
+
+def _handles_notfound(fn: ast.AST) -> bool:
+    for sub in ast.walk(fn):
+        if isinstance(sub, ast.ExceptHandler) and sub.type is not None:
+            types = (
+                sub.type.elts if isinstance(sub.type, ast.Tuple) else [sub.type]
+            )
+            for t in types:
+                name = _dotted(t) or ""
+                if "NotFound" in name or "Conflict" in name:
+                    return True
+    return False
+
+
+def _revoke_rule_applies(path: str) -> bool:
+    # Library scope only: src/repro/**. Tests and benchmarks delete under
+    # single-writer control, where NotFound really is an error worth raising.
+    parts = path.replace("\\", "/").split("/")
+    try:
+        i = parts.index("repro")
+    except ValueError:
+        return False
+    return i > 0 and parts[i - 1] == "src"
+
+
+def _check_unguarded_delete(ctx: FileContext) -> Iterator[Finding]:
+    if not _revoke_rule_applies(ctx.path):
+        return
+    for fn in ast.walk(ctx.tree):
+        if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if _handles_notfound(fn):
+            continue
+        for sub in ast.walk(fn):
+            if not (isinstance(sub, ast.Call) and isinstance(sub.func, ast.Attribute)):
+                continue
+            if sub.func.attr not in _REVOKE_ATTRS:
+                continue
+            receiver = _dotted(sub.func.value)
+            if receiver is None or "api" not in _segments(receiver):
+                continue
+            yield _finding(
+                ctx,
+                sub,
+                "RPR009",
+                f"`{receiver}.{sub.func.attr}(...)` with no NotFound/Conflict "
+                "handling in scope",
+            )
+
+
+# ---------------------------------------------------------------------------
 # driver
 # ---------------------------------------------------------------------------
 
@@ -762,5 +835,6 @@ def run_rules(ctx: FileContext, project: ProjectContext) -> List[Finding]:
     findings.extend(_check_set_iteration(ctx, project))
     findings.extend(_check_bare_print(ctx))
     findings.extend(_check_hot_path_copies(ctx))
+    findings.extend(_check_unguarded_delete(ctx))
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
     return findings

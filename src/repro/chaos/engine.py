@@ -50,6 +50,8 @@ class ChaosEngine:
         #: leader-elected controller groups eligible for CONTROLLER_* faults,
         #: keyed by group name (see :meth:`register_controllers`).
         self.controller_groups: dict = {}
+        #: PREEMPTION_STORM specs keyed by the fault's target id.
+        self.storm_specs: dict = {}
         #: (time, fault, resolved target, outcome) — what actually happened.
         self.log: List[Tuple[float, Fault, Optional[str], str]] = []
         self._proc = None
@@ -127,6 +129,41 @@ class ChaosEngine:
         """Bring a crashed replica back as a standby."""
         return self.add(
             Fault(at=at, kind=FaultKind.CONTROLLER_RESTART, target=target)
+        )
+
+    def preemption_storm(
+        self,
+        at: float,
+        count: int = 5,
+        window: float = 2.0,
+        priority_class: Optional[str] = "high",
+        namespace: str = "default",
+        gpu_request: float = 0.5,
+        gpu_mem: float = 0.3,  # fits InferenceJob's 4 GiB weights on 16 GiB
+        job_duration: float = 10.0,
+    ) -> "ChaosEngine":
+        """Schedule a seeded burst of *count* high-priority SharePod
+        arrivals spread over *window* seconds starting at *at*.
+
+        Requires ``kubeshare``; arrival offsets come from the engine's
+        seeded RNG, so identical seeds replay the identical storm (and
+        therefore the identical eviction set downstream)."""
+        storm_id = f"storm-{len(self.storm_specs)}"
+        self.storm_specs[storm_id] = {
+            "priority_class": priority_class,
+            "namespace": namespace,
+            "gpu_request": gpu_request,
+            "gpu_mem": gpu_mem,
+            "job_duration": job_duration,
+        }
+        return self.add(
+            Fault(
+                at=at,
+                kind=FaultKind.PREEMPTION_STORM,
+                target=storm_id,
+                duration=window,
+                value=float(count),
+            )
         )
 
     def random_faults(
@@ -275,7 +312,57 @@ class ChaosEngine:
                 name="chaos-latency-window",
             )
             return None, f"+{fault.value:.3f}s latency for {fault.duration:.2f}s"
+        if kind is FaultKind.PREEMPTION_STORM:
+            if self.kubeshare is None:
+                return fault.target, "no-op: no kubeshare attached"
+            count = max(1, int(fault.value))
+            offsets = sorted(
+                self.rng.uniform(0.0, fault.duration) if fault.duration > 0 else 0.0
+                for _ in range(count)
+            )
+            spec = self.storm_specs.get(fault.target, {})
+            self.env.process(
+                self._storm(fault.target or "storm", offsets, spec),
+                name=f"chaos-storm:{fault.target}",
+            )
+            return fault.target, (
+                f"{count} high-priority arrivals over {fault.duration:.2f}s"
+            )
         raise ValueError(f"unknown fault kind {kind!r}")  # pragma: no cover
+
+    def _storm(self, storm_id: str, offsets: List[float], spec: dict) -> Generator:
+        """Submit the storm's SharePods at their seeded arrival offsets."""
+        from ..workloads.jobs import InferenceJob  # deferred: optional dep of chaos
+
+        start = self.env.now
+        for i, offset in enumerate(offsets):
+            due = start + offset
+            if due > self.env.now:
+                yield self.env.timeout(due - self.env.now)
+            name = f"{storm_id}-hp-{i}"
+            job = InferenceJob.from_demand(
+                name,
+                demand=spec.get("gpu_request", 0.5),
+                duration=spec.get("job_duration", 10.0),
+            )
+            sp = self.kubeshare.make_sharepod(
+                name,
+                gpu_request=spec.get("gpu_request", 0.5),
+                gpu_limit=1.0,
+                gpu_mem=spec.get("gpu_mem", 0.2),
+                workload=job.workload(),
+                namespace=spec.get("namespace", "default"),
+                priority_class=spec.get("priority_class"),
+                restart_policy="reschedule",
+            )
+            try:
+                self.kubeshare.submit(sp)
+                outcome = "submitted"
+            except Exception as err:  # noqa: BLE001 - storm must not crash the sim
+                outcome = f"submit failed: {err!r}"
+            self.log.append(
+                (self.env.now, None, f"{storm_id}/{name}", outcome)
+            )
 
     def _end_latency_window(self, extra: float, duration: float) -> Generator:
         yield self.env.timeout(duration)

@@ -39,6 +39,9 @@ class FaultKind(str, Enum):
     CONTROLLER_PAUSE = "controller_pause"
     #: a crashed replica comes back as a standby.
     CONTROLLER_RESTART = "controller_restart"
+    #: a seeded burst of high-priority SharePod arrivals (``value`` pods
+    #: over ``duration`` seconds) — drives the preemption/revocation path.
+    PREEMPTION_STORM = "preemption_storm"
 
 
 @dataclass(frozen=True)

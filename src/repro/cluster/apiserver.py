@@ -119,6 +119,10 @@ class APIServer:
         # so `etcd or Etcd(env)` would silently discard a provided store.
         self.etcd = etcd if etcd is not None else Etcd(env)
         self._kinds: set[str] = set(self.BUILTIN_KINDS)
+        #: admission plugins consulted (in registration order) by
+        #: :meth:`create` after kind validation; empty unless a policy
+        #: layer is installed, so the default create path pays nothing.
+        self._admission: List[Any] = []
         #: chaos knobs: requests fail with :class:`ServiceUnavailable`
         #: until ``down_until``; ``extra_latency`` is added by callers that
         #: model their request round-trips explicitly.
@@ -178,6 +182,17 @@ class APIServer:
         """Register a custom resource kind (e.g. ``SharePod``)."""
         self._kinds.add(kind)
 
+    def register_admission(self, plugin: Any) -> None:
+        """Install an admission plugin (an object with ``admit(obj)``).
+
+        ``admit`` runs synchronously inside :meth:`create` before the
+        etcd write; it may mutate the object (the server clones after
+        admission) or raise to refuse the create. Idempotent per plugin:
+        re-registering an already-installed instance is a no-op.
+        """
+        if plugin not in self._admission:
+            self._admission.append(plugin)
+
     @property
     def kinds(self) -> Tuple[str, ...]:
         return tuple(sorted(self._kinds))
@@ -199,6 +214,8 @@ class APIServer:
         self._gate()
         self._check_fencing(fencing)
         self._check_kind(obj.kind)
+        for plugin in self._admission:
+            plugin.admit(obj)
         stored = _clone(obj)
         stored.metadata.creation_time = self.env.now
         key = self._obj_key(stored)

@@ -144,7 +144,8 @@ class FencedAPIServer:
         return self._api.update(obj, fencing=self.token)
 
     def delete(self, kind: str, name: str, namespace: str = DEFAULT_NAMESPACE) -> Any:
-        return self._api.delete(kind, name, namespace, fencing=self.token)
+        # Forwarding proxy: NotFound must propagate to the caller unchanged.
+        return self._api.delete(kind, name, namespace, fencing=self.token)  # noqa: RPR009 - transparent proxy, tolerance is the caller's choice
 
     def try_delete(
         self, kind: str, name: str, namespace: str = DEFAULT_NAMESPACE

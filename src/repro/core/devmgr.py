@@ -48,6 +48,13 @@ from ..gpu.frontend import (
     ENV_REQUEST,
 )
 from ..obs import runtime as obs
+from ..policy.objects import ANN_REQUEUE_COUNT
+from ..policy.revocation import (
+    eviction_of,
+    finish_eviction,
+    requeue_backoff,
+    safe_delete,
+)
 from ..sim import Environment
 from .policies import OnDemandPolicy, PoolPolicy
 from .sharepod import SharePod
@@ -100,6 +107,12 @@ class KubeShareDevMgr(Controller):
         self.vgpus_released_total = 0
         self.vgpus_torn_down_total = 0
         self.sharepods_rescheduled_total = 0
+        self.sharepods_evicted_total = 0
+        #: requeue backoff for evicted SharePods (see the policy layer).
+        self.requeue_base = 0.5
+        self.requeue_cap = 8.0
+        #: sharePod key -> armed drain-deadline timer process.
+        self._drain_timers: Dict[str, object] = {}
         self._aux_procs: list = []
         self._aux_streams: list = []
 
@@ -122,6 +135,12 @@ class KubeShareDevMgr(Controller):
             if proc.is_alive:
                 proc.kill()
         self._aux_procs = []
+        # Drain timers die with the instance; the eviction state survives
+        # in SharePod annotations, so a successor re-arms from there.
+        for proc in self._drain_timers.values():
+            if proc.is_alive:
+                proc.kill()
+        self._drain_timers = {}
 
     def rebuild_state(self) -> None:
         """Crash-safe rebuild of the in-memory view from the apiserver.
@@ -233,6 +252,11 @@ class KubeShareDevMgr(Controller):
         if sp.status.phase in _TERMINAL:
             self._detach(key)
             return
+        if sp.metadata.annotations:
+            eviction = eviction_of(sp)
+            if eviction is not None:
+                yield from self._drain(sp, key, eviction)
+                return
 
         timing = self.timings.setdefault(key, {})
         timing.setdefault("sharepod_created", sp.metadata.creation_time or 0.0)
@@ -270,7 +294,10 @@ class KubeShareDevMgr(Controller):
         placeholder = Pod(
             metadata=ObjectMeta(
                 name=vgpu.placeholder_pod,
-                namespace=sp.metadata.namespace,
+                # Always the default namespace: a vGPU is cluster
+                # infrastructure shared across tenants, and every later
+                # lookup/teardown of the placeholder is namespace-default.
+                namespace="default",
                 labels={"app": "kubeshare-vgpu"},
             ),
             spec=PodSpec(
@@ -429,6 +456,96 @@ class KubeShareDevMgr(Controller):
             obs.sharepod_failed(key, pod.status.message or "pod failed")
         if phase in _TERMINAL:
             self._detach(key)
+
+    # -- graceful revocation (policy layer) ---------------------------------
+    def _drain(self, sp: SharePod, key: str, eviction) -> Generator:
+        """Graceful eviction: wait out the drain window, then tear down.
+
+        The eviction request lives in the SharePod's annotations (written
+        by the preemptor), so this path is crash-safe: a freshly promoted
+        DevMgr re-arms the drain from apiserver state, and a drain whose
+        deadline passed while nobody was leading is forced immediately.
+        """
+        pod = self.api.get("Pod", sp.name, sp.metadata.namespace)
+        if pod is not None and pod.status.phase in _TERMINAL:
+            # The workload finished inside its drain window: completion
+            # wins, and the normal mirror/detach path applies.
+            self._mirror_pod_status(sp, key, self.timings.setdefault(key, {}))
+            return
+        if self.env.now >= eviction.deadline - 1e-9:
+            self._drain_timers.pop(key, None)
+            yield from self._evict_now(sp, key, eviction)
+            return
+        if key not in self._drain_timers:
+            obs.event(
+                "Evicting",
+                f"drain window open until t={eviction.deadline:g} "
+                f"({eviction.reason})",
+                involved_kind="SharePod",
+                involved_name=sp.name,
+                involved_namespace=sp.metadata.namespace,
+                type="Warning",
+                source=self.name,
+            )
+            self._drain_timers[key] = self.env.process(
+                self._drain_timer(key, eviction.deadline - self.env.now),
+                name=f"{self.name}:drain:{key}",
+            )
+
+    def _drain_timer(self, key: str, delay: float) -> Generator:
+        yield self.env.timeout(delay)
+        self._drain_timers.pop(key, None)
+        self.queue.add(key)  # reconcile forces the teardown past the deadline
+
+    def _evict_now(self, sp: SharePod, key: str, eviction) -> Generator:
+        """Forced teardown at the drain deadline.
+
+        Deleting the real pod drives the kubelet's container teardown,
+        which stops the GPU runtime and releases its token-allocator
+        registration — that is the token-reclamation step; no allocator
+        back-channel is needed. Every step tolerates concurrent deletes
+        (kubelet, reaper, a racing preemptor finishing first).
+        """
+        safe_delete(self.api, "Pod", sp.name, sp.metadata.namespace)
+        self._pod_created.discard(key)
+        self._detach(key)  # idle vGPU falls under the pool policy as usual
+        count = int(sp.metadata.annotations.get(ANN_REQUEUE_COUNT, "0") or 0) + 1
+        resume_at = self.env.now + requeue_backoff(
+            count, self.requeue_base, self.requeue_cap
+        )
+
+        def clear_placement(obj: SharePod) -> None:
+            obj.spec.gpu_id = None
+            obj.spec.node_name = None
+            obj.status.phase = PodPhase.PENDING
+            obj.status.pod_name = None
+            obj.status.gpu_uuid = None
+            obj.status.start_time = None
+            obj.status.finish_time = None
+            obj.status.scheduled_time = None
+
+        finish_eviction(
+            self.api, key, eviction.reason, resume_at, count, clear_placement
+        )
+        self.sharepods_evicted_total += 1
+        obs.incr("repro_sharepods_evicted_total")
+        obs.event(
+            "Evicted",
+            f"vGPU revoked ({eviction.reason}); requeued with backoff, "
+            f"eligible again at t={resume_at:g}",
+            involved_kind="SharePod",
+            involved_name=sp.name,
+            involved_namespace=sp.metadata.namespace,
+            type="Warning",
+            source=self.name,
+        )
+        obs.policy_decision(
+            "evict",
+            key,
+            f"{eviction.reason}; requeue #{count} at t={resume_at:g}",
+        )
+        return
+        yield  # pragma: no cover - generator by contract
 
     # -- detach & pool policy ---------------------------------------------------------------
     def _handle_deleted(self, key: str, namespace: str, name: str) -> Generator:

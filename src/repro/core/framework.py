@@ -51,6 +51,9 @@ class SharePodClient:
         labels: Optional[Dict[str, str]] = None,
         namespace: str = "default",
         restart_policy: str = "never",
+        priority_class: Optional[str] = None,
+        best_effort: bool = False,
+        annotations: Optional[Dict[str, str]] = None,
     ) -> SharePod:
         """Build a validated SharePod object (not yet submitted)."""
         spec = SharePodSpec(
@@ -67,10 +70,17 @@ class SharePodClient:
             sched_anti_affinity=anti_affinity,
             sched_exclusion=exclusion,
             restart_policy=restart_policy,
+            priority_class=priority_class,
+            best_effort=best_effort,
         )
         spec.validate()
         return SharePod(
-            metadata=ObjectMeta(name=name, namespace=namespace, labels=dict(labels or {})),
+            metadata=ObjectMeta(
+                name=name,
+                namespace=namespace,
+                labels=dict(labels or {}),
+                annotations=dict(annotations or {}),
+            ),
             spec=spec,
         )
 
@@ -127,6 +137,7 @@ class KubeShare(SharePodClient):
         cluster: Cluster,
         isolation: str = "token",
         policy: Optional[PoolPolicy] = None,
+        contention=None,
     ) -> None:
         self.cluster = cluster
         self.env = cluster.env
@@ -137,6 +148,19 @@ class KubeShare(SharePodClient):
         self.devmgr = KubeShareDevMgr(
             self.env, self.api, self.pool, policy=policy, isolation=isolation
         )
+        #: multi-tenant policy layer (quotas/priorities/reaper), installed
+        #: when *contention* is a :class:`repro.policy.layer.PolicyConfig`
+        #: (or ``True`` for the defaults). ``None`` — the default — keeps
+        #: the whole policy surface out of the hot paths.
+        self.policy_layer = None
+        if contention is not None and contention is not False:
+            from ..policy.layer import PolicyConfig, PolicyLayer  # lazy: optional
+
+            cfg = contention if isinstance(contention, PolicyConfig) else PolicyConfig()
+            self.policy_layer = PolicyLayer(cluster, cfg)
+            self.sched.contention = self.policy_layer.engine
+            self.devmgr.requeue_base = cfg.requeue_base
+            self.devmgr.requeue_cap = cfg.requeue_cap
         self._started = False
 
     def start(self) -> "KubeShare":
@@ -144,5 +168,7 @@ class KubeShare(SharePodClient):
         if not self._started:
             self.sched.start()
             self.devmgr.start()
+            if self.policy_layer is not None:
+                self.policy_layer.start()
             self._started = True
         return self

@@ -46,6 +46,7 @@ class HAKubeShare(SharePodClient):
         lease_duration: float = 3.0,
         renew_interval: float = 0.5,
         retry_interval: float = 0.5,
+        contention=None,
     ) -> None:
         self.cluster = cluster
         self.env = cluster.env
@@ -53,15 +54,36 @@ class HAKubeShare(SharePodClient):
         self.api.register_crd("SharePod")
         env = self.env
 
+        #: multi-tenant policy layer; see :class:`repro.core.framework.KubeShare`.
+        self.policy_layer = None
+        contention_cfg = None
+        if contention is not None and contention is not False:
+            from ..policy.layer import PolicyConfig, PolicyLayer  # lazy: optional
+
+            contention_cfg = (
+                contention if isinstance(contention, PolicyConfig) else PolicyConfig()
+            )
+            self.policy_layer = PolicyLayer(cluster, contention_cfg)
+        policy_layer = self.policy_layer
+
         def sched_factory(api: FencedAPIServer) -> KubeShareSched:
             # pool=None: device views derive from the apiserver each pass.
-            return KubeShareSched(env, api, pool=None)
+            sched = KubeShareSched(env, api, pool=None)
+            if policy_layer is not None:
+                # The engine is stateless; every leader consults the same
+                # planner through its own fenced API handle.
+                sched.contention = policy_layer.engine
+            return sched
 
         def devmgr_factory(api: FencedAPIServer) -> KubeShareDevMgr:
             # A private pool per reign; rebuild_state() fills it by relist.
-            return KubeShareDevMgr(
+            devmgr = KubeShareDevMgr(
                 env, api, VGPUPool(), policy=policy, isolation=isolation
             )
+            if contention_cfg is not None:
+                devmgr.requeue_base = contention_cfg.requeue_base
+                devmgr.requeue_cap = contention_cfg.requeue_cap
+            return devmgr
 
         self.sched_group = HAControllerGroup(
             env,
@@ -90,12 +112,16 @@ class HAKubeShare(SharePodClient):
         if not self._started:
             self.sched_group.start()
             self.devmgr_group.start()
+            if self.policy_layer is not None:
+                self.policy_layer.start()
             self._started = True
         return self
 
     def stop(self) -> None:
         self.sched_group.stop()
         self.devmgr_group.stop()
+        if self.policy_layer is not None:
+            self.policy_layer.stop()
 
     # -- views -------------------------------------------------------------
     @property

@@ -36,6 +36,7 @@ from ..cluster.etcd import WatchEventType
 from ..cluster.objects import GPU_RESOURCE, PodPhase
 from ..obs import runtime as obs
 from ..perf import fastpath
+from ..policy.objects import ANN_QUEUED, ANN_REQUEUE_AFTER
 from ..sim import Environment
 from .sharepod import SharePod
 from .vgpu import (
@@ -365,6 +366,10 @@ class KubeShareSched(Controller):
         self.algo_wall_times: List[Tuple[int, float]] = []
         self.scheduled_total = 0
         self.rejected_total = 0
+        #: multi-tenant preemption planner (a
+        #: :class:`repro.policy.layer.PolicyEngine`), or ``None`` — the
+        #: default, costing one attribute test in the defer branch.
+        self.contention = None
         #: lazily built cached device-view index (fast path only).
         self._index = None
 
@@ -435,6 +440,17 @@ class KubeShareSched(Controller):
         sp = self.api.get("SharePod", name, namespace)
         if sp is None or sp.spec.gpu_id is not None or sp.status.phase in _TERMINAL:
             return
+        ann = sp.metadata.annotations
+        if ann:  # policy gates; empty-dict check keeps the no-policy cost flat
+            if ANN_QUEUED in ann:
+                return  # quota-parked; the unqueue PUT re-triggers us
+            resume = ann.get(ANN_REQUEUE_AFTER)
+            if resume is not None and float(resume) > self.env.now:
+                # post-eviction backoff: come back exactly when it expires
+                self.env.process(
+                    self._requeue_later(key, float(resume) - self.env.now)
+                )
+                return
         if self.op_latency > 0:
             yield self.env.timeout(self.op_latency)
             sp = self.api.get("SharePod", name, namespace)
@@ -484,6 +500,12 @@ class KubeShareSched(Controller):
             return
 
         if decision.is_new:
+            if sp.spec.best_effort:
+                # Harvesting mode: spare capacity on existing vGPUs only —
+                # a best-effort SharePod never acquires a physical GPU.
+                obs.commit_decision(audit, key, decision, outcome="deferred")
+                self.env.process(self._requeue_later(key, self.defer_delay))
+                return
             # A new vGPU needs a free physical GPU; if the cluster is fully
             # acquired, defer and retry when something frees up.
             if assigned_ids is None:
@@ -501,6 +523,10 @@ class KubeShareSched(Controller):
             if len(pool) + in_flight >= max(capacity, 1):
                 # Defer without blocking the worker; capacity-free events
                 # also requeue us (see filter()).
+                if self.contention is not None:
+                    # Multi-tenant mode: try to plan a preemption so this
+                    # (possibly high-priority) SharePod eventually places.
+                    self.contention.try_preempt(self.api, sp, key, self.env.now)
                 obs.commit_decision(audit, key, decision, outcome="deferred")
                 obs.event(
                     "SchedulingDeferred",

@@ -54,6 +54,13 @@ class SharePodSpec:
     #: ``"reschedule"`` — clear the placement and let KubeShare-Sched
     #: re-run Algorithm 1 on surviving capacity.
     restart_policy: str = "never"
+    #: name of a PriorityClass object (``None`` = default priority 0).
+    priority_class: Optional[str] = None
+    #: best-effort / harvesting mode: the SharePod only binds spare
+    #: fractional capacity on *existing* vGPUs (never acquires a new
+    #: physical GPU), sits below every PriorityClass, and is revoked
+    #: through the drain path whenever prioritised work needs the room.
+    best_effort: bool = False
 
     def validate(self) -> None:
         if not 0.0 <= self.gpu_request <= 1.0:
@@ -76,6 +83,15 @@ class SharePodSpec:
                 f"restart_policy must be 'never' or 'reschedule', "
                 f"got {self.restart_policy!r}"
             )
+        if self.priority_class is not None and (
+            not isinstance(self.priority_class, str) or not self.priority_class
+        ):
+            raise SpecError("priority_class must be a non-empty string")
+        if self.best_effort and self.priority_class is not None:
+            raise SpecError(
+                "best_effort and priority_class are mutually exclusive "
+                "(best-effort sits below every priority class)"
+            )
 
     def clone(self) -> "SharePodSpec":
         return SharePodSpec(
@@ -89,6 +105,8 @@ class SharePodSpec:
             sched_anti_affinity=self.sched_anti_affinity,
             sched_exclusion=self.sched_exclusion,
             restart_policy=self.restart_policy,
+            priority_class=self.priority_class,
+            best_effort=self.best_effort,
         )
 
 
@@ -183,6 +201,8 @@ class SharePod:
                 "sched_anti_affinity",
                 "sched_exclusion",
                 "restart_policy",
+                "priority_class",
+                "best_effort",
             )
             if k in spec_raw
         }

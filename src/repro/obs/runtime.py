@@ -368,6 +368,30 @@ def commit_decision(audit, sharepod_key: str, decision, outcome: Optional[str] =
     hub.metrics.incr(f'repro_sched_decisions_total{{outcome="{outcome}"}}')
 
 
+def policy_decision(
+    action: str, subject: str, reason: str, details: Optional[Dict[str, Any]] = None
+) -> None:
+    """Record a multi-tenant policy decision (admission, preemption,
+    eviction, reaping) in the decision log, alongside Algorithm 1's
+    placement records, so ``explain <sharepod>`` shows the full story."""
+    hub = _hub
+    if hub is None:
+        return
+    from .decisions import DecisionRecord
+
+    hub.decisions.records.append(
+        DecisionRecord(
+            t=hub.env.now,
+            sharepod=subject,
+            request=dict(details or {}),
+            placement="policy",
+            reason=reason,
+            rule=f"policy:{action}",
+        )
+    )
+    hub.metrics.incr(f'repro_policy_decisions_total{{action="{action}"}}')
+
+
 # -- leader election -------------------------------------------------------
 def leader_changed(group_name: str, identity: str, epoch: int) -> None:
     hub = _hub

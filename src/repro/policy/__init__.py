@@ -1,0 +1,96 @@
+"""Multi-tenant policy: quotas, priority preemption, revocation, reaping.
+
+The contention-resilience layer on top of KubeShare (ROADMAP item 3):
+
+* :mod:`repro.policy.objects` — ``Namespace`` (GPU quotas) and
+  ``PriorityClass`` CRDs plus the ``policy.kubeshare/*`` annotation
+  vocabulary the controllers coordinate through;
+* :mod:`repro.policy.admission` — the apiserver admission plugin that
+  rejects or queues SharePods exceeding their namespace quota;
+* :mod:`repro.policy.quota` — GPU-time accounting and the FIFO unqueue
+  controller;
+* :mod:`repro.policy.preemption` — deterministic minimal-victim-set
+  selection for priority preemption;
+* :mod:`repro.policy.revocation` — the shared idempotent teardown helper
+  (tolerates ``NotFound``/``Conflict`` races; lint rule RPR009 points
+  raw ``api.delete`` call sites here);
+* :mod:`repro.policy.reaper` — the lifetime-policy reaper controller;
+* :mod:`repro.policy.layer` — one-call wiring (:class:`PolicyLayer`)
+  and the scheduler-facing :class:`PolicyEngine`.
+"""
+
+from .admission import AdmissionDenied, QuotaAdmission
+from .layer import PolicyConfig, PolicyEngine, PolicyLayer
+from .objects import (
+    ANN_EVICT,
+    ANN_EVICT_DEADLINE,
+    ANN_EVICTED_BY,
+    ANN_QUEUED,
+    ANN_REQUEUE_AFTER,
+    ANN_REQUEUE_COUNT,
+    ANN_TTL,
+    Namespace,
+    NamespaceSpec,
+    PolicyError,
+    PriorityClass,
+    PriorityClassSpec,
+)
+from .preemption import (
+    BEST_EFFORT_PRIORITY,
+    DEFAULT_PRIORITY,
+    PreemptionPlan,
+    Victim,
+    resolve_priority,
+    select_victims,
+)
+from .quota import ChargeInterval, QuotaAccountant, QuotaController
+from .reaper import LifetimeReaper, ReaperConfig
+from .revocation import (
+    Eviction,
+    eviction_of,
+    finish_eviction,
+    mark_eviction,
+    requeue_backoff,
+    requeue_gate,
+    safe_delete,
+    tolerant_patch,
+)
+
+__all__ = [
+    "AdmissionDenied",
+    "QuotaAdmission",
+    "PolicyConfig",
+    "PolicyEngine",
+    "PolicyLayer",
+    "Namespace",
+    "NamespaceSpec",
+    "PriorityClass",
+    "PriorityClassSpec",
+    "PolicyError",
+    "ANN_QUEUED",
+    "ANN_EVICT",
+    "ANN_EVICT_DEADLINE",
+    "ANN_EVICTED_BY",
+    "ANN_REQUEUE_AFTER",
+    "ANN_REQUEUE_COUNT",
+    "ANN_TTL",
+    "BEST_EFFORT_PRIORITY",
+    "DEFAULT_PRIORITY",
+    "PreemptionPlan",
+    "Victim",
+    "resolve_priority",
+    "select_victims",
+    "ChargeInterval",
+    "QuotaAccountant",
+    "QuotaController",
+    "LifetimeReaper",
+    "ReaperConfig",
+    "Eviction",
+    "eviction_of",
+    "finish_eviction",
+    "mark_eviction",
+    "requeue_backoff",
+    "requeue_gate",
+    "safe_delete",
+    "tolerant_patch",
+]

@@ -1,0 +1,178 @@
+"""Deterministic minimal-victim-set selection for priority preemption.
+
+When Algorithm 1 defers a high-priority SharePod (no device fits), the
+scheduler asks this module which currently-bound, strictly-lower-priority
+SharePods to evict so the request *would* fit. The selection is a pure
+function of the cluster snapshot — no RNG, no clock, no I/O — so two
+identical-seed runs (whose snapshots are identical by simulation
+determinism) pick the byte-identical victim set, and the decision log
+replays exactly.
+
+Selection strategy, per candidate device:
+
+* **fractional plan** — the request shares an existing vGPU: sort the
+  device's lower-priority occupants by (priority asc, youngest first,
+  key) and take the shortest prefix whose removal frees enough
+  fractional compute *and* memory, then re-check that the residual
+  occupants would still pass Algorithm 1's label filter for the request;
+* **whole-device plan** — the request needs a fresh physical GPU
+  (``is_new``): a device qualifies only if *every* occupant has strictly
+  lower priority; the plan evicts all of them so DevMgr's idle-release
+  frees the physical GPU.
+
+Across devices the minimal plan wins: fewest victims, then lowest total
+victim priority (evict the least important work), then lowest gpuid as
+the final deterministic tiebreak.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "BEST_EFFORT_PRIORITY",
+    "DEFAULT_PRIORITY",
+    "Victim",
+    "PreemptionPlan",
+    "resolve_priority",
+    "select_victims",
+]
+
+#: priority of a best-effort SharePod — below every PriorityClass, so any
+#: prioritised request may revoke harvested capacity.
+BEST_EFFORT_PRIORITY = -1000
+#: priority of a SharePod with no (or an unknown) PriorityClass.
+DEFAULT_PRIORITY = 0
+
+
+def resolve_priority(sp, classes: Mapping[str, int]) -> int:
+    """The effective priority of *sp* given the PriorityClass name→value map."""
+    if getattr(sp.spec, "best_effort", False):
+        return BEST_EFFORT_PRIORITY
+    name = getattr(sp.spec, "priority_class", None)
+    if not name:
+        return DEFAULT_PRIORITY
+    return classes.get(name, DEFAULT_PRIORITY)
+
+
+@dataclass(frozen=True)
+class Victim:
+    """One bound SharePod considered for eviction (snapshot, immutable)."""
+
+    key: str
+    gpuid: str
+    priority: int
+    gpu_request: float
+    gpu_mem: float
+    creation_time: float
+    aff: Optional[str] = None
+    anti_aff: Optional[str] = None
+    excl: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class PreemptionPlan:
+    """The chosen eviction set for one deferred request."""
+
+    gpuid: Optional[str]  # None => whole-device plan (frees a physical GPU)
+    victims: Tuple[Victim, ...]
+    reason: str
+
+    @property
+    def victim_keys(self) -> Tuple[str, ...]:
+        return tuple(v.key for v in self.victims)
+
+
+def _labels_block(request_sp, residual: Sequence[Victim]) -> bool:
+    """Would the residual occupants still fail Algorithm 1's label filter?
+
+    Mirrors the filter stage: the request is blocked if a residual
+    occupant carries the request's anti-affinity label, or if either side
+    has an exclusion label the other does not match.
+    """
+    r_anti = getattr(request_sp.spec, "sched_anti_affinity", None)
+    r_excl = getattr(request_sp.spec, "sched_exclusion", None)
+    for occ in residual:
+        if r_anti is not None and occ.anti_aff == r_anti:
+            return True
+        if (r_excl is not None or occ.excl is not None) and occ.excl != r_excl:
+            return True
+    return False
+
+
+def _fractional_plan(
+    request_sp,
+    req_priority: int,
+    occupants: Sequence[Victim],
+) -> Optional[Tuple[Victim, ...]]:
+    """Shortest eviction prefix on one device that fits the request."""
+    need = float(request_sp.spec.gpu_request)
+    need_mem = float(getattr(request_sp.spec, "gpu_mem", 0.0) or 0.0)
+    used = sum(v.gpu_request for v in occupants)
+    used_mem = sum(v.gpu_mem for v in occupants)
+    lower = [v for v in occupants if v.priority < req_priority]
+    if not lower:
+        return None
+    # evict the least important, youngest work first; key breaks ties
+    lower.sort(key=lambda v: (v.priority, -v.creation_time, v.key))
+    freed = 0.0
+    freed_mem = 0.0
+    chosen: List[Victim] = []
+    for v in lower:
+        chosen.append(v)
+        freed += v.gpu_request
+        freed_mem += v.gpu_mem
+        if used - freed + need <= 1.0 + 1e-9 and (
+            used_mem - freed_mem + need_mem <= 1.0 + 1e-9
+        ):
+            chosen_keys = {c.key for c in chosen}
+            residual = [o for o in occupants if o.key not in chosen_keys]
+            if _labels_block(request_sp, residual):
+                continue  # keep widening the prefix
+            return tuple(chosen)
+    return None
+
+
+def select_victims(
+    request_sp,
+    req_priority: int,
+    occupants_by_gpu: Mapping[str, Sequence[Victim]],
+    needs_new_device: bool,
+) -> Optional[PreemptionPlan]:
+    """Pick the minimal victim set that would let *request_sp* place.
+
+    *occupants_by_gpu* maps gpuid → snapshot of the live SharePods bound
+    to that vGPU. Pure and deterministic; returns ``None`` when no
+    eviction of strictly-lower-priority SharePods can make room.
+    """
+    plans: List[Tuple[Tuple[int, int, str], PreemptionPlan]] = []
+    for gpuid in sorted(occupants_by_gpu):
+        occupants = list(occupants_by_gpu[gpuid])
+        if not occupants:
+            continue
+        if needs_new_device:
+            # The request needs a whole fresh physical GPU: a device only
+            # qualifies when every occupant is strictly lower priority, so
+            # evicting them all idles the vGPU and frees its device.
+            if all(v.priority < req_priority for v in occupants):
+                victims = tuple(
+                    sorted(
+                        occupants, key=lambda v: (v.priority, -v.creation_time, v.key)
+                    )
+                )
+                plan = PreemptionPlan(gpuid=None, victims=victims, reason="whole-device")
+                plans.append(
+                    ((len(victims), sum(v.priority for v in victims), gpuid), plan)
+                )
+            continue
+        victims = _fractional_plan(request_sp, req_priority, occupants)
+        if victims is not None:
+            plan = PreemptionPlan(gpuid=gpuid, victims=victims, reason="fractional")
+            plans.append(
+                ((len(victims), sum(v.priority for v in victims), gpuid), plan)
+            )
+    if not plans:
+        return None
+    plans.sort(key=lambda item: item[0])
+    return plans[0][1]

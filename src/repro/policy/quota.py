@@ -1,0 +1,186 @@
+"""Quota accounting and the controller that unparks queued SharePods.
+
+Two pieces:
+
+* :class:`QuotaAccountant` — pure bookkeeping of *charge intervals*: one
+  interval per (SharePod, binding) from the moment it holds fractional
+  GPU capacity until it releases it. Because the token allocator grants
+  every admitted container exactly its ``gpu_request`` share of kernel
+  time per sliding window, the integral of the namespace's charge rate
+  over any window is its granted GPU-time — which is what the quota
+  property test bounds by ``quota × window``.
+* :class:`QuotaController` — watches SharePods, feeds the accountant,
+  and runs the FIFO unqueue pass: whenever capacity frees in a namespace
+  (completion, eviction, deletion), the oldest quota-parked SharePods
+  whose requests now fit get their ``policy.kubeshare/queued`` annotation
+  removed, which wakes the scheduler through the normal watch path. The
+  pass stops at the first SharePod that does not fit — strict FIFO, so a
+  stream of small jobs can never starve a large one.
+
+The controller is stateless beyond the accountant (which is derived
+bookkeeping, not decision state): after a crash/failover the promoted
+replica's informer replay re-feeds every SharePod and the unqueue pass
+re-evaluates from apiserver state. :meth:`QuotaController.rebuild_state`
+makes that explicit for HA groups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Generator, List, Optional
+
+from ..cluster.apiserver import ServiceUnavailable, UnknownKind
+from ..cluster.controller import Controller
+from ..cluster.etcd import WatchEventType
+from ..obs import runtime as obs
+from .admission import _is_live
+from .objects import ANN_QUEUED
+from .revocation import tolerant_patch
+
+__all__ = ["ChargeInterval", "QuotaAccountant", "QuotaController"]
+
+
+@dataclass
+class ChargeInterval:
+    """One SharePod holding ``rate`` GPUs of capacity over [start, end)."""
+
+    namespace: str
+    key: str
+    rate: float
+    start: float
+    end: Optional[float] = None  # None while the binding is live
+
+    def overlap(self, t0: float, t1: float, now: float) -> float:
+        end = self.end if self.end is not None else now
+        return max(0.0, min(end, t1) - max(self.start, t0))
+
+
+class QuotaAccountant:
+    """Derived ledger of per-namespace GPU-time charges."""
+
+    def __init__(self) -> None:
+        self.intervals: List[ChargeInterval] = []
+        self._open: Dict[str, ChargeInterval] = {}
+
+    def charge(self, namespace: str, key: str, rate: float, now: float) -> None:
+        """Open a charge for *key* (idempotent while the rate is unchanged)."""
+        cur = self._open.get(key)
+        if cur is not None:
+            if cur.rate == rate:
+                return
+            self.release(key, now)
+        iv = ChargeInterval(namespace=namespace, key=key, rate=rate, start=now)
+        self._open[key] = iv
+        self.intervals.append(iv)
+
+    def release(self, key: str, now: float) -> None:
+        """Close the open charge for *key*, if any (idempotent)."""
+        iv = self._open.pop(key, None)
+        if iv is not None:
+            iv.end = now
+
+    def usage_in_window(self, namespace: str, t0: float, t1: float, now: float) -> float:
+        """Granted GPU-time (GPU-seconds) for *namespace* within [t0, t1]."""
+        return sum(
+            iv.rate * iv.overlap(t0, t1, now)
+            for iv in self.intervals
+            if iv.namespace == namespace
+        )
+
+    def max_concurrent(self, namespace: str, now: float) -> float:
+        """Peak concurrent charge rate the namespace ever held."""
+        ivs = [iv for iv in self.intervals if iv.namespace == namespace]
+        points = sorted({iv.start for iv in ivs})
+        peak = 0.0
+        for t in points:
+            rate = sum(
+                iv.rate
+                for iv in ivs
+                if iv.start <= t < (iv.end if iv.end is not None else now + 1.0)
+            )
+            peak = max(peak, rate)
+        return peak
+
+
+class QuotaController(Controller):
+    """Feeds the accountant and unparks queued SharePods FIFO."""
+
+    kind = "SharePod"
+
+    def __init__(self, env, api, name: str = "quota-controller") -> None:
+        super().__init__(env, api, name=name)
+        self.accountant = QuotaAccountant()
+        self.unqueued_total = 0
+
+    def rebuild_state(self) -> None:
+        """HA hook: the ledger is derived state; start a fresh one and let
+        the informer replay re-open charges for live bindings."""
+        self.accountant = QuotaAccountant()
+
+    def filter(self, etype: WatchEventType, obj: Any) -> bool:
+        return True  # every SharePod transition can free or charge quota
+
+    def reconcile(self, key: str) -> Generator:
+        namespace, name = key.split("/", 1)
+        sp = self.api.get("SharePod", name, namespace)
+        yield self.env.timeout(0)  # one scheduling beat, like real round-trips
+        if sp is None or not _is_live(sp) or sp.spec.gpu_id is None:
+            self.accountant.release(key, self.env.now)
+        else:
+            self.accountant.charge(
+                namespace, key, float(sp.spec.gpu_request), self.env.now
+            )
+        self._unqueue_pass(namespace)
+
+    # -- FIFO unqueue ------------------------------------------------------
+    def _unqueue_pass(self, namespace: str) -> None:
+        try:
+            ns = self.api.get("Namespace", namespace)
+        except (UnknownKind, ServiceUnavailable):
+            return
+        if ns is None:
+            return
+        quota = ns.spec.gpu_quota
+        try:
+            pods = self.api.list("SharePod", namespace=namespace)
+        except ServiceUnavailable:
+            return
+        queued = sorted(
+            (sp for sp in pods if ANN_QUEUED in sp.metadata.annotations),
+            key=lambda sp: (sp.metadata.creation_time or 0.0, sp.metadata.name),
+        )
+        if not queued:
+            return
+        usage = sum(
+            float(sp.spec.gpu_request) for sp in pods if _is_live(sp)
+        )
+        for sp in queued:
+            req = float(sp.spec.gpu_request)
+            if quota is not None and usage + req > quota + 1e-9:
+                break  # strict FIFO: later (smaller) jobs must wait too
+            if self._unqueue(sp):
+                usage += req
+
+    def _unqueue(self, sp: Any) -> bool:
+        def mutate(obj: Any) -> None:
+            obj.metadata.annotations.pop(ANN_QUEUED, None)
+
+        ok = tolerant_patch(
+            self.api, "SharePod", sp.metadata.name, mutate, sp.metadata.namespace
+        )
+        if ok:
+            self.unqueued_total += 1
+            obs.event(
+                "QuotaUnqueued",
+                f"quota capacity freed; {sp.metadata.key} released to the scheduler",
+                involved_kind="SharePod",
+                involved_name=sp.metadata.name,
+                involved_namespace=sp.metadata.namespace,
+                source=self.name,
+            )
+            obs.policy_decision(
+                "quota-unqueue",
+                sp.metadata.key,
+                "quota capacity freed; released to scheduler",
+            )
+        return ok

@@ -1,0 +1,192 @@
+"""The shared revocation helper: idempotent, race-tolerant teardown.
+
+Eviction is a three-party race: the preemptor (scheduler) marks the
+victim, DevMgr drains and tears it down, and the kubelet/reaper may
+delete the underlying objects concurrently. Every step here is therefore
+written to be *idempotent*:
+
+* :func:`safe_delete` — ``NotFound`` means somebody else already deleted
+  the object; that is success, not an error (the RPR009 lint rule points
+  every raw ``api.delete`` call site at this helper);
+* :func:`tolerant_patch` — ``NotFound`` (object gone) and exhausted
+  ``Conflict`` retries are swallowed; :class:`FencingConflict` is *not* —
+  a deposed leader must notice it lost the lease, never paper over it;
+* :func:`mark_eviction` / :func:`finish_eviction` — the eviction state
+  machine lives entirely in ``policy.kubeshare/*`` annotations on the
+  SharePod, so any controller replica can resume a half-done eviction
+  from apiserver state after a crash;
+* :func:`requeue_backoff` — deterministic (jitter-free) exponential
+  backoff for evicted SharePods, so identical-seed runs replay the exact
+  same requeue times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from ..cluster.apiserver import Conflict, FencingConflict, NotFound
+from .objects import (
+    ANN_EVICT,
+    ANN_EVICT_DEADLINE,
+    ANN_EVICTED_BY,
+    ANN_REQUEUE_AFTER,
+    ANN_REQUEUE_COUNT,
+)
+
+__all__ = [
+    "Eviction",
+    "safe_delete",
+    "tolerant_patch",
+    "mark_eviction",
+    "finish_eviction",
+    "eviction_of",
+    "requeue_gate",
+    "requeue_backoff",
+]
+
+
+def safe_delete(api: Any, kind: str, name: str, namespace: str = "default") -> bool:
+    """Delete an object, tolerating a concurrent delete.
+
+    Returns True if this call removed the object, False if it was already
+    gone (kubelet, reaper, or a previous attempt won the race). Never
+    raises ``NotFound``.
+    """
+    try:
+        api.delete(kind, name, namespace)
+        return True
+    except NotFound:
+        return False
+
+
+def tolerant_patch(
+    api: Any,
+    kind: str,
+    name: str,
+    mutate: Callable[[Any], None],
+    namespace: str = "default",
+) -> bool:
+    """Patch an object, tolerating its disappearance and hot contention.
+
+    ``api.patch`` already retries ``Conflict`` with re-reads; if the
+    object keeps changing faster than the retry budget, or vanished
+    entirely, the revocation caller treats that as "someone else resolved
+    this object" and moves on — its next reconcile re-evaluates from
+    scratch. Fencing rejections always propagate: a deposed leader must
+    never mistake a fenced-off write for a benign race.
+    """
+    try:
+        api.patch(kind, name, mutate, namespace)
+        return True
+    except NotFound:
+        return False
+    except FencingConflict:
+        raise
+    except Conflict:
+        return False
+
+
+@dataclass(frozen=True)
+class Eviction:
+    """Decoded eviction state of one SharePod."""
+
+    reason: str
+    deadline: float
+    evicted_by: str
+
+
+def eviction_of(sp: Any) -> Optional[Eviction]:
+    """The SharePod's pending eviction, decoded from its annotations."""
+    ann = sp.metadata.annotations
+    reason = ann.get(ANN_EVICT)
+    if reason is None:
+        return None
+    try:
+        deadline = float(ann.get(ANN_EVICT_DEADLINE, "0") or 0.0)
+    except ValueError:
+        deadline = 0.0
+    return Eviction(
+        reason=reason,
+        deadline=deadline,
+        evicted_by=ann.get(ANN_EVICTED_BY, ""),
+    )
+
+
+def mark_eviction(
+    api: Any,
+    key: str,
+    reason: str,
+    deadline: float,
+    evicted_by: str,
+) -> bool:
+    """Persist an eviction request on the SharePod (idempotent).
+
+    An already-marked SharePod keeps its original (earlier or equal)
+    deadline — re-marking never extends a drain that is under way.
+    """
+    namespace, name = key.split("/", 1)
+
+    def mutate(obj: Any) -> None:
+        ann = obj.metadata.annotations
+        if ANN_EVICT in ann:
+            return  # drain already under way; keep the original deadline
+        ann[ANN_EVICT] = reason
+        ann[ANN_EVICT_DEADLINE] = repr(deadline)
+        ann[ANN_EVICTED_BY] = evicted_by
+
+    return tolerant_patch(api, "SharePod", name, mutate, namespace)
+
+
+def finish_eviction(
+    api: Any,
+    key: str,
+    reason: str,
+    resume_at: float,
+    count: int,
+    clear_placement: Callable[[Any], None],
+) -> bool:
+    """Complete a teardown: clear eviction state, arm the requeue gate.
+
+    *clear_placement* is the caller's mutation that unbinds the SharePod
+    (DevMgr clears gpu_id/node_name/status); this helper adds the
+    annotation bookkeeping so the whole transition is one atomic patch.
+    """
+    namespace, name = key.split("/", 1)
+
+    def mutate(obj: Any) -> None:
+        clear_placement(obj)
+        ann = obj.metadata.annotations
+        ann.pop(ANN_EVICT, None)
+        ann.pop(ANN_EVICT_DEADLINE, None)
+        ann.pop(ANN_EVICTED_BY, None)
+        ann[ANN_REQUEUE_AFTER] = repr(resume_at)
+        ann[ANN_REQUEUE_COUNT] = str(count)
+        obj.status.message = f"evicted: {reason}"
+
+    return tolerant_patch(api, "SharePod", name, mutate, namespace)
+
+
+def requeue_gate(sp: Any) -> Optional[float]:
+    """The virtual time before which the scheduler must not place *sp*,
+    or ``None`` when no backoff gate is armed."""
+    raw = sp.metadata.annotations.get(ANN_REQUEUE_AFTER)
+    if raw is None:
+        return None
+    try:
+        return float(raw)
+    except ValueError:
+        return None
+
+
+def requeue_backoff(count: int, base: float = 0.5, cap: float = 8.0) -> float:
+    """Deterministic exponential backoff for the *count*-th eviction.
+
+    Deliberately jitter-free: eviction replays must be byte-identical
+    across identical-seed runs, and the per-SharePod gate makes thundering
+    herds impossible here (each victim has its own resume time derived
+    from its own eviction time).
+    """
+    if count <= 1:
+        return base
+    return min(cap, base * (2.0 ** (count - 1)))

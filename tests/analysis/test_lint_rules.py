@@ -395,6 +395,77 @@ class TestRPR008HotPathCopies:
         """) == []
 
 
+class TestRPR009UnguardedDelete:
+    LIB = "src/repro/core/devmgr.py"
+
+    def ids_at(self, source, path):
+        return sorted(
+            {f.rule_id for f in lint_source(textwrap.dedent(source), path=path)}
+        )
+
+    def test_raw_api_delete_flagged(self):
+        out = lint_source(
+            textwrap.dedent("""
+                def teardown(self, key):
+                    self.api.delete("Pod", key)
+            """),
+            path=self.LIB,
+        )
+        assert [f.rule_id for f in out] == ["RPR009"]
+        assert "self.api.delete" in out[0].message
+        assert "revocation" in out[0].fixit
+
+    def test_fenced_handle_delete_flagged(self):
+        assert self.ids_at("""
+            def teardown(_api, name):
+                _api.delete("SharePod", name)
+        """, self.LIB) == ["RPR009"]
+
+    def test_notfound_handler_in_scope_clean(self):
+        assert self.ids_at("""
+            def teardown(self, key):
+                try:
+                    self.api.delete("Pod", key)
+                except NotFound:
+                    pass
+        """, self.LIB) == []
+
+    def test_conflict_tuple_handler_clean(self):
+        assert self.ids_at("""
+            def teardown(self, key):
+                try:
+                    self.api.delete("Pod", key)
+                except (NotFound, Conflict):
+                    return False
+        """, self.LIB) == []
+
+    def test_try_delete_exempt(self):
+        assert self.ids_at("""
+            def teardown(self, key):
+                return self.api.try_delete("Pod", key)
+        """, self.LIB) == []
+
+    def test_non_api_receiver_clean(self):
+        assert self.ids_at("""
+            def drop(self, key):
+                self.cache.delete(key)
+        """, self.LIB) == []
+
+    def test_tests_and_benchmarks_exempt(self):
+        source = """
+            def test_delete(api):
+                api.delete("Pod", "p0")
+        """
+        assert self.ids_at(source, "tests/cluster/test_apiserver.py") == []
+        assert self.ids_at(source, "benchmarks/test_contention.py") == []
+
+    def test_noqa_suppresses(self):
+        assert self.ids_at("""
+            def forward(self, kind, name):
+                return self._api.delete(kind, name)  # noqa: RPR009 - proxy
+        """, self.LIB) == []
+
+
 class TestHarness:
     def test_every_rule_has_metadata(self):
         for rule in ALL_RULES:

@@ -1,0 +1,112 @@
+"""Graceful revocation: drain window semantics in DevMgr.
+
+An eviction mark starts a drain; the workload keeps running until the
+deadline. If it finishes first, completion wins. At the deadline DevMgr
+forces teardown: the real pod is deleted (token reclamation via the
+kubelet), the vGPU share is released, and the SharePod is requeued with
+backoff — all through one atomic status patch.
+"""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig
+from repro.cluster.objects import PodPhase
+from repro.core import KubeShare
+from repro.policy import PolicyConfig
+from repro.policy.objects import (
+    ANN_EVICT,
+    ANN_REQUEUE_AFTER,
+    ANN_REQUEUE_COUNT,
+)
+from repro.policy.revocation import mark_eviction
+
+from .conftest import train
+
+
+@pytest.fixture
+def stack(env):
+    cluster = Cluster(env, ClusterConfig(nodes=1, gpus_per_node=1)).start()
+    ks = KubeShare(cluster, contention=PolicyConfig()).start()
+    return cluster, ks
+
+
+def start_job(ks, env, name, work):
+    ks.submit(
+        ks.make_sharepod(
+            name,
+            gpu_request=0.5,
+            gpu_limit=1.0,
+            gpu_mem=0.2,
+            workload=train(work),
+        )
+    )
+    wait = env.process(ks.wait_for_phase(name, [PodPhase.RUNNING]))
+    env.run(until=wait)
+    sp = ks.get(name)
+    assert sp.spec.gpu_id is not None, "job must be bound before the drain test"
+    return sp
+
+
+class TestDrainWindow:
+    def test_workload_keeps_running_inside_the_window(self, stack):
+        cluster, ks = stack
+        env = cluster.env
+        start_job(ks, env, "j", work=30.0)
+        mark_eviction(ks.api, "default/j", "test drain", env.now + 3.0, "manual")
+        env.run(until=env.now + 2.0)  # inside the window
+        sp = ks.get("j")
+        assert sp.status.phase.value == "Running"
+        assert sp.spec.gpu_id is not None
+
+    def test_deadline_forces_teardown_and_requeues(self, stack):
+        cluster, ks = stack
+        env = cluster.env
+        start_job(ks, env, "j", work=30.0)
+        deadline = env.now + 1.0
+        mark_eviction(ks.api, "default/j", "test drain", deadline, "manual")
+        # look just after the deadline, before the requeue backoff expires
+        # and the scheduler re-places the pod.
+        env.run(until=deadline + 0.25)
+        sp = ks.get("j")
+        ann = sp.metadata.annotations
+        assert ANN_EVICT not in ann  # eviction state cleared atomically
+        assert ann[ANN_REQUEUE_COUNT] == "1"
+        assert float(ann[ANN_REQUEUE_AFTER]) > deadline
+        assert sp.spec.gpu_id is None
+        assert sp.spec.node_name is None
+        assert sp.status.phase.value == "Pending"
+        assert ks.devmgr.sharepods_evicted_total == 1
+        # token reclamation: the real pod is gone, so the backend client
+        # released its share of the kernel-time window.
+        assert cluster.api.get("Pod", "j") is None
+
+    def test_workload_completion_wins_over_eviction(self, stack):
+        cluster, ks = stack
+        env = cluster.env
+        start_job(ks, env, "j", work=1.0)  # finishes around t≈3
+        mark_eviction(ks.api, "default/j", "test drain", env.now + 10.0, "manual")
+        done = env.process(ks.wait_all_terminal(["j"]))
+        env.run(until=done)
+        sp = ks.get("j")
+        assert sp.status.phase.value == "Succeeded"
+        assert ks.devmgr.sharepods_evicted_total == 0
+
+    def test_evicted_sharepod_reschedules_after_backoff(self, stack):
+        cluster, ks = stack
+        env = cluster.env
+        start_job(ks, env, "j", work=2.0)
+        mark_eviction(ks.api, "default/j", "test drain", env.now + 0.5, "manual")
+        done = env.process(ks.wait_all_terminal(["j"]))
+        env.run(until=done)
+        sp = ks.get("j")
+        assert sp.status.phase.value == "Succeeded"  # re-placed and finished
+        assert ks.devmgr.sharepods_evicted_total == 1
+
+    def test_past_deadline_mark_evicts_immediately(self, stack):
+        cluster, ks = stack
+        env = cluster.env
+        start_job(ks, env, "j", work=30.0)
+        mark_eviction(ks.api, "default/j", "no grace", env.now, "manual")
+        env.run(until=env.now + 0.5)
+        assert ks.get("j").spec.gpu_id is None
+        assert ks.devmgr.sharepods_evicted_total == 1

@@ -1,0 +1,293 @@
+"""Priority preemption: deterministic victim selection and full replay.
+
+The victim planner is a pure function of the cluster snapshot, and the
+whole pipeline (defer → plan → mark → drain → teardown → requeue) is
+driven by the deterministic simulator — so two identical runs must evict
+the byte-identical victim set and write the byte-identical decision log.
+"""
+
+import json
+
+from repro.analysis.resets import reset_all
+from repro.cluster import Cluster, ClusterConfig
+from repro.core import KubeShare
+from repro.obs.runtime import ObsHub, disable, enable
+from repro.policy import PolicyConfig
+from repro.policy.preemption import (
+    BEST_EFFORT_PRIORITY,
+    Victim,
+    select_victims,
+)
+from repro.sim import Environment
+
+from .conftest import make_sharepod, train
+
+
+def victim(key, gpuid, priority, request=0.4, mem=0.2, born=0.0, **labels):
+    return Victim(
+        key=key,
+        gpuid=gpuid,
+        priority=priority,
+        gpu_request=request,
+        gpu_mem=mem,
+        creation_time=born,
+        **labels,
+    )
+
+
+class TestSelectVictims:
+    def test_minimal_fractional_set(self):
+        req = make_sharepod("hi", gpu_request=0.5)
+        occupants = {
+            "GPU-a": [
+                victim("default/v1", "GPU-a", 0, request=0.5),
+                victim("default/v2", "GPU-a", 0, request=0.4),
+            ],
+        }
+        plan = select_victims(req, 100, occupants, needs_new_device=False)
+        assert plan is not None
+        assert plan.reason == "fractional"
+        assert len(plan.victims) == 1  # one eviction is enough
+
+    def test_equal_priority_never_victimised(self):
+        req = make_sharepod("hi", gpu_request=0.5)
+        occupants = {"GPU-a": [victim("default/v1", "GPU-a", 100, request=0.9)]}
+        assert select_victims(req, 100, occupants, needs_new_device=False) is None
+
+    def test_lowest_priority_evicted_first(self):
+        req = make_sharepod("hi", gpu_request=0.5)
+        occupants = {
+            "GPU-a": [
+                victim("default/keep", "GPU-a", 50, request=0.5),
+                victim("default/best-effort", "GPU-a", BEST_EFFORT_PRIORITY, request=0.5),
+            ],
+        }
+        plan = select_victims(req, 100, occupants, needs_new_device=False)
+        assert plan.victim_keys == ("default/best-effort",)
+
+    def test_whole_device_requires_all_lower(self):
+        req = make_sharepod("hi", gpu_request=1.0)
+        occupants = {
+            "GPU-a": [
+                victim("default/v1", "GPU-a", 0),
+                victim("default/pinned", "GPU-a", 200),
+            ],
+            "GPU-b": [victim("default/v2", "GPU-b", 0)],
+        }
+        plan = select_victims(req, 100, occupants, needs_new_device=True)
+        assert plan.reason == "whole-device"
+        assert plan.victim_keys == ("default/v2",)
+
+    def test_residual_label_conflict_widens_the_set(self):
+        # evicting just the smallest occupant is not enough when a residual
+        # occupant carries the request's anti-affinity label.
+        req = make_sharepod("hi", gpu_request=0.3, anti_affinity="team-a")
+        occupants = {
+            "GPU-a": [
+                victim("default/small", "GPU-a", 0, request=0.3),
+                victim(
+                    "default/tagged", "GPU-a", 0, request=0.4, anti_aff="team-a"
+                ),
+            ],
+        }
+        plan = select_victims(req, 100, occupants, needs_new_device=False)
+        assert plan is not None
+        assert "default/tagged" in plan.victim_keys
+
+    def test_identical_snapshot_identical_plan(self):
+        req = make_sharepod("hi", gpu_request=0.7)
+        occupants = {
+            "GPU-b": [
+                victim("default/v3", "GPU-b", 10, request=0.4, born=3.0),
+                victim("default/v4", "GPU-b", 0, request=0.4, born=1.0),
+            ],
+            "GPU-a": [
+                victim("default/v1", "GPU-a", 0, request=0.4, born=2.0),
+                victim("default/v2", "GPU-a", 5, request=0.4, born=0.0),
+            ],
+        }
+        plans = [
+            select_victims(req, 100, occupants, needs_new_device=False)
+            for _ in range(3)
+        ]
+        assert plans[0] == plans[1] == plans[2]
+        assert all(v.priority < 100 for v in plans[0].victims)
+
+
+def preemption_scenario():
+    """Overload two GPUs with low-priority work, then submit a
+    high-priority SharePod that can only place by preempting."""
+    reset_all()
+    env = Environment()
+    cluster = Cluster(env, ClusterConfig(nodes=2, gpus_per_node=1)).start()
+    ks = KubeShare(
+        cluster, contention=PolicyConfig(drain_window=0.5, requeue_base=0.5)
+    ).start()
+    hub = enable(ObsHub(env, label="preemption"))
+    try:
+        ks.policy_layer.create_priority_class("high", 100)
+        for i in range(2):
+            ks.submit(
+                ks.make_sharepod(
+                    f"low{i}",
+                    gpu_request=0.6,
+                    gpu_limit=1.0,
+                    gpu_mem=0.2,
+                    workload=train(30.0),
+                )
+            )
+        env.run(until=5.0)  # lows bound and running
+        ks.submit(
+            ks.make_sharepod(
+                "high",
+                gpu_request=0.6,
+                gpu_limit=1.0,
+                gpu_mem=0.2,
+                workload=train(1.0),
+                priority_class="high",
+            )
+        )
+        done = env.process(ks.wait_all_terminal(["high"]))
+        env.run(until=done)
+        env.run(until=env.now + 1.0)
+        policy_records = [
+            r for r in hub.decisions.to_dicts() if r["placement"] == "policy"
+        ]
+        evicted = sorted(
+            v
+            for r in policy_records
+            if r["rule"] == "policy:preempt"
+            for v in r["request"].get("victims", [])
+        )
+        return {
+            "high_phase": ks.get("high").status.phase.value,
+            "evictions": ks.devmgr.sharepods_evicted_total,
+            "evicted_keys": evicted,
+            "log": json.dumps(policy_records, sort_keys=True),
+        }
+    finally:
+        disable()
+
+
+class TestPreemptionEndToEnd:
+    def test_high_priority_places_by_evicting_lower(self):
+        out = preemption_scenario()
+        assert out["high_phase"] == "Succeeded"
+        assert out["evictions"] == 1  # minimal victim set: exactly one
+        assert len(out["evicted_keys"]) == 1
+        assert out["evicted_keys"][0].startswith("default/low")
+
+    def test_identical_runs_replay_identical_eviction_set_and_log(self):
+        a = preemption_scenario()
+        b = preemption_scenario()
+        assert a["evicted_keys"] == b["evicted_keys"]
+        assert a["log"] == b["log"]  # byte-identical decision log
+
+    def test_victim_requeues_after_backoff(self):
+        out = preemption_scenario()
+        # the evicted low-priority SharePod must not be lost: it either
+        # re-placed after its backoff or is pending retry — never stuck
+        # carrying eviction state.
+        reset_all()
+        env = Environment()
+        cluster = Cluster(env, ClusterConfig(nodes=2, gpus_per_node=1)).start()
+        ks = KubeShare(
+            cluster, contention=PolicyConfig(drain_window=0.5, requeue_base=0.5)
+        ).start()
+        ks.policy_layer.create_priority_class("high", 100)
+        for i in range(2):
+            ks.submit(
+                ks.make_sharepod(
+                    f"low{i}",
+                    gpu_request=0.6,
+                    gpu_limit=1.0,
+                    gpu_mem=0.2,
+                    workload=train(30.0),
+                )
+            )
+        env.run(until=5.0)
+        ks.submit(
+            ks.make_sharepod(
+                "high",
+                gpu_request=0.6,
+                gpu_limit=1.0,
+                gpu_mem=0.2,
+                workload=train(1.0),
+                priority_class="high",
+            )
+        )
+        done = env.process(ks.wait_all_terminal(["low0", "low1", "high"]))
+        env.run(until=done)
+        for name in ("low0", "low1", "high"):
+            assert ks.get(name).status.phase.value == "Succeeded"
+
+
+class TestBestEffortHarvesting:
+    def test_best_effort_binds_spare_capacity(self, env):
+        cluster = Cluster(env, ClusterConfig(nodes=1, gpus_per_node=1)).start()
+        ks = KubeShare(cluster, contention=PolicyConfig()).start()
+        ks.submit(
+            ks.make_sharepod(
+                "payer",
+                gpu_request=0.5,
+                gpu_limit=1.0,
+                gpu_mem=0.2,
+                workload=train(5.0),
+            )
+        )
+        env.run(until=2.0)
+        ks.submit(
+            ks.make_sharepod(
+                "scav",
+                gpu_request=0.3,
+                gpu_limit=0.6,
+                gpu_mem=0.2,
+                workload=train(1.0),
+                best_effort=True,
+            )
+        )
+        done = env.process(ks.wait_all_terminal(["scav"]))
+        env.run(until=done)
+        assert ks.get("scav").status.phase.value == "Succeeded"
+
+    def test_classless_pod_revokes_best_effort_capacity(self, env):
+        cluster = Cluster(env, ClusterConfig(nodes=1, gpus_per_node=1)).start()
+        ks = KubeShare(
+            cluster, contention=PolicyConfig(drain_window=0.5)
+        ).start()
+        # a long-running paying tenant opens the vGPU the scavenger rides on
+        ks.submit(
+            ks.make_sharepod(
+                "seed",
+                gpu_request=0.2,
+                gpu_limit=0.5,
+                gpu_mem=0.1,
+                workload=train(30.0),
+            )
+        )
+        env.run(until=2.0)
+        ks.submit(
+            ks.make_sharepod(
+                "scav",
+                gpu_request=0.7,
+                gpu_limit=1.0,
+                gpu_mem=0.2,
+                workload=train(30.0),
+                best_effort=True,
+            )
+        )
+        env.run(until=4.0)
+        assert ks.get("scav").spec.gpu_id is not None
+        ks.submit(
+            ks.make_sharepod(
+                "normal",
+                gpu_request=0.7,
+                gpu_limit=1.0,
+                gpu_mem=0.2,
+                workload=train(1.0),
+            )
+        )
+        done = env.process(ks.wait_all_terminal(["normal"]))
+        env.run(until=done)
+        assert ks.get("normal").status.phase.value == "Succeeded"
+        assert ks.devmgr.sharepods_evicted_total >= 1

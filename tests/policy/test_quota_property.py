@@ -1,0 +1,130 @@
+"""The quota fairness invariant, as a property test.
+
+Admission bounds each namespace's *concurrent* sum of ``gpu_request`` by
+its quota Q. Because the token backend grants every admitted container
+exactly its request share of kernel time, the namespace's granted
+GPU-time over ANY window [t0, t1] is the integral of its concurrent
+charge rate — so it can never exceed ``Q × (t1 - t0)``. The accountant
+records exactly that integral; here we drive it with arbitrary
+admission-controlled job schedules and check the bound over arbitrary
+windows.
+"""
+
+import heapq
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.policy.quota import QuotaAccountant
+
+EPS = 1e-6
+
+
+jobs_strategy = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=20.0),  # start
+        st.floats(min_value=0.01, max_value=10.0),  # duration
+        st.floats(min_value=0.05, max_value=1.0),  # gpu_request
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+def drive(accountant, jobs, quota, namespace="tenant"):
+    """Feed *jobs* through admission-controlled charge/release calls.
+
+    Mirrors what admission + the quota controller do: a job only opens a
+    charge if the namespace's concurrent rate stays within quota;
+    otherwise it is dropped (a queued job charges nothing until it
+    actually runs, which is the same thing for the ledger).
+    """
+    open_jobs = []  # heap of (end, key, rate)
+    open_rate = 0.0
+    horizon = 0.0
+    admitted = 0
+    for i, (start, duration, rate) in enumerate(sorted(jobs)):
+        while open_jobs and open_jobs[0][0] <= start:
+            end, key, r = heapq.heappop(open_jobs)
+            accountant.release(key, end)
+            open_rate -= r
+        if open_rate + rate > quota + 1e-9:
+            continue  # admission queues/rejects it; no charge opens
+        key = f"{namespace}/j{i}"
+        accountant.charge(namespace, key, rate, start)
+        heapq.heappush(open_jobs, (start + duration, key, rate))
+        open_rate += rate
+        horizon = max(horizon, start + duration)
+        admitted += 1
+    while open_jobs:
+        end, key, r = heapq.heappop(open_jobs)
+        accountant.release(key, end)
+    return horizon + 1.0, admitted
+
+
+class TestQuotaInvariant:
+    @given(
+        jobs=jobs_strategy,
+        quota=st.floats(min_value=0.1, max_value=3.0),
+        window=st.tuples(
+            st.floats(min_value=0.0, max_value=25.0),
+            st.floats(min_value=0.01, max_value=25.0),
+        ),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_granted_gpu_time_never_exceeds_quota_times_window(
+        self, jobs, quota, window
+    ):
+        accountant = QuotaAccountant()
+        now, _ = drive(accountant, jobs, quota)
+        t0, span = window
+        t1 = t0 + span
+        usage = accountant.usage_in_window("tenant", t0, t1, now)
+        assert usage <= quota * (t1 - t0) + EPS
+
+    @given(jobs=jobs_strategy, quota=st.floats(min_value=0.1, max_value=3.0))
+    @settings(max_examples=80, deadline=None)
+    def test_peak_concurrent_rate_bounded_by_quota(self, jobs, quota):
+        accountant = QuotaAccountant()
+        now, _ = drive(accountant, jobs, quota)
+        assert accountant.max_concurrent("tenant", now) <= quota + EPS
+
+    @given(jobs=jobs_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_unlimited_quota_admits_everything(self, jobs):
+        accountant = QuotaAccountant()
+        _, admitted = drive(accountant, jobs, quota=float("inf"))
+        assert admitted == len(jobs)
+
+
+class TestAccountantUnit:
+    def test_charge_is_idempotent_while_rate_unchanged(self):
+        acc = QuotaAccountant()
+        acc.charge("ns", "ns/a", 0.5, 1.0)
+        acc.charge("ns", "ns/a", 0.5, 2.0)  # duplicate reconcile
+        acc.release("ns/a", 3.0)
+        assert acc.usage_in_window("ns", 0.0, 10.0, 10.0) == 0.5 * 2.0
+
+    def test_rate_change_splits_the_interval(self):
+        acc = QuotaAccountant()
+        acc.charge("ns", "ns/a", 0.5, 0.0)
+        acc.charge("ns", "ns/a", 0.2, 2.0)
+        acc.release("ns/a", 4.0)
+        assert acc.usage_in_window("ns", 0.0, 4.0, 4.0) == 0.5 * 2 + 0.2 * 2
+
+    def test_release_without_charge_is_noop(self):
+        acc = QuotaAccountant()
+        acc.release("ns/ghost", 1.0)
+        assert acc.usage_in_window("ns", 0.0, 10.0, 10.0) == 0.0
+
+    def test_open_interval_accrues_to_now(self):
+        acc = QuotaAccountant()
+        acc.charge("ns", "ns/a", 1.0, 0.0)
+        assert acc.usage_in_window("ns", 0.0, 5.0, 5.0) == 5.0
+
+    def test_namespaces_isolated(self):
+        acc = QuotaAccountant()
+        acc.charge("a", "a/x", 1.0, 0.0)
+        acc.charge("b", "b/y", 1.0, 0.0)
+        assert acc.usage_in_window("a", 0.0, 2.0, 2.0) == 2.0
+        assert acc.usage_in_window("b", 0.0, 2.0, 2.0) == 2.0

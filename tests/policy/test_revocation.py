@@ -1,0 +1,122 @@
+"""The shared revocation helpers: idempotent, race-tolerant by contract."""
+
+import pytest
+
+from repro.cluster.apiserver import APIServer, NotFound
+from repro.policy.objects import (
+    ANN_EVICT,
+    ANN_EVICT_DEADLINE,
+    ANN_EVICTED_BY,
+    ANN_REQUEUE_AFTER,
+    ANN_REQUEUE_COUNT,
+)
+from repro.policy.revocation import (
+    eviction_of,
+    finish_eviction,
+    mark_eviction,
+    requeue_backoff,
+    requeue_gate,
+    safe_delete,
+    tolerant_patch,
+)
+from repro.sim import Environment
+
+from .conftest import make_sharepod
+
+
+@pytest.fixture
+def api():
+    api = APIServer(Environment())
+    api.register_crd("SharePod")
+    return api
+
+
+class TestSafeDelete:
+    def test_first_delete_wins(self, api):
+        api.create(make_sharepod("sp"))
+        assert safe_delete(api, "SharePod", "sp") is True
+        assert api.get("SharePod", "sp") is None
+
+    def test_second_delete_is_success_not_error(self, api):
+        api.create(make_sharepod("sp"))
+        safe_delete(api, "SharePod", "sp")
+        assert safe_delete(api, "SharePod", "sp") is False  # no raise
+
+    def test_raw_delete_would_raise(self, api):
+        with pytest.raises(NotFound):
+            api.delete("SharePod", "ghost")
+
+
+class TestTolerantPatch:
+    def test_patch_applies(self, api):
+        api.create(make_sharepod("sp"))
+
+        def mutate(obj):
+            obj.metadata.labels["touched"] = "yes"
+
+        assert tolerant_patch(api, "SharePod", "sp", mutate) is True
+        assert api.get("SharePod", "sp").metadata.labels["touched"] == "yes"
+
+    def test_missing_object_tolerated(self, api):
+        assert tolerant_patch(api, "SharePod", "ghost", lambda o: None) is False
+
+
+class TestEvictionStateMachine:
+    def test_mark_persists_annotations(self, api):
+        api.create(make_sharepod("sp"))
+        assert mark_eviction(api, "default/sp", "test", 5.0, "preemptor") is True
+        sp = api.get("SharePod", "sp")
+        ev = eviction_of(sp)
+        assert ev is not None
+        assert ev.reason == "test"
+        assert ev.deadline == 5.0
+        assert ev.evicted_by == "preemptor"
+
+    def test_remark_never_extends_an_inflight_drain(self, api):
+        api.create(make_sharepod("sp"))
+        mark_eviction(api, "default/sp", "first", 5.0, "a")
+        mark_eviction(api, "default/sp", "second", 50.0, "b")
+        ev = eviction_of(api.get("SharePod", "sp"))
+        assert ev.reason == "first"
+        assert ev.deadline == 5.0
+        assert ev.evicted_by == "a"
+
+    def test_mark_missing_object_tolerated(self, api):
+        assert mark_eviction(api, "default/ghost", "r", 1.0, "x") is False
+
+    def test_finish_clears_evict_and_arms_requeue(self, api):
+        api.create(make_sharepod("sp"))
+        mark_eviction(api, "default/sp", "test", 5.0, "preemptor")
+
+        def clear(obj):
+            obj.spec.gpu_id = None
+
+        assert finish_eviction(api, "default/sp", "test", 7.5, 1, clear) is True
+        sp = api.get("SharePod", "sp")
+        ann = sp.metadata.annotations
+        assert ANN_EVICT not in ann
+        assert ANN_EVICT_DEADLINE not in ann
+        assert ANN_EVICTED_BY not in ann
+        assert ann[ANN_REQUEUE_AFTER] == repr(7.5)
+        assert ann[ANN_REQUEUE_COUNT] == "1"
+        assert eviction_of(sp) is None
+        assert requeue_gate(sp) == 7.5
+        assert sp.status.message == "evicted: test"
+
+    def test_finish_missing_object_tolerated(self, api):
+        assert finish_eviction(api, "default/ghost", "r", 1.0, 1, lambda o: None) is False
+
+
+class TestBackoff:
+    def test_deterministic_doubling_to_cap(self):
+        seq = [requeue_backoff(n, base=0.5, cap=8.0) for n in range(1, 8)]
+        assert seq == [0.5, 1.0, 2.0, 4.0, 8.0, 8.0, 8.0]
+
+    def test_no_jitter(self):
+        assert requeue_backoff(3) == requeue_backoff(3)
+
+    def test_gate_absent_or_garbage_is_none(self):
+        sp = make_sharepod("sp")
+        assert requeue_gate(sp) is None
+        sp.metadata.annotations[ANN_REQUEUE_AFTER] = "not-a-float"
+        assert requeue_gate(sp) is None

@@ -19,6 +19,7 @@ RPR006  unsorted set iteration (hash order feeds control flow)
 RPR007  bare print() in library code (bypasses the event/log layer)
 RPR008  sorted()/list() copy or full relist in a # hot-path function
 RPR009  unguarded api.delete / eviction call (no NotFound/Conflict handling)
+RPR010  federation write bypasses the generation fence / retry layer
 """
 
 from __future__ import annotations
@@ -97,6 +98,11 @@ _FIX_REVOKE = (
     "tolerant_patch (NotFound- and Conflict-tolerant) or api.try_delete, "
     "or catch NotFound in the enclosing function"
 )
+_FIX_FEDERATION = (
+    "route member-cluster writes through FederationRPC.fenced_submit "
+    "(generation-fenced placement) or FederationRPC.call (retried, "
+    "partition-aware), and record mutations through GlobalRegistry"
+)
 
 ALL_RULES: Tuple[RuleInfo, ...] = (
     RuleInfo(
@@ -166,6 +172,15 @@ ALL_RULES: Tuple[RuleInfo, ...] = (
         "with no NotFound/Conflict handling crashes the losing controller "
         "instead of treating the repeat as already-done (idempotence).",
         _FIX_REVOKE,
+    ),
+    RuleInfo(
+        "RPR010",
+        "federation write bypasses the generation fence / retry layer",
+        "a direct apiserver or kubeshare write from federation code skips "
+        "the generation fence (double-placement after a healed partition) "
+        "and the decorrelated-jitter retry policy (stampedes on flapping "
+        "links); only the sanctioned wrappers may touch member clusters.",
+        _FIX_FEDERATION,
     ),
 )
 
@@ -809,6 +824,60 @@ def _check_unguarded_delete(ctx: FileContext) -> Iterator[Finding]:
 
 
 # ---------------------------------------------------------------------------
+# RPR010 — federation writes that bypass the fence / retry wrappers
+# ---------------------------------------------------------------------------
+
+#: mutating verbs on an apiserver or kubeshare client handle. ``list`` /
+#: ``get`` reads are allowed (the health prober and summarizer read
+#: directly); writes must go through the sanctioned wrappers.
+_FEDERATION_WRITE_ATTRS = (
+    "create",
+    "update",
+    "patch",
+    "delete",
+    "try_delete",
+    "submit",
+)
+#: modules that ARE the sanctioned wrappers: rpc.py implements the fenced
+#: and retried calls, records.py implements GlobalRegistry's CAS.
+_FEDERATION_EXEMPT_BASENAMES = ("rpc.py", "records.py")
+
+
+def _federation_rule_applies(path: str) -> bool:
+    parts = path.replace("\\", "/").split("/")
+    try:
+        i = parts.index("federation")
+    except ValueError:
+        return False
+    if i == 0 or parts[i - 1] != "repro":
+        return False
+    return parts[-1] not in _FEDERATION_EXEMPT_BASENAMES
+
+
+def _check_federation_writes(ctx: FileContext) -> Iterator[Finding]:
+    if not _federation_rule_applies(ctx.path):
+        return
+    for node in ast.walk(ctx.tree):
+        if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+            continue
+        if node.func.attr not in _FEDERATION_WRITE_ATTRS:
+            continue
+        receiver = _dotted(node.func.value)
+        if receiver is None:
+            continue
+        segments = _segments(receiver)
+        if "api" not in segments and "kubeshare" not in segments:
+            continue
+        yield _finding(
+            ctx,
+            node,
+            "RPR010",
+            f"direct `{receiver}.{node.func.attr}(...)` bypasses the "
+            "generation fence and retry layer",
+        )
+
+
+# ---------------------------------------------------------------------------
 # driver
 # ---------------------------------------------------------------------------
 
@@ -836,5 +905,6 @@ def run_rules(ctx: FileContext, project: ProjectContext) -> List[Finding]:
     findings.extend(_check_bare_print(ctx))
     findings.extend(_check_hot_path_copies(ctx))
     findings.extend(_check_unguarded_delete(ctx))
+    findings.extend(_check_federation_writes(ctx))
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
     return findings

@@ -52,6 +52,9 @@ class ChaosEngine:
         self.controller_groups: dict = {}
         #: PREEMPTION_STORM specs keyed by the fault's target id.
         self.storm_specs: dict = {}
+        #: federation enrolled for CLUSTER_OUTAGE / FEDERATION_PARTITION
+        #: faults (see :meth:`register_federation`).
+        self.federation = None
         #: (time, fault, resolved target, outcome) — what actually happened.
         self.log: List[Tuple[float, Fault, Optional[str], str]] = []
         self._proc = None
@@ -60,6 +63,11 @@ class ChaosEngine:
         """Make HA controller groups visible to CONTROLLER_* faults."""
         for group in groups:
             self.controller_groups[group.name] = group
+        return self
+
+    def register_federation(self, federation) -> "ChaosEngine":
+        """Make federation members targetable by whole-cluster faults."""
+        self.federation = federation
         return self
 
     # -- schedule builders -------------------------------------------------
@@ -163,6 +171,37 @@ class ChaosEngine:
                 target=storm_id,
                 duration=window,
                 value=float(count),
+            )
+        )
+
+    def cluster_outage(
+        self, at: float, target: Optional[str] = None, duration: float = 0.0
+    ) -> "ChaosEngine":
+        """A federation member goes entirely dark (apiserver + all nodes).
+
+        ``duration=0`` means the outage is permanent — the DR capstone's
+        "cluster killed mid-burst". Requires :meth:`register_federation`.
+        """
+        return self.add(
+            Fault(
+                at=at,
+                kind=FaultKind.CLUSTER_OUTAGE,
+                target=target,
+                duration=duration,
+            )
+        )
+
+    def federation_partition(
+        self, at: float, duration: float, target: Optional[str] = None
+    ) -> "ChaosEngine":
+        """Break only the federation↔member link for *duration* seconds;
+        the member keeps serving local SharePods (static stability)."""
+        return self.add(
+            Fault(
+                at=at,
+                kind=FaultKind.FEDERATION_PARTITION,
+                target=target,
+                duration=duration,
             )
         )
 
@@ -312,6 +351,21 @@ class ChaosEngine:
                 name="chaos-latency-window",
             )
             return None, f"+{fault.value:.3f}s latency for {fault.duration:.2f}s"
+        if kind is FaultKind.CLUSTER_OUTAGE:
+            member = self._pick_member(fault.target)
+            if member is None:
+                return fault.target, "no-op: no reachable federation member"
+            member.outage(fault.duration if fault.duration > 0 else None)
+            span = (
+                f"for {fault.duration:.2f}s" if fault.duration > 0 else "permanently"
+            )
+            return member.name, f"cluster dark {span}"
+        if kind is FaultKind.FEDERATION_PARTITION:
+            member = self._pick_member(fault.target)
+            if member is None:
+                return fault.target, "no-op: no reachable federation member"
+            member.partition(fault.duration)
+            return member.name, f"link partitioned for {fault.duration:.2f}s"
         if kind is FaultKind.PREEMPTION_STORM:
             if self.kubeshare is None:
                 return fault.target, "no-op: no kubeshare attached"
@@ -447,6 +501,25 @@ class ChaosEngine:
             return None
         candidates.sort(key=lambda r: r.identity)
         return self.rng.choice(candidates)
+
+    def _pick_member(self, target: Optional[str]):
+        """Resolve *target* (or pick, seeded) to a live federation member.
+
+        A member already dark or partitioned is not a candidate — hitting
+        it again would be a no-op and would burn an RNG draw, perturbing
+        replay of the rest of the schedule.
+        """
+        if self.federation is None:
+            return None
+        members = self.federation.members
+        if target is not None:
+            return members.get(target)
+        candidates = [
+            members[name]
+            for name in sorted(members)
+            if members[name].api.available and members[name].link.reachable
+        ]
+        return self.rng.choice(candidates) if candidates else None
 
     def _pick_container(self, target: Optional[str]):
         """Resolve a pod uid (or pick one) to (node, uid, handle)."""

@@ -42,6 +42,12 @@ class FaultKind(str, Enum):
     #: a seeded burst of high-priority SharePod arrivals (``value`` pods
     #: over ``duration`` seconds) — drives the preemption/revocation path.
     PREEMPTION_STORM = "preemption_storm"
+    #: a federation member cluster goes entirely dark — apiserver down and
+    #: every node crashed. ``duration=0`` means permanent (the DR case).
+    CLUSTER_OUTAGE = "cluster_outage"
+    #: the federation↔member link breaks for ``duration`` seconds; the
+    #: member keeps serving its local SharePods (static stability).
+    FEDERATION_PARTITION = "federation_partition"
 
 
 @dataclass(frozen=True)

@@ -33,6 +33,10 @@ class ClusterConfig:
 
     nodes: int = 8
     gpus_per_node: int = 4
+    #: prepended to every node name ("alpha-" → "alpha-node00"); the
+    #: federation tier sets this so member clusters' nodes (and therefore
+    #: their GPUs, "GPU-<node>-<i>") have globally unique names.
+    node_prefix: str = ""
     gpu_memory: int = V100_MEMORY
     cpu_per_node: float = 36.0
     memory_per_node: float = 244e9
@@ -164,7 +168,12 @@ class Cluster:
             self.env, self.api, score=self.config.scheduler_score
         )
         self.nodes: List[WorkerNode] = [
-            WorkerNode(self.env, self.api, f"node{i:02d}", self.config)
+            WorkerNode(
+                self.env,
+                self.api,
+                f"{self.config.node_prefix}node{i:02d}",
+                self.config,
+            )
             for i in range(self.config.nodes)
         ]
         self.node_lifecycle: Optional[NodeLifecycleController] = None

@@ -8,7 +8,6 @@ framework, following the *operator pattern* the paper adopts (§4.6).
 
 from __future__ import annotations
 
-import random
 from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
 
 from ..obs import runtime as obs
@@ -29,7 +28,13 @@ class Informer:
     that avoids hammering the API server).
     """
 
+    #: watch-reconnect backoff bounds (shared decorrelated jitter).
+    reconnect_delay: float = 0.1
+    max_reconnect_delay: float = 5.0
+
     def __init__(self, env: Environment, api: APIServer, kind: str) -> None:
+        from ..core.backoff import DecorrelatedJitter  # deferred: import cycle
+
         self.env = env
         self.api = api
         self.kind = kind
@@ -37,6 +42,10 @@ class Informer:
         self._handlers: List[Handler] = []
         self._proc = None
         self._stream = None
+        self._reconnect = DecorrelatedJitter(
+            f"informer:{kind}", self.reconnect_delay, self.max_reconnect_delay
+        )
+        self.reconnects_total = 0
         #: etcd mod_revision of the newest event this informer has seen —
         #: the gap to ``etcd.revision`` is the informer's observed lag.
         self.last_seen_revision: int = 0
@@ -60,27 +69,44 @@ class Informer:
         self._proc = None
 
     def _run(self) -> Generator:
-        self._stream = stream = self.api.watch(self.kind, replay=True)
-        if self.cache:
-            # Relist-on-reconnect: the watch's replay snapshot re-PUTs every
-            # object that still exists, but deletions that happened while we
-            # were not watching would otherwise linger in the cache forever.
-            self._prune_vanished()
         while True:
-            raw = yield stream.get()
-            self.last_seen_revision = max(
-                self.last_seen_revision, raw.kv.mod_revision
-            )
-            etype, obj = translate_event(raw)
-            if obj is None:  # tombstone with no previous value
-                continue
-            key = obj.metadata.key
-            if etype is WatchEventType.DELETE:
-                self.cache.pop(key, None)
-            else:
-                self.cache[key] = obj
-            for handler in self._handlers:
-                handler(etype, obj)
+            self._stream = stream = self.api.watch(self.kind, replay=True)
+            attached_at = self.env.now
+            if self.cache:
+                # Relist-on-reconnect: the watch's replay snapshot re-PUTs
+                # every object that still exists, but deletions that happened
+                # while we were not watching would otherwise linger in the
+                # cache forever.
+                self._prune_vanished()
+            try:
+                while True:
+                    raw = yield stream.get()
+                    self.last_seen_revision = max(
+                        self.last_seen_revision, raw.kv.mod_revision
+                    )
+                    etype, obj = translate_event(raw)
+                    if obj is None:  # tombstone with no previous value
+                        continue
+                    key = obj.metadata.key
+                    if etype is WatchEventType.DELETE:
+                        self.cache.pop(key, None)
+                    else:
+                        self.cache[key] = obj
+                    for handler in self._handlers:
+                        handler(etype, obj)
+            except ServiceUnavailable:
+                # The watch session broke (apiserver-side failure surfaced
+                # through delivery): re-attach, but never in a tight loop —
+                # jittered backoff so a fleet of informers doesn't stampede
+                # the store the moment it comes back.
+                stream.close()
+                self._stream = None
+                self.reconnects_total += 1
+                if self.env.now - attached_at > self.max_reconnect_delay:
+                    # The session was healthy for a while: this is a fresh
+                    # failure, not a continuation of the last streak.
+                    self._reconnect.reset()
+                yield self.env.timeout(self._reconnect.next())
 
     def _prune_vanished(self) -> None:
         """Drop (and dispatch DELETE for) cached keys the store lost."""
@@ -207,6 +233,8 @@ class Controller:
     resync_interval: float = 0.5
 
     def __init__(self, env: Environment, api: APIServer, name: Optional[str] = None) -> None:
+        from ..core.backoff import DecorrelatedJitter  # deferred: import cycle
+
         self.env = env
         self.api = api
         self.name = name or type(self).__name__
@@ -214,11 +242,12 @@ class Controller:
         self.informer.add_handler(self._on_event)
         self.queue = WorkQueue(env)
         self._failures: Dict[str, int] = {}
-        #: last backoff delay per key, for decorrelated jitter.
-        self._backoff: Dict[str, float] = {}
-        #: deterministic per-controller jitter stream (str seeding is
-        #: stable across runs, keeping simulations reproducible).
-        self._rng = random.Random(f"backoff:{self.name}")
+        #: shared per-key decorrelated-jitter policy (seeded per controller
+        #: name; str seeding is stable across runs, keeping simulations
+        #: reproducible).
+        self._backoff = DecorrelatedJitter(
+            self.name, self.retry_delay, self.max_retry_delay
+        )
         self._procs: list = []
         self.reconcile_errors: List[Tuple[float, str, str]] = []
         self.reconciles_total = 0
@@ -268,7 +297,7 @@ class Controller:
             # The object is gone; drop its retry bookkeeping (satellite
             # fix: these dicts grew monotonically across pod churn).
             self._failures.pop(obj.metadata.key, None)
-            self._backoff.pop(obj.metadata.key, None)
+            self._backoff.reset(obj.metadata.key)
         if self.filter(etype, obj):
             self.queue.add(obj.metadata.key)
 
@@ -317,23 +346,13 @@ class Controller:
                 self.env.process(self._requeue_later(key, delay))
             else:
                 self._failures.pop(key, None)
-                self._backoff.pop(key, None)
+                self._backoff.reset(key)
             finally:
                 self.queue.done(key)
 
     def _next_backoff(self, key: str, n: int) -> float:
-        """Bounded decorrelated jitter.
-
-        The delay is drawn from ``[expo, prev * 3]`` where ``expo`` is the
-        plain exponential schedule — never faster than exponential (so
-        retry storms still decay) but spread out, so a mass requeue after
-        a node failure doesn't re-hit the apiserver in lockstep.
-        """
-        expo = self.retry_delay * (2 ** (n - 1))
-        prev = self._backoff.get(key, self.retry_delay)
-        delay = min(self.max_retry_delay, self._rng.uniform(expo, max(expo, prev * 3)))
-        self._backoff[key] = delay
-        return delay
+        """Bounded decorrelated jitter (see :mod:`repro.core.backoff`)."""
+        return self._backoff.next(key, n)
 
     def _requeue_later(self, key: str, delay: float) -> Generator:
         yield self.env.timeout(delay)

@@ -194,6 +194,8 @@ class LeaderElector:
         on_started_leading: Optional[Callable[[FencingToken], None]] = None,
         on_stopped_leading: Optional[Callable[[], None]] = None,
     ) -> None:
+        from ..core.backoff import DecorrelatedJitter  # deferred: import cycle
+
         self.env = env
         self.api = api
         self.lease_name = lease_name
@@ -214,6 +216,20 @@ class LeaderElector:
         self._stagger = random.Random(f"elector:{identity}").uniform(
             0.0, retry_interval / 4.0
         )
+        #: jittered backoff for *errored* attempts (apiserver unreachable
+        #: or slow). Denials ("lease held by someone else") keep the plain
+        #: ``retry_interval`` tick, so the group's ``failover_bound``
+        #: promotion guarantee is unchanged; only outage/latency retries
+        #: decay, so a fleet of electors cannot flood the event queue.
+        self._backoff = DecorrelatedJitter(
+            f"elector:{identity}", retry_interval, lease_duration
+        )
+        #: whether the most recent acquire/renew attempt hit an apiserver
+        #: error (as opposed to a clean denial).
+        self._errored = False
+        self.acquire_attempts = 0
+        self.renew_attempts = 0
+        self.error_backoffs_total = 0
         self._proc = None
 
     # -- lifecycle ---------------------------------------------------------
@@ -235,11 +251,39 @@ class LeaderElector:
     def _run(self) -> Generator:
         yield self.env.timeout(self._stagger)
         while True:
+            latency = getattr(self.api, "extra_latency", 0.0)
+            if latency > 0.0:
+                # APISERVER_LATENCY: the lease RPC round-trip itself slows
+                # down; model it so renew/acquire attempts pay the cost
+                # instead of spinning at full speed against a slow server.
+                yield self.env.timeout(latency)
             if not self.is_leader:
-                if not self._try_acquire():
+                if self._try_acquire():
+                    self._backoff.reset()
+                elif self._errored:
+                    self.error_backoffs_total += 1
+                    yield self.env.timeout(self._backoff.next())
+                else:
+                    # Clean denial: the lease is simply held. Plain retry
+                    # tick — this path bounds standby promotion time.
+                    self._backoff.reset()
                     yield self.env.timeout(self.retry_interval)
             else:
-                yield self.env.timeout(self.renew_interval)
+                delay = self.renew_interval
+                if self._errored:
+                    # Grace-window renews against a dark apiserver: back
+                    # off with jitter, but never sleep past the moment
+                    # the voluntary step-down is due.
+                    self.error_backoffs_total += 1
+                    delay = self._backoff.next()
+                    if self._last_renew is not None:
+                        remaining = (
+                            self._last_renew + self.lease_duration - self.env.now
+                        )
+                        delay = min(delay, max(self.renew_interval, remaining))
+                else:
+                    self._backoff.reset()
+                yield self.env.timeout(delay)
                 if self.is_leader and not self._try_renew():
                     self._demote("lease lost")
 
@@ -253,6 +297,8 @@ class LeaderElector:
 
     def _try_acquire(self) -> bool:
         now = self.env.now
+        self.acquire_attempts += 1
+        self._errored = False
         try:
             lease = self.api.get("Lease", self.lease_name, self.namespace)
             if lease is None:
@@ -282,7 +328,11 @@ class LeaderElector:
                 stored = self.api.update(lease)
             else:
                 return False
-        except (AlreadyExists, Conflict, NotFound, ServiceUnavailable):
+        except ServiceUnavailable:
+            self._errored = True
+            return False
+        except (AlreadyExists, Conflict, NotFound):
+            # Lost a race, not an outage: these are clean denials.
             return False
         self.is_leader = True
         self.token = FencingToken(
@@ -296,6 +346,8 @@ class LeaderElector:
 
     def _try_renew(self) -> bool:
         now = self.env.now
+        self.renew_attempts += 1
+        self._errored = False
         try:
             lease = self.api.get("Lease", self.lease_name, self.namespace)
             if (
@@ -314,6 +366,7 @@ class LeaderElector:
         except ServiceUnavailable:
             # Unreachable apiserver: keep leading only while the lease we
             # last wrote could still be valid, then step down voluntarily.
+            self._errored = True
             return (
                 self._last_renew is not None
                 and (now - self._last_renew) <= self.lease_duration

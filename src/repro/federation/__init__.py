@@ -1,0 +1,46 @@
+"""repro.federation: a multi-cluster control plane over KubeShare.
+
+SHARY-style federation of autonomous KubeShare clusters (PAPERS.md):
+a global placer routes SharePods across N member clusters from
+summarized device views, a health prober degrades unreachable members
+Healthy → Suspect → Dead, and generation-fenced global records make
+cross-cluster rescheduling after a whole-cluster outage exactly-once —
+a partition healing mid-reschedule cannot double-place.
+"""
+
+from .federation import Federation, FederationConfig, MemberCluster
+from .health import ClusterHealth, ClusterHealthProber
+from .link import ClusterLink, ClusterUnreachable
+from .placer import GlobalPlacer
+from .records import (
+    ANN_GENERATION,
+    ANN_RECORD,
+    FederationRecord,
+    GlobalRegistry,
+    RecordSpec,
+    RecordStatus,
+    StaleGeneration,
+)
+from .rpc import FederationRPC
+from .summary import ClusterSummary, summarize
+
+__all__ = [
+    "Federation",
+    "FederationConfig",
+    "MemberCluster",
+    "ClusterHealth",
+    "ClusterHealthProber",
+    "ClusterLink",
+    "ClusterUnreachable",
+    "GlobalPlacer",
+    "ANN_GENERATION",
+    "ANN_RECORD",
+    "FederationRecord",
+    "GlobalRegistry",
+    "RecordSpec",
+    "RecordStatus",
+    "StaleGeneration",
+    "FederationRPC",
+    "ClusterSummary",
+    "summarize",
+]

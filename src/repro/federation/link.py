@@ -1,0 +1,56 @@
+"""The network path between the federation tier and one member cluster.
+
+A :class:`ClusterLink` is deliberately dumb: it models propagation latency
+and a partition window, nothing else. Whether the *member* is alive is the
+member apiserver's business (`ServiceUnavailable` during an outage); the
+link only answers "can the federation reach it right now". Keeping the two
+failure modes separate is what lets `FEDERATION_PARTITION` and
+`CLUSTER_OUTAGE` behave differently: a partitioned cluster is unreachable
+from the global placer but fully alive for its local SharePods (static
+stability), while an outaged cluster is dark for everyone.
+"""
+
+from __future__ import annotations
+
+from ..sim import Environment
+
+__all__ = ["ClusterLink", "ClusterUnreachable"]
+
+
+class ClusterUnreachable(Exception):
+    """An inter-cluster call failed: partitioned link or dark apiserver."""
+
+
+class ClusterLink:
+    """Latency + partition model for one federation→member path."""
+
+    def __init__(self, env: Environment, name: str, latency: float = 0.02) -> None:
+        self.env = env
+        self.name = name
+        #: one-way propagation delay of a federation→member call, seconds.
+        self.latency = latency
+        self.partitioned_until = 0.0
+        self.partitions_total = 0
+
+    def partition(self, duration: float) -> None:
+        """Begin (or extend) a partition window of *duration* seconds."""
+        self.partitioned_until = max(
+            self.partitioned_until, self.env.now + duration
+        )
+        self.partitions_total += 1
+
+    def heal(self) -> None:
+        """End the partition immediately."""
+        self.partitioned_until = 0.0
+
+    @property
+    def reachable(self) -> bool:
+        return self.env.now >= self.partitioned_until
+
+    def check(self) -> None:
+        """Raise :class:`ClusterUnreachable` while the link is partitioned."""
+        if not self.reachable:
+            raise ClusterUnreachable(
+                f"link to {self.name} partitioned until "
+                f"t={self.partitioned_until:.3f}"
+            )

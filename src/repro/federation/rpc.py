@@ -1,0 +1,132 @@
+"""Retried, fenced inter-cluster calls — the federation's only write path.
+
+Every federation→member interaction goes through :class:`FederationRPC`:
+
+* :meth:`FederationRPC.call` — one member-cluster API call with link
+  latency, partition detection, and decorrelated-jitter retries (the
+  shared :class:`repro.core.backoff.DecorrelatedJitter` policy, so a
+  flapping member is not hammered in lockstep by prober, placer, and
+  reconciler at once);
+* :meth:`FederationRPC.fenced_submit` — the generation-fenced placement:
+  CAS-advance the :class:`~repro.federation.records.FederationRecord`
+  *first*, then create the member-side copy annotated with the new
+  generation. If the advance loses the race, :class:`StaleGeneration`
+  propagates and **no copy is created** — this ordering is the
+  exactly-once argument for cross-cluster rescheduling.
+
+Lint rule RPR010 flags member-apiserver writes elsewhere under
+``repro.federation`` and points here.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Optional
+
+from ..cluster.apiserver import AlreadyExists, ServiceUnavailable
+from ..core.backoff import DecorrelatedJitter
+from ..sim import Environment
+from .link import ClusterLink, ClusterUnreachable
+from .records import ANN_GENERATION, ANN_RECORD, FederationRecord, GlobalRegistry
+
+__all__ = ["FederationRPC"]
+
+
+class FederationRPC:
+    """Inter-cluster call helper shared by prober, placer, and reconciler."""
+
+    def __init__(
+        self,
+        env: Environment,
+        registry: GlobalRegistry,
+        retries: int = 3,
+        backoff_base: float = 0.2,
+        backoff_cap: float = 2.0,
+    ) -> None:
+        self.env = env
+        self.registry = registry
+        self.retries = retries
+        self._backoff = DecorrelatedJitter(
+            "federation-rpc", backoff_base, backoff_cap
+        )
+        self.calls_total = 0
+        self.retries_total = 0
+
+    # -- generic calls -----------------------------------------------------
+    def call(
+        self,
+        link: ClusterLink,
+        fn: Callable,
+        *args: Any,
+        key: str = "",
+        retries: Optional[int] = None,
+    ) -> Generator:
+        """Process helper: run *fn(*args)* against a member cluster.
+
+        Pays the link's latency per attempt; a partitioned link or an
+        outaged member apiserver (:class:`ServiceUnavailable`) is retried
+        with jittered backoff up to *retries* attempts, then surfaces as
+        :class:`ClusterUnreachable`. *key* identifies the retry series
+        (usually ``"<verb>:<member>"``) so independent call sites back off
+        independently.
+        """
+        attempts = retries if retries is not None else self.retries
+        last: Optional[Exception] = None
+        for attempt in range(1, attempts + 1):
+            self.calls_total += 1
+            yield self.env.timeout(link.latency)
+            try:
+                link.check()
+                result = fn(*args)
+            except (ClusterUnreachable, ServiceUnavailable) as err:
+                last = err
+                if attempt < attempts:
+                    self.retries_total += 1
+                    yield self.env.timeout(self._backoff.next(key))
+                continue
+            self._backoff.reset(key)
+            return result
+        raise ClusterUnreachable(
+            f"call to {link.name} failed after {attempts} attempts: {last!r}"
+        )
+
+    # -- fenced placement --------------------------------------------------
+    def fenced_submit(
+        self,
+        member: Any,
+        record: FederationRecord,
+        build: Callable[[int], Any],
+    ) -> Generator:
+        """Process helper: place *record* on *member*, generation-fenced.
+
+        Order matters: the registry CAS (:meth:`GlobalRegistry.advance`,
+        raising :class:`~repro.federation.records.StaleGeneration` on any
+        race) commits the placement intent *before* the member-side copy
+        exists, so at most one copy per generation can ever be created —
+        a partition healing mid-reschedule finds its old copy already
+        fenced off. *build* receives the new generation and returns the
+        SharePod to submit; the record/generation annotations are stamped
+        here so every copy is traceable back to its fence.
+        """
+        advanced = self.registry.advance(
+            record.name,
+            member.name,
+            record.spec.generation,
+            record.metadata.namespace,
+        )
+        sharepod = build(advanced.spec.generation)
+        sharepod.metadata.annotations[ANN_RECORD] = advanced.metadata.name
+        sharepod.metadata.annotations[ANN_GENERATION] = str(
+            advanced.spec.generation
+        )
+        try:
+            yield from self.call(
+                member.link,
+                member.kubeshare.submit,
+                sharepod,
+                key=f"submit:{member.name}",
+            )
+        except AlreadyExists:
+            # The copy name embeds the generation, so an AlreadyExists can
+            # only mean this very submission landed on an earlier attempt.
+            pass
+        return advanced

@@ -1,0 +1,91 @@
+"""Per-cluster summarized device views for the global placer.
+
+The federation never sees member clusters' individual vGPUs — each member
+is summarized into one :class:`ClusterSummary` (capacity on ready nodes,
+allocated fractional GPU-time/memory, pending backlog) and projected into
+a single Algorithm 1 :class:`~repro.core.scheduler.DeviceView` whose
+"device" is the whole cluster. That keeps the placement contract clean:
+the global tier picks a *cluster* with the paper's own best-fit rule, and
+the member's KubeShare-Sched picks the *vGPU* — the federation never
+reaches around a member's scheduler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cluster.apiserver import APIServer
+from ..cluster.objects import GPU_RESOURCE, PodPhase
+from ..core.scheduler import DeviceView
+
+__all__ = ["ClusterSummary", "summarize"]
+
+_TERMINAL = (PodPhase.SUCCEEDED, PodPhase.FAILED)
+
+
+@dataclass
+class ClusterSummary:
+    """What the federation knows about one member cluster."""
+
+    name: str
+    at: float
+    #: whole GPUs on ready nodes.
+    capacity: float
+    #: fractional GPU-time claimed by live SharePods.
+    allocated_util: float
+    #: fractional GPU-memory claimed by live SharePods.
+    allocated_mem: float
+    #: SharePods awaiting a vGPU assignment.
+    pending: int
+
+    @property
+    def free_util(self) -> float:
+        return max(0.0, self.capacity - self.allocated_util)
+
+    @property
+    def free_mem(self) -> float:
+        return max(0.0, self.capacity - self.allocated_mem)
+
+    def to_device_view(self) -> DeviceView:
+        """Project the cluster into one Algorithm 1 device.
+
+        Residual util/mem are the cluster-wide free fractions; ``idle``
+        means nothing is placed at all. Best-fit over these views packs
+        federated work onto the tightest cluster that still fits, exactly
+        as Algorithm 1 packs containers onto vGPUs.
+        """
+        return DeviceView(
+            gpuid=self.name,
+            util=self.free_util,
+            mem=self.free_mem,
+            idle=(self.allocated_util == 0.0 and self.pending == 0),
+        )
+
+
+def summarize(name: str, api: APIServer, now: float) -> ClusterSummary:
+    """Summarize one member from its apiserver (raises
+    :class:`~repro.cluster.apiserver.ServiceUnavailable` mid-outage —
+    callers go through :meth:`repro.federation.rpc.FederationRPC.call`)."""
+    capacity = sum(
+        n.status.capacity.get(GPU_RESOURCE, 0.0)
+        for n in api.nodes()
+        if n.status.ready
+    )
+    allocated_util = 0.0
+    allocated_mem = 0.0
+    pending = 0
+    for sp in api.list("SharePod"):
+        if sp.status.phase in _TERMINAL:
+            continue
+        allocated_util += sp.spec.gpu_request
+        allocated_mem += sp.spec.gpu_mem
+        if sp.spec.gpu_id is None:
+            pending += 1
+    return ClusterSummary(
+        name=name,
+        at=now,
+        capacity=capacity,
+        allocated_util=allocated_util,
+        allocated_mem=allocated_mem,
+        pending=pending,
+    )

@@ -28,6 +28,7 @@ from .runtime import (
     disable,
     enable,
     enabled,
+    install_federation_from_env,
     install_from_env,
 )
 
@@ -39,5 +40,6 @@ __all__ = [
     "enabled",
     "enable",
     "disable",
+    "install_federation_from_env",
     "install_from_env",
 ]

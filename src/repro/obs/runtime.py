@@ -43,6 +43,7 @@ __all__ = [
     "enable",
     "disable",
     "install_from_env",
+    "install_federation_from_env",
 ]
 
 #: set truthy (e.g. ``REPRO_OBS=1``) to arm observability in benchmarks.
@@ -94,7 +95,10 @@ class ObsHub:
         self._groups: List[Any] = []
         self._controllers: List[Any] = []
         self._sampler_proc = None
-        self._last_revision: Optional[int] = None
+        #: per-cluster last-seen etcd revision (keyed by attach order —
+        #: a single scalar would corrupt the rate series the moment a
+        #: second cluster is attached, e.g. under federation).
+        self._last_revision: Dict[int, int] = {}
 
     # -- wiring ------------------------------------------------------------
     def attach_cluster(self, cluster) -> "ObsHub":
@@ -103,6 +107,17 @@ class ObsHub:
         if self.events.api is None:
             self.events.api = cluster.api
         self._clusters.append(cluster)
+        return self
+
+    def attach_federation(self, fed) -> "ObsHub":
+        """Bind every member cluster plus the federation's own apiserver."""
+        fed.api.register_crd("Event")
+        if self.events.api is None:
+            self.events.api = fed.api
+        for name in sorted(fed.members):
+            member = fed.members[name]
+            self.attach_cluster(member.cluster)
+            self.attach_kubeshare(member.kubeshare)
         return self
 
     def attach_kubeshare(self, ks) -> "ObsHub":
@@ -135,19 +150,31 @@ class ObsHub:
             yield self.env.timeout(self.sample_interval)
             now = self.env.now
             m = self.metrics
-            for cluster in self._clusters:
+            multi = len(self._clusters) > 1
+            for i, cluster in enumerate(self._clusters):
+                # Single-cluster series keep their historical names; with
+                # several clusters attached each gets its own label.
+                cname = ""
+                if multi:
+                    prefix = getattr(cluster.config, "node_prefix", "")
+                    cname = prefix.rstrip("-") or str(i)
+                tag = f'{{cluster="{cname}"}}' if multi else ""
                 rev = cluster.etcd.revision
-                m.record("repro_etcd_revision", now, rev)
-                if self._last_revision is not None:
+                m.record(f"repro_etcd_revision{tag}", now, rev)
+                last = self._last_revision.get(i)
+                if last is not None:
                     m.record(
-                        "repro_etcd_revision_rate",
+                        f"repro_etcd_revision_rate{tag}",
                         now,
-                        (rev - self._last_revision) / self.sample_interval,
+                        (rev - last) / self.sample_interval,
                     )
-                self._last_revision = rev
+                self._last_revision[i] = rev
                 m.record("repro_sim_events_total", now, self.env.events_processed)
+                queue_label = 'queue="kube-scheduler"'
+                if multi:
+                    queue_label += f',cluster="{cname}"'
                 m.record(
-                    'repro_workqueue_depth{queue="kube-scheduler"}',
+                    "repro_workqueue_depth{" + queue_label + "}",
                     now,
                     len(cluster.scheduler.queue),
                 )
@@ -240,6 +267,22 @@ def install_from_env(
     hub.attach_cluster(cluster)
     if kubeshare is not None:
         hub.attach_kubeshare(kubeshare)
+    if sampler:
+        hub.start_sampler()
+    return enable(hub)
+
+
+def install_federation_from_env(
+    fed, label: str = "federation", sampler: bool = True
+) -> Optional[ObsHub]:
+    """:func:`install_from_env` for a whole federation: every member
+    cluster's series is labeled ``cluster="<name>"``, and federation
+    decisions/health transitions land in the shared decision log."""
+    value = os.environ.get(ENV_FLAG, "").strip().lower()
+    if value in _FALSY:
+        return None
+    hub = ObsHub(fed.env, label=label)
+    hub.attach_federation(fed)
     if sampler:
         hub.start_sampler()
     return enable(hub)
@@ -481,6 +524,50 @@ def launch_ctx(pod_name: str, device_uuid: str, work: float):
         device=device_uuid,
         work=round(work, 6),
     )
+
+
+# -- federation ------------------------------------------------------------
+def cluster_health(name: str, old: str, new: str) -> None:
+    """Record a member-cluster health transition (prober state machine)."""
+    hub = _hub
+    if hub is None:
+        return
+    hub.metrics.incr(f'repro_cluster_health_transitions_total{{to="{new}"}}')
+    hub.tracer.instant(
+        f"health {old}->{new}", "federation", cluster=name
+    )
+    hub.events.emit(
+        "ClusterHealthChanged",
+        f"member {name}: {old} -> {new}",
+        involved_kind="Cluster",
+        involved_name=name,
+        type="Warning" if new != "Healthy" else "Normal",
+        source="cluster-health-prober",
+    )
+
+
+def federation_decision(
+    action: str, subject: str, reason: str, details: Optional[Dict[str, Any]] = None
+) -> None:
+    """Record a global-placer decision (place, defer, reschedule, fence,
+    complete) in the decision log, alongside Algorithm 1's placement
+    records, so the full cross-cluster story of a record is explainable."""
+    hub = _hub
+    if hub is None:
+        return
+    from .decisions import DecisionRecord
+
+    hub.decisions.records.append(
+        DecisionRecord(
+            t=hub.env.now,
+            sharepod=subject,
+            request=dict(details or {}),
+            placement="federation",
+            reason=reason,
+            rule=f"federation:{action}",
+        )
+    )
+    hub.metrics.incr(f'repro_federation_decisions_total{{action="{action}"}}')
 
 
 # -- chaos -----------------------------------------------------------------

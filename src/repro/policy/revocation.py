@@ -187,6 +187,6 @@ def requeue_backoff(count: int, base: float = 0.5, cap: float = 8.0) -> float:
     herds impossible here (each victim has its own resume time derived
     from its own eviction time).
     """
-    if count <= 1:
-        return base
-    return min(cap, base * (2.0 ** (count - 1)))
+    from ..core.backoff import expo_backoff  # deferred: import cycle
+
+    return expo_backoff(count, base, cap)

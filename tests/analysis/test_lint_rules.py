@@ -466,6 +466,80 @@ class TestRPR009UnguardedDelete:
         """, self.LIB) == []
 
 
+class TestRPR010FederationWrites:
+    FED = "src/repro/federation/placer.py"
+
+    def ids_at(self, source, path):
+        return sorted(
+            {f.rule_id for f in lint_source(textwrap.dedent(source), path=path)}
+        )
+
+    def test_direct_member_submit_flagged(self):
+        out = lint_source(
+            textwrap.dedent("""
+                def place(self, member, sharepod):
+                    member.kubeshare.submit(sharepod)
+            """),
+            path=self.FED,
+        )
+        assert [f.rule_id for f in out] == ["RPR010"]
+        assert "member.kubeshare.submit" in out[0].message
+        assert "fenced_submit" in out[0].fixit
+
+    def test_direct_api_create_flagged(self):
+        assert self.ids_at("""
+            def place(self, member, sharepod):
+                member.api.create(sharepod)
+        """, self.FED) == ["RPR010"]
+
+    def test_direct_api_delete_flagged(self):
+        # delete also trips RPR009 (unguarded) — both complaints are real.
+        assert "RPR010" in self.ids_at("""
+            def revoke(self, member, name):
+                member.api.delete("SharePod", name)
+        """, self.FED)
+
+    def test_reads_clean(self):
+        assert self.ids_at("""
+            def probe(self, member):
+                member.api.list("Node")
+                return member.kubeshare.get("job0")
+        """, self.FED) == []
+
+    def test_fenced_and_retried_wrappers_clean(self):
+        assert self.ids_at("""
+            def place(self, member, record, build):
+                yield from self.rpc.fenced_submit(member, record, build)
+                yield from self.rpc.call(member.link, member.kubeshare.list)
+        """, self.FED) == []
+
+    def test_registry_mutation_clean(self):
+        assert self.ids_at("""
+            def fold(self, name, generation):
+                return self.registry.complete(name, generation, "Completed")
+        """, self.FED) == []
+
+    def test_sanctioned_wrapper_modules_exempt(self):
+        source = """
+            def fenced_submit(self, member, sharepod):
+                member.kubeshare.submit(sharepod)
+        """
+        assert self.ids_at(source, "src/repro/federation/rpc.py") == []
+        assert self.ids_at(source, "src/repro/federation/records.py") == []
+
+    def test_non_federation_code_exempt(self):
+        assert self.ids_at("""
+            def submit(self, sharepod):
+                return self.api.create(sharepod)
+        """, "src/repro/core/framework.py") == []
+
+    def test_noqa_suppresses(self):
+        assert self.ids_at("""
+            def heartbeat(self, api, lease):
+                api.create(lease)  # noqa: RPR010 - federation-local lease
+        """, self.FED) == []
+
+
 class TestHarness:
     def test_every_rule_has_metadata(self):
         for rule in ALL_RULES:

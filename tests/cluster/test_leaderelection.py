@@ -342,3 +342,52 @@ class TestDeposedLeaderFencing:
         env.run(until=6.0)
         assert old.state is ReplicaState.STANDBY
         assert len(group.promotions) == 2
+
+
+class TestErrorBackoff:
+    """Apiserver-unreachable attempts back off with jitter (no tight loop)."""
+
+    def test_acquire_errors_back_off(self, env, api):
+        api.set_outage(10.0)
+        elector = make_elector(env, api, "a").start()
+        env.run(until=10.0)
+        assert elector.error_backoffs_total >= 3
+        # A plain retry_interval tick would make ~50 attempts in 10s; the
+        # jittered schedule decays towards the lease_duration cap instead.
+        assert elector.acquire_attempts < 30
+
+    def test_denied_acquire_keeps_plain_tick(self, env, api):
+        leader = make_elector(env, api, "a").start()
+        env.run(until=0.5)
+        assert leader.is_leader
+        standby = make_elector(env, api, "b").start()
+        env.run(until=5.0)
+        # A healthy denial ("lease held") is not an error: the standby
+        # polls on its plain retry_interval so failover_bound still holds.
+        assert standby.error_backoffs_total == 0
+        assert standby.acquire_attempts >= 15
+
+    def test_renew_errors_back_off_but_respect_grace(self, env, api):
+        elector = make_elector(env, api, "a").start()
+        env.run(until=1.0)
+        assert elector.is_leader
+        api.set_outage(20.0)
+        renews_at_outage = elector.renew_attempts
+        env.run(until=6.0)
+        # Errored renews are jittered (fewer attempts than the plain
+        # 0.2s tick would make) ...
+        assert elector.error_backoffs_total >= 1
+        assert elector.renew_attempts - renews_at_outage < 15
+        # ... yet the voluntary step-down still lands within the lease
+        # grace period, preserving the failover bound.
+        assert not elector.is_leader
+
+    def test_backoff_resets_after_recovery(self, env, api):
+        api.set_outage(3.0)
+        elector = make_elector(env, api, "a").start()
+        env.run(until=3.0)
+        errored = elector.error_backoffs_total
+        assert errored >= 1
+        env.run(until=6.0)
+        assert elector.is_leader
+        assert elector.error_backoffs_total == errored

@@ -1,0 +1,78 @@
+"""The shared retry-delay vocabulary (:mod:`repro.core.backoff`).
+
+Every retry loop in the simulator — controller requeue, revocation
+requeue, informer reconnect, elector error ticks, inter-cluster RPC —
+delegates here, so these properties underwrite all of them: determinism
+(same name ⇒ same delay stream, across processes), exponential floors,
+hard caps, and per-key state that resets cleanly.
+"""
+
+import pytest
+
+from repro.core.backoff import DecorrelatedJitter, expo_backoff
+
+
+class TestExpoBackoff:
+    def test_doubles_from_base(self):
+        assert expo_backoff(1, base=0.5, cap=8.0) == 0.5
+        assert expo_backoff(2, base=0.5, cap=8.0) == 1.0
+        assert expo_backoff(3, base=0.5, cap=8.0) == 2.0
+
+    def test_capped(self):
+        assert expo_backoff(50, base=0.5, cap=8.0) == 8.0
+
+    def test_count_below_one_is_base(self):
+        assert expo_backoff(0, base=0.5, cap=8.0) == 0.5
+        assert expo_backoff(-3, base=0.5, cap=8.0) == 0.5
+
+
+class TestDecorrelatedJitter:
+    def test_stream_is_deterministic_per_name(self):
+        a = [DecorrelatedJitter("x", 0.1, 2.0).next("k", n) for n in range(1, 8)]
+        b = [DecorrelatedJitter("x", 0.1, 2.0).next("k", n) for n in range(1, 8)]
+        assert a == b
+
+    def test_different_names_decorrelate(self):
+        a = [DecorrelatedJitter("x", 0.1, 2.0).next("k", n) for n in range(1, 8)]
+        b = [DecorrelatedJitter("y", 0.1, 2.0).next("k", n) for n in range(1, 8)]
+        assert a != b
+
+    def test_never_undercuts_exponential_floor(self):
+        policy = DecorrelatedJitter("floor", 0.1, 2.0)
+        for n in range(1, 12):
+            delay = policy.next("k", n)
+            assert delay >= min(0.1 * 2 ** (n - 1), 2.0) - 1e-12
+            assert delay <= 2.0 + 1e-12
+
+    def test_streak_counts_and_resets(self):
+        policy = DecorrelatedJitter("s", 0.1, 2.0)
+        policy.next("k")
+        policy.next("k")
+        assert policy.streak("k") == 2
+        policy.reset("k")
+        assert policy.streak("k") == 0
+        assert "k" not in policy
+
+    def test_pending_lists_keys_sorted(self):
+        policy = DecorrelatedJitter("p", 0.1, 2.0)
+        policy.next("b")
+        policy.next("a")
+        assert policy.pending() == ["a", "b"]
+        policy.reset("a")
+        policy.reset("b")
+        assert policy.pending() == []
+
+    def test_keys_are_independent(self):
+        policy = DecorrelatedJitter("i", 0.1, 2.0)
+        for _ in range(6):
+            policy.next("hot")
+        first_cold = policy.next("cold")
+        # A fresh key starts from the base schedule, not the hot key's.
+        assert first_cold <= 3 * 0.1 + 1e-12
+
+    def test_explicit_rng_overrides_seed(self):
+        import random
+
+        a = DecorrelatedJitter("x", 0.1, 2.0, rng=random.Random(7)).next("k")
+        b = DecorrelatedJitter("y", 0.1, 2.0, rng=random.Random(7)).next("k")
+        assert a == pytest.approx(b)

@@ -1,0 +1,121 @@
+"""The cluster health prober's state machine (Healthy → Suspect → Dead).
+
+A partition and a whole-cluster outage are indistinguishable to the
+prober — both are probe failures — which is exactly why ``Suspect``
+exists as a buffer state: nothing is rescheduled until ``dead_after``
+seconds of total silence.
+"""
+
+import pytest
+
+from repro.federation import ClusterHealth, Federation, FederationConfig
+from repro.sim import Environment
+
+
+def small_config(**kw):
+    kw.setdefault("members", ("a", "b"))
+    kw.setdefault("nodes_per_cluster", 1)
+    kw.setdefault("gpus_per_node", 1)
+    kw.setdefault("replicas", 1)
+    kw.setdefault("probe_interval", 0.5)
+    kw.setdefault("probe_timeout", 0.2)
+    kw.setdefault("suspect_after", 2)
+    kw.setdefault("dead_after", 4.0)
+    return FederationConfig(**kw)
+
+
+@pytest.fixture
+def fed():
+    return Federation(Environment(), small_config()).start()
+
+
+def states(fed):
+    return {name: state.value for name, state in fed.prober.state.items()}
+
+
+class TestHealthy:
+    def test_reachable_members_stay_healthy(self, fed):
+        fed.env.run(until=10.0)
+        assert states(fed) == {"a": "Healthy", "b": "Healthy"}
+        assert fed.prober.probe_failures_total == 0
+        assert fed.prober.transitions == []
+
+    def test_heartbeat_leases_renewed_in_federation_store(self, fed):
+        fed.env.run(until=5.0)
+        leases = {ls.metadata.name: ls for ls in fed.api.list("Lease")}
+        for name in ("a", "b"):
+            lease = leases[f"cluster-{name}"]
+            assert lease.spec.holder == name
+            assert lease.spec.renew_time > 4.0
+
+
+class TestDegradation:
+    def test_partition_degrades_to_suspect_not_dead(self, fed):
+        fed.members["a"].partition(2.0)
+        fed.env.run(until=3.5)
+        assert fed.prober.state["a"] is ClusterHealth.SUSPECT
+        fed.env.run(until=8.0)
+        # The partition healed before dead_after: back to Healthy, and the
+        # excursion never reached Dead.
+        assert fed.prober.state["a"] is ClusterHealth.HEALTHY
+        path = [(old, new) for _, n, old, new in fed.prober.transitions if n == "a"]
+        assert path == [("Healthy", "Suspect"), ("Suspect", "Healthy")]
+
+    def test_single_missed_probe_is_tolerated(self, fed):
+        fed.members["a"].partition(0.1)  # one probe window
+        fed.env.run(until=5.0)
+        assert fed.prober.state["a"] is ClusterHealth.HEALTHY
+
+    def test_sustained_silence_reaches_dead(self, fed):
+        fed.members["a"].outage()
+        fed.env.run(until=10.0)
+        assert fed.prober.state["a"] is ClusterHealth.DEAD
+        path = [(old, new) for _, n, old, new in fed.prober.transitions if n == "a"]
+        assert path == [("Healthy", "Suspect"), ("Suspect", "Dead")]
+        # Silence really lasted dead_after before the Dead verdict.
+        dead_at = [t for t, n, _, new in fed.prober.transitions
+                   if n == "a" and new == "Dead"][0]
+        assert dead_at >= fed.config.dead_after
+
+    def test_outage_and_partition_are_indistinguishable_probe_wise(self):
+        outage = Federation(Environment(), small_config()).start()
+        outage.members["a"].outage()
+        outage.env.run(until=10.0)
+        parted = Federation(Environment(), small_config()).start()
+        parted.members["a"].partition(100.0)
+        parted.env.run(until=10.0)
+        assert [(o, n) for _, m, o, n in outage.prober.transitions if m == "a"] == \
+               [(o, n) for _, m, o, n in parted.prober.transitions if m == "a"]
+
+
+class TestRecovery:
+    def test_dead_cluster_recovers_to_healthy(self, fed):
+        fed.members["a"].outage(6.0)
+        fed.env.run(until=20.0)
+        assert fed.prober.state["a"] is ClusterHealth.HEALTHY
+        path = [(old, new) for _, n, old, new in fed.prober.transitions if n == "a"]
+        assert path[-1] == ("Dead", "Healthy")
+
+    def test_recovery_callback_fires_only_from_dead(self):
+        recovered = []
+        fed = Federation(Environment(), small_config()).start()
+        fed.prober.on_recovered = recovered.append
+        fed.members["a"].partition(2.0)  # Suspect-depth excursion only
+        fed.env.run(until=8.0)
+        assert recovered == []
+        fed.members["a"].partition(8.0)  # beyond dead_after
+        fed.env.run(until=25.0)
+        assert recovered == ["a"]
+
+    def test_dead_callback_fires_once_per_death(self):
+        deaths = []
+        fed = Federation(Environment(), small_config()).start()
+        fed.prober.on_dead = deaths.append
+        fed.members["a"].outage()
+        fed.env.run(until=30.0)
+        assert deaths == ["a"]
+
+    def test_healthy_members_view(self, fed):
+        fed.members["a"].outage()
+        fed.env.run(until=10.0)
+        assert fed.prober.healthy_members() == ["b"]

@@ -1,0 +1,111 @@
+"""Generation fencing on the global registry (:mod:`repro.federation.records`).
+
+The fence is the whole exactly-once story: every (re)placement must win a
+compare-and-swap on the record's generation before it may touch a member
+cluster, so two concurrent actors can never both place the same record.
+"""
+
+import pytest
+
+from repro.cluster.apiserver import APIServer
+from repro.cluster.etcd import Etcd
+from repro.federation import GlobalRegistry, StaleGeneration
+from repro.sim import Environment
+
+
+@pytest.fixture
+def registry():
+    env = Environment()
+    return GlobalRegistry(APIServer(env, Etcd(env)))
+
+
+class TestCreate:
+    def test_fresh_record_is_unplaced_generation_zero(self, registry):
+        record = registry.create("job0", {"gpu_request": 0.5})
+        assert record.spec.cluster is None
+        assert record.spec.generation == 0
+        assert record.status.phase == "Pending"
+
+    def test_template_is_stored(self, registry):
+        registry.create("job0", {"gpu_request": 0.5, "gpu_mem": 0.3})
+        assert registry.get("job0").spec.template["gpu_mem"] == 0.3
+
+
+class TestAdvance:
+    def test_advance_bumps_generation_and_assigns(self, registry):
+        registry.create("job0", {})
+        advanced = registry.advance("job0", "alpha", expect_generation=0)
+        assert advanced.spec.cluster == "alpha"
+        assert advanced.spec.generation == 1
+        assert advanced.status.phase == "Placed"
+
+    def test_stale_expectation_rejected(self, registry):
+        registry.create("job0", {})
+        registry.advance("job0", "alpha", expect_generation=0)
+        # A second actor still holding generation 0 loses the CAS.
+        with pytest.raises(StaleGeneration):
+            registry.advance("job0", "beta", expect_generation=0)
+        # The winner's placement is untouched.
+        record = registry.get("job0")
+        assert record.spec.cluster == "alpha"
+        assert record.spec.generation == 1
+
+    def test_sequential_advances_compose(self, registry):
+        registry.create("job0", {})
+        registry.advance("job0", "alpha", expect_generation=0)
+        moved = registry.advance("job0", "beta", expect_generation=1)
+        assert moved.spec.cluster == "beta"
+        assert moved.spec.generation == 2
+
+    def test_unknown_record_rejected(self, registry):
+        with pytest.raises(StaleGeneration):
+            registry.advance("ghost", "alpha", expect_generation=0)
+
+    def test_terminal_record_cannot_be_replaced(self, registry):
+        registry.create("job0", {})
+        registry.advance("job0", "alpha", expect_generation=0)
+        assert registry.complete("job0", 1, "Completed")
+        with pytest.raises(StaleGeneration):
+            registry.advance("job0", "beta", expect_generation=1)
+
+
+class TestComplete:
+    def test_current_generation_completes(self, registry):
+        registry.create("job0", {})
+        registry.advance("job0", "alpha", expect_generation=0)
+        assert registry.complete("job0", 1, "Completed", "done")
+        record = registry.get("job0")
+        assert record.status.phase == "Completed"
+        assert record.status.message == "done"
+
+    def test_stale_generation_cannot_report_outcome(self, registry):
+        """A fenced-off copy finishing on a healed cluster must not be able
+        to overwrite the record's authoritative outcome."""
+        registry.create("job0", {})
+        registry.advance("job0", "alpha", expect_generation=0)
+        registry.advance("job0", "beta", expect_generation=1)
+        assert not registry.complete("job0", 1, "Failed", "stale copy died")
+        assert registry.get("job0").status.phase == "Placed"
+
+    def test_terminal_record_is_immutable(self, registry):
+        registry.create("job0", {})
+        registry.advance("job0", "alpha", expect_generation=0)
+        assert registry.complete("job0", 1, "Completed")
+        assert not registry.complete("job0", 1, "Failed")
+        assert registry.get("job0").status.phase == "Completed"
+
+
+class TestViews:
+    def test_assigned_to_lists_live_records_sorted(self, registry):
+        for name in ("b", "a", "c"):
+            registry.create(name, {})
+        registry.advance("b", "alpha", expect_generation=0)
+        registry.advance("a", "alpha", expect_generation=0)
+        registry.advance("c", "beta", expect_generation=0)
+        assert [r.metadata.name for r in registry.assigned_to("alpha")] == ["a", "b"]
+
+    def test_assigned_to_excludes_terminal(self, registry):
+        registry.create("a", {})
+        registry.advance("a", "alpha", expect_generation=0)
+        registry.complete("a", 1, "Completed")
+        assert registry.assigned_to("alpha") == []

@@ -1,0 +1,121 @@
+"""Finding baseline + diff-aware mode for the RPR linter.
+
+CI wants "fail only on *new* findings": a committed
+``analysis-baseline.json`` records the fingerprint of every accepted
+pre-existing finding, and ``--baseline`` filters those out of the exit
+status. ``--changed-since <ref>`` additionally restricts reporting to
+files touched since a git ref, so PR lint runs are proportional to the
+diff — on an unchanged tree diff-aware mode reports nothing.
+
+Fingerprints are deliberately *line-independent*: ``sha1(rule_id |
+normalized-path | message | occurrence-index)``, where the occurrence
+index disambiguates identical messages in one file. Inserting unrelated
+lines above a finding does not churn the baseline; changing the code
+that produces the finding does.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import subprocess
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set
+
+from .rules import Finding
+
+__all__ = [
+    "fingerprint_key",
+    "fingerprints",
+    "load_baseline",
+    "write_baseline",
+    "filter_baseline",
+    "changed_files",
+]
+
+BASELINE_VERSION = 1
+
+
+def _norm(path: str) -> str:
+    return path.replace("\\", "/").lstrip("./")
+
+
+def fingerprints(findings: Sequence[Finding]) -> List[str]:
+    """Stable fingerprint per finding (order-aligned with the input)."""
+    counts: Dict[str, int] = {}
+    out: List[str] = []
+    for f in findings:
+        base = f"{f.rule_id}|{_norm(f.path)}|{f.message}"
+        n = counts.get(base, 0)
+        counts[base] = n + 1
+        out.append(hashlib.sha1(f"{base}|{n}".encode("utf-8")).hexdigest()[:20])
+    return out
+
+
+def fingerprint_key(finding: Finding, occurrence: int = 0) -> str:
+    base = f"{finding.rule_id}|{_norm(finding.path)}|{finding.message}"
+    return hashlib.sha1(f"{base}|{occurrence}".encode("utf-8")).hexdigest()[:20]
+
+
+def load_baseline(path: str) -> Set[str]:
+    """Fingerprints recorded in the baseline file (empty if absent)."""
+    p = Path(path)
+    if not p.exists():
+        return set()
+    data = json.loads(p.read_text(encoding="utf-8"))
+    return set(data.get("findings", {}).keys())
+
+
+def write_baseline(path: str, findings: Sequence[Finding]) -> None:
+    """(Re)write the baseline to accept exactly *findings*."""
+    entries: Dict[str, Dict[str, object]] = {}
+    for f, fp in zip(findings, fingerprints(findings)):
+        entries[fp] = {
+            "rule": f.rule_id,
+            "path": _norm(f.path),
+            "message": f.message,
+        }
+    payload = {
+        "version": BASELINE_VERSION,
+        "count": len(entries),
+        "findings": dict(sorted(entries.items())),
+    }
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=False) + "\n", encoding="utf-8"
+    )
+
+
+def filter_baseline(
+    findings: Sequence[Finding], accepted: Set[str]
+) -> List[Finding]:
+    """Findings whose fingerprint is NOT in the baseline."""
+    return [
+        f for f, fp in zip(findings, fingerprints(findings)) if fp not in accepted
+    ]
+
+
+def changed_files(ref: str, cwd: Optional[str] = None) -> Optional[Set[str]]:
+    """Paths changed since *ref* per ``git diff --name-only`` (normalized,
+    repo-relative). ``None`` when git is unavailable or *ref* is unknown —
+    callers should fall back to full-tree mode rather than silently
+    passing."""
+    try:
+        proc = subprocess.run(
+            ["git", "diff", "--name-only", ref, "--"],
+            capture_output=True,
+            text=True,
+            cwd=cwd,
+            timeout=30,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if proc.returncode != 0:
+        return None
+    return {_norm(line) for line in proc.stdout.splitlines() if line.strip()}
+
+
+def restrict_to_changed(
+    findings: Sequence[Finding], changed: Set[str]
+) -> List[Finding]:
+    """Keep findings located in one of the changed files."""
+    return [f for f in findings if _norm(f.path) in changed]

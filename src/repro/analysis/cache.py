@@ -1,0 +1,167 @@
+"""Content-hash keyed lint cache (``.repro-lint-cache``).
+
+Two tiers, each keyed by the file's content hash so a re-run over an
+unchanged tree never re-parses anything:
+
+* **facts** — the serialized :class:`~repro.analysis.callgraph.FileFacts`
+  record (function/class/factory summaries + set-attribute facts). Valid
+  on content hash alone: facts are a pure function of one file.
+* **findings** — the raw (pre-suppression) per-file findings from the
+  file-local rules and RPR013. These additionally depend on the
+  project-wide set-attribute table (RPR006 consults it), so each entry
+  stores the set-attrs digest it was computed under; if another file's
+  edit changes that table, findings are recomputed (from a fresh parse)
+  while facts for unchanged files still come from the cache.
+
+The whole-program passes (RPR011/012) always recompute from facts —
+they are global by nature but cheap once parsing is amortized away.
+
+``ENGINE_VERSION`` is part of the cache envelope; bump it whenever rule
+or collector semantics change so stale caches self-invalidate.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+from .callgraph import FileFacts
+from .rules import Finding
+
+__all__ = ["ENGINE_VERSION", "LintCache", "DEFAULT_CACHE_PATH", "content_hash", "set_attrs_digest"]
+
+ENGINE_VERSION = "rpr-engine-1"
+DEFAULT_CACHE_PATH = ".repro-lint-cache"
+
+
+def content_hash(source: str) -> str:
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()[:24]
+
+
+def set_attrs_digest(set_attrs: Sequence[str]) -> str:
+    return hashlib.sha1("\n".join(sorted(set_attrs)).encode("utf-8")).hexdigest()[:16]
+
+
+def _finding_to_dict(f: Finding) -> Dict[str, Any]:
+    return {
+        "path": f.path,
+        "line": f.line,
+        "col": f.col,
+        "rule_id": f.rule_id,
+        "message": f.message,
+        "fixit": f.fixit,
+        "fix": list(f.fix) if f.fix is not None else None,
+    }
+
+
+def _finding_from_dict(d: Dict[str, Any]) -> Finding:
+    fix = d.get("fix")
+    return Finding(
+        path=d["path"],
+        line=d["line"],
+        col=d["col"],
+        rule_id=d["rule_id"],
+        message=d["message"],
+        fixit=d["fixit"],
+        fix=tuple(fix) if fix is not None else None,
+    )
+
+
+class LintCache:
+    """Load/store per-file facts and findings keyed by content hash."""
+
+    def __init__(self, path: Optional[str]) -> None:
+        self.path = path
+        self.enabled = path is not None
+        self._entries: Dict[str, Dict[str, Any]] = {}
+        self.hits = 0
+        self.misses = 0
+        self._dirty = False
+        if not self.enabled:
+            return
+        p = Path(path)
+        if p.exists():
+            try:
+                data = json.loads(p.read_text(encoding="utf-8"))
+            except (OSError, json.JSONDecodeError):
+                data = {}
+            if data.get("engine") == ENGINE_VERSION:
+                self._entries = data.get("files", {})
+
+    # -- facts ------------------------------------------------------------
+
+    def get_facts(self, path: str, sha: str) -> Optional[FileFacts]:
+        entry = self._entries.get(path)
+        if entry is None or entry.get("sha") != sha or "facts" not in entry:
+            return None
+        try:
+            facts = FileFacts.from_dict(entry["facts"])
+        except (KeyError, TypeError):
+            return None
+        self.hits += 1
+        return facts
+
+    def put_facts(self, path: str, sha: str, facts: FileFacts) -> None:
+        if not self.enabled:
+            return
+        entry = self._entries.get(path)
+        if entry is None or entry.get("sha") != sha:
+            entry = {"sha": sha}
+            self._entries[path] = entry
+        entry["facts"] = facts.to_dict()
+        self._dirty = True
+        self.misses += 1
+
+    # -- findings ---------------------------------------------------------
+
+    def get_findings(
+        self, path: str, sha: str, attrs_digest: str
+    ) -> Optional[List[Finding]]:
+        entry = self._entries.get(path)
+        if (
+            entry is None
+            or entry.get("sha") != sha
+            or entry.get("attrs_digest") != attrs_digest
+            or "findings" not in entry
+        ):
+            return None
+        try:
+            return [_finding_from_dict(d) for d in entry["findings"]]
+        except (KeyError, TypeError):
+            return None
+
+    def put_findings(
+        self, path: str, sha: str, attrs_digest: str, findings: Sequence[Finding]
+    ) -> None:
+        if not self.enabled:
+            return
+        entry = self._entries.setdefault(path, {"sha": sha})
+        if entry.get("sha") != sha:
+            entry.clear()
+            entry["sha"] = sha
+        entry["attrs_digest"] = attrs_digest
+        entry["findings"] = [_finding_to_dict(f) for f in findings]
+        self._dirty = True
+
+    # -- persistence ------------------------------------------------------
+
+    def prune(self, live_paths: Sequence[str]) -> None:
+        """Drop entries for files no longer being linted."""
+        live = set(live_paths)
+        stale = [p for p in self._entries if p not in live]
+        for p in stale:
+            del self._entries[p]
+            self._dirty = True
+
+    def save(self) -> None:
+        if not self.enabled or not self._dirty:
+            return
+        payload = {"engine": ENGINE_VERSION, "files": self._entries}
+        try:
+            Path(self.path).write_text(
+                json.dumps(payload, sort_keys=True), encoding="utf-8"
+            )
+        except OSError:
+            pass  # a read-only checkout must not break linting

@@ -1,0 +1,89 @@
+"""Autofix application for the mechanical RPR fix-its.
+
+Only rules that attach an explicit ``fix`` span to their findings are
+autofixable — today RPR006 (wrap the unordered iterable in
+``sorted(...)``) and RPR009's ``api.delete`` → ``api.try_delete`` helper
+substitution. Judgment calls (noqa insertion, CAS rewrites, reset-hook
+registration) are never autofixed.
+
+Edits are applied right-to-left per file so earlier spans stay valid;
+overlapping spans keep the first (outermost finding wins). The pass is
+idempotent: after one application the finding disappears, so a second
+run produces byte-identical output — CI can assert convergence.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from .rules import Finding
+
+__all__ = ["fixable", "apply_fixes", "apply_fixes_to_source"]
+
+
+def fixable(findings: Sequence[Finding]) -> List[Finding]:
+    return [f for f in findings if f.fix is not None]
+
+
+def _offsets(source: str) -> List[int]:
+    """Byte offset of the start of each (1-based) line."""
+    offsets = [0]
+    for line in source.splitlines(keepends=True):
+        offsets.append(offsets[-1] + len(line))
+    return offsets
+
+
+def apply_fixes_to_source(source: str, findings: Sequence[Finding]) -> Tuple[str, int]:
+    """Apply every attached fix span to *source*.
+
+    Returns ``(new_source, applied_count)``. Spans use AST coordinates:
+    1-based lines, 0-based columns.
+    """
+    spans: List[Tuple[int, int, str]] = []
+    offsets = _offsets(source)
+    n_lines = len(offsets) - 1
+    for f in fixable(findings):
+        sl, sc, el, ec, replacement = f.fix
+        if sl < 1 or el < 1 or sl > n_lines or el > n_lines:
+            continue
+        start = offsets[sl - 1] + sc
+        end = offsets[el - 1] + ec
+        if start > end or end > len(source):
+            continue
+        spans.append((start, end, replacement))
+    spans.sort()
+    # drop overlaps (keep the first span of each overlapping cluster)
+    pruned: List[Tuple[int, int, str]] = []
+    last_end = -1
+    for start, end, repl in spans:
+        if start < last_end:
+            continue
+        pruned.append((start, end, repl))
+        last_end = end
+    applied = 0
+    for start, end, repl in reversed(pruned):
+        if source[start:end] == repl:
+            continue  # already fixed — idempotency
+        source = source[:start] + repl + source[end:]
+        applied += 1
+    return source, applied
+
+
+def apply_fixes(findings: Sequence[Finding]) -> Dict[str, int]:
+    """Group *findings* by file and rewrite each file in place.
+
+    Returns ``{path: applied_count}`` for files that changed.
+    """
+    by_file: Dict[str, List[Finding]] = {}
+    for f in fixable(findings):
+        by_file.setdefault(f.path, []).append(f)
+    changed: Dict[str, int] = {}
+    for path, file_findings in sorted(by_file.items()):
+        with open(path, "r", encoding="utf-8") as fh:
+            source = fh.read()
+        new_source, applied = apply_fixes_to_source(source, file_findings)
+        if applied and new_source != source:
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write(new_source)
+            changed[path] = applied
+    return changed

@@ -1,9 +1,10 @@
 """Sim-aware linter driver: ``python -m repro.analysis.lint src tests benchmarks``.
 
-Walks the given files/directories, parses every ``.py`` file once, runs
-the RPR rule catalogue (:mod:`repro.analysis.rules`) in two passes —
-pass 1 collects cross-file facts (set-typed attributes), pass 2 checks —
-and prints one line per finding::
+Walks the given files/directories, parses every ``.py`` file once (or
+pulls its facts from the content-hash cache), runs the file-local RPR
+rules (:mod:`repro.analysis.rules`), the per-file yield-atomicity pass,
+and the whole-program dataflow passes (:mod:`repro.analysis.flow` over
+:mod:`repro.analysis.callgraph`), and prints one line per finding::
 
     src/repro/core/devmgr.py:185:29: RPR006 unsorted iteration over set
     `vgpu.attached` (fix: iterate sorted(...): ...)
@@ -16,12 +17,24 @@ Suppressions are inline, flake8-style, and must name the rule::
 
 A bare ``# noqa`` (no codes) also suppresses, but the reviewed style is
 to name the rule and justify the exception; foreign codes
-(``# noqa: BLE001``) do **not** suppress RPR findings.
+(``# noqa: BLE001``) do **not** suppress RPR findings. Suppression
+comments are found with :mod:`tokenize`, so a ``# noqa`` *inside a
+string literal* (lint-rule fixture strings, docstrings) is inert.
 
 Files whose *purpose* is to violate a rule (tests of raw etcd CAS
 semantics, conflict-retry tests) can disable named rules file-wide::
 
     # repro-lint: disable=RPR004 - this file tests raw put/CAS semantics
+
+Production modes::
+
+    --format sarif            SARIF 2.1.0 for GitHub code scanning
+    --baseline FILE           fail only on findings not in the baseline
+    --write-baseline FILE     accept the current findings as the baseline
+    --changed-since REF       report only files changed since a git ref
+    --fix                     apply the mechanical fix-its in place
+    --check-suppressions      report stale `# noqa: RPRxxx` comments
+    --no-cache                bypass the .repro-lint-cache content cache
 """
 
 from __future__ import annotations
@@ -30,25 +43,59 @@ from __future__ import annotations
 
 import argparse
 import ast
+import io
 import re
 import sys
+import tokenize
 from pathlib import Path
-from typing import Dict, Iterable, List, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from . import baseline as baseline_mod
+from . import flow
+from .cache import DEFAULT_CACHE_PATH, LintCache, content_hash, set_attrs_digest
+from .callgraph import FileFacts, ProjectIndex, collect_file_facts
+from .fixes import apply_fixes
 from .rules import ALL_RULES, FileContext, Finding, ProjectContext, run_rules
+from .sarif import render_sarif
 
-__all__ = ["lint_paths", "lint_source", "main"]
+__all__ = [
+    "lint_paths",
+    "lint_source",
+    "run_analysis",
+    "AnalysisResult",
+    "stale_suppressions",
+    "main",
+]
 
-_NOQA_RE = re.compile(r"#\s*noqa(?P<codes>:[^#]*)?", re.IGNORECASE)
 _CODE_RE = re.compile(r"[A-Z]+[0-9]+")
+_NOQA_RE = re.compile(r"#\s*noqa(?P<codes>:[^#]*)?", re.IGNORECASE)
 _PRAGMA_RE = re.compile(r"#\s*repro-lint:\s*disable=(?P<codes>[A-Z0-9, ]+)")
+
+
+def _comment_tokens(source: str) -> Iterable[Tuple[int, str]]:
+    """(line, text) for every real COMMENT token in *source*.
+
+    Tokenizing (rather than regex-scanning raw lines) is what keeps a
+    ``# noqa`` inside a string literal — lint-rule fixture snippets,
+    docstrings quoting suppression syntax — from suppressing findings on
+    that line.
+    """
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type == tokenize.COMMENT:
+                yield tok.start[0], tok.string
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # Fall back to treating nothing as a comment: the file failed to
+        # tokenize, and it will already be reported as a parse error.
+        return
 
 
 def _noqa_map(source: str) -> Dict[int, Set[str]]:
     """line -> set of suppressed codes; the empty set means 'all codes'."""
     out: Dict[int, Set[str]] = {}
-    for lineno, line in enumerate(source.splitlines(), start=1):
-        m = _NOQA_RE.search(line)
+    for lineno, comment in _comment_tokens(source):
+        m = _NOQA_RE.search(comment)
         if m is None:
             continue
         codes = m.group("codes")
@@ -62,8 +109,10 @@ def _noqa_map(source: str) -> Dict[int, Set[str]]:
 def _file_pragma(source: str) -> Set[str]:
     """Codes disabled file-wide via ``# repro-lint: disable=...``."""
     out: Set[str] = set()
-    for m in _PRAGMA_RE.finditer(source):
-        out.update(_CODE_RE.findall(m.group("codes")))
+    for _, comment in _comment_tokens(source):
+        m = _PRAGMA_RE.search(comment)
+        if m is not None:
+            out.update(_CODE_RE.findall(m.group("codes")))
     return out
 
 
@@ -90,54 +139,218 @@ def _iter_py_files(paths: Sequence[str]) -> Iterable[Path]:
                 yield file
 
 
+class AnalysisResult:
+    """Everything one analysis run produced."""
+
+    def __init__(self) -> None:
+        #: unsuppressed findings, sorted (what the CLI reports).
+        self.findings: List[Finding] = []
+        #: every finding before noqa/pragma filtering (stale-suppression
+        #: detection and ``--write-baseline`` work on these).
+        self.raw_findings: List[Finding] = []
+        self.errors: List[str] = []
+        self.sources: Dict[str, str] = {}
+        self.index: ProjectIndex = ProjectIndex()
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+
+def _collect_one(
+    path: Path,
+    source: str,
+    sha: str,
+    cache: LintCache,
+) -> Tuple[Optional[FileFacts], Optional[FileContext], Optional[str]]:
+    """Facts (+ parsed context when a parse happened) for one file."""
+    facts = cache.get_facts(str(path), sha)
+    if facts is not None:
+        return facts, None, None
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as err:
+        return None, None, f"{path}: {err}"
+    ctx = FileContext(str(path), source, tree)
+    facts = collect_file_facts(ctx)
+    cache.put_facts(str(path), sha, facts)
+    return facts, ctx, None
+
+
+def run_analysis(
+    paths: Sequence[str], cache: Optional[LintCache] = None
+) -> AnalysisResult:
+    """Analyze every ``.py`` file under *paths* (all passes)."""
+    cache = cache if cache is not None else LintCache(None)
+    result = AnalysisResult()
+
+    records: List[Tuple[Path, str, str, FileFacts, Optional[FileContext]]] = []
+    for file in _iter_py_files(paths):
+        try:
+            source = file.read_text(encoding="utf-8")
+        except OSError as err:
+            result.errors.append(f"{file}: {err}")
+            continue
+        sha = content_hash(source)
+        facts, ctx, error = _collect_one(file, source, sha, cache)
+        if error is not None:
+            result.errors.append(error)
+            continue
+        result.sources[str(file)] = source
+        records.append((file, source, sha, facts, ctx))
+        result.index.add(facts)
+
+    # project-wide set-attribute table (feeds RPR006) from facts, so
+    # cached files contribute without a re-parse.
+    project = ProjectContext()
+    for _, _, _, facts, _ in records:
+        project.set_attrs.update(facts.set_attrs)
+    attrs_digest = set_attrs_digest(sorted(project.set_attrs))
+
+    raw: List[Finding] = []
+    for file, source, sha, facts, ctx in records:
+        cached = cache.get_findings(str(file), sha, attrs_digest)
+        if cached is not None:
+            raw.extend(cached)
+            result.cache_hits += 1
+            continue
+        result.cache_misses += 1
+        if ctx is None:  # facts came from cache but findings did not
+            try:
+                tree = ast.parse(source, filename=str(file))
+            except SyntaxError as err:  # pragma: no cover - caught above
+                result.errors.append(f"{file}: {err}")
+                continue
+            ctx = FileContext(str(file), source, tree)
+        file_findings = run_rules(ctx, project)
+        file_findings.extend(flow.check_yield_atomicity(ctx, facts))
+        file_findings.sort(key=lambda f: (f.line, f.col, f.rule_id))
+        cache.put_findings(str(file), sha, attrs_digest, file_findings)
+        raw.extend(file_findings)
+
+    # whole-program passes: always recomputed, purely over facts.
+    raw.extend(flow.project_findings(result.index))
+    raw.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+    result.raw_findings = raw
+
+    noqa_by_path: Dict[str, Dict[int, Set[str]]] = {}
+    pragma_by_path: Dict[str, Set[str]] = {}
+    for f in raw:
+        if f.path not in noqa_by_path:
+            source = result.sources.get(f.path, "")
+            noqa_by_path[f.path] = _noqa_map(source)
+            pragma_by_path[f.path] = _file_pragma(source)
+        if not _suppressed(f, noqa_by_path[f.path], pragma_by_path[f.path]):
+            result.findings.append(f)
+
+    cache.prune([str(file) for file, *_ in records])
+    cache.save()
+    return result
+
+
 def lint_source(
     source: str, path: str = "<string>", project: ProjectContext | None = None
 ) -> List[Finding]:
-    """Lint one source blob (the unit the fixture tests drive)."""
+    """Lint one source blob (the unit the fixture tests drive).
+
+    Runs every pass, including the whole-program ones, over a
+    single-file project — helpers and callers in the same blob resolve
+    against each other.
+    """
     tree = ast.parse(source, filename=path)
     ctx = FileContext(path, source, tree)
+    facts = collect_file_facts(ctx)
     if project is None:
         project = ProjectContext()
         project.collect(ctx)
     findings = run_rules(ctx, project)
+    findings.extend(flow.check_yield_atomicity(ctx, facts))
+    index = ProjectIndex()
+    index.add(facts)
+    findings.extend(flow.project_findings(index))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
     noqa = _noqa_map(source)
     file_wide = _file_pragma(source)
     return [f for f in findings if not _suppressed(f, noqa, file_wide)]
 
 
 def lint_paths(paths: Sequence[str]) -> Tuple[List[Finding], List[str]]:
-    """Lint every ``.py`` file under *paths*.
+    """Lint every ``.py`` file under *paths* (no cache).
 
     Returns ``(findings, errors)`` where *errors* are files that failed
     to parse (reported, and counted as failures).
     """
-    files: List[Tuple[Path, str, ast.Module]] = []
-    errors: List[str] = []
-    for file in _iter_py_files(paths):
-        try:
-            source = file.read_text(encoding="utf-8")
-            tree = ast.parse(source, filename=str(file))
-        except (OSError, SyntaxError) as err:
-            errors.append(f"{file}: {err}")
-            continue
-        files.append((file, source, tree))
+    result = run_analysis(paths, LintCache(None))
+    return result.findings, result.errors
 
-    project = ProjectContext()
-    contexts = [FileContext(str(file), source, tree) for file, source, tree in files]
-    for ctx in contexts:
-        project.collect(ctx)
 
-    findings: List[Finding] = []
-    for ctx in contexts:
-        noqa = _noqa_map(ctx.source)
-        file_wide = _file_pragma(ctx.source)
-        findings.extend(
-            f
-            for f in run_rules(ctx, project)
-            if not _suppressed(f, noqa, file_wide)
-        )
-    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
-    return findings, errors
+# ---------------------------------------------------------------------------
+# stale suppressions
+# ---------------------------------------------------------------------------
+
+
+def stale_suppressions(result: AnalysisResult) -> List[Tuple[str, int, str]]:
+    """``(path, line, code)`` for every named RPR suppression that no
+    longer suppresses anything: a ``# noqa: RPRxxx`` on a line with no
+    RPRxxx finding, or a file-wide pragma code with no finding of that
+    code anywhere in the file. Bare ``# noqa`` comments and foreign
+    codes are not judged."""
+    by_path_line: Dict[Tuple[str, int], Set[str]] = {}
+    by_path: Dict[str, Set[str]] = {}
+    for f in result.raw_findings:
+        by_path_line.setdefault((f.path, f.line), set()).add(f.rule_id)
+        by_path.setdefault(f.path, set()).add(f.rule_id)
+
+    rpr_ids = {r.id for r in ALL_RULES}
+    stale: List[Tuple[str, int, str]] = []
+    for path, source in sorted(result.sources.items()):
+        for lineno, comment in _comment_tokens(source):
+            m = _NOQA_RE.search(comment)
+            if m is not None and m.group("codes"):
+                for code in _CODE_RE.findall(m.group("codes")):
+                    if code not in rpr_ids:
+                        continue
+                    if code not in by_path_line.get((path, lineno), set()):
+                        stale.append((path, lineno, code))
+            m = _PRAGMA_RE.search(comment)
+            if m is not None:
+                for code in _CODE_RE.findall(m.group("codes")):
+                    if code in rpr_ids and code not in by_path.get(path, set()):
+                        stale.append((path, lineno, code))
+    return stale
+
+
+# ---------------------------------------------------------------------------
+# --explain-rules (docs/rules.md generator)
+# ---------------------------------------------------------------------------
+
+
+def explain_rules() -> str:
+    out = [
+        "# RPR rule catalogue",
+        "",
+        "<!-- Generated by `python -m repro.analysis.lint --explain-rules` —",
+        "     do not edit by hand. -->",
+        "",
+        "Sim-aware static analysis rules enforced over `src/`, `tests/`, and",
+        "`benchmarks/`. File-local rules (RPR001–010) see one AST at a time;",
+        "RPR011–013 are whole-program dataflow passes over the project call",
+        "graph (DESIGN.md §13). Suppress a finding inline with",
+        "`# noqa: RPRxxx - justification`, or file-wide with",
+        "`# repro-lint: disable=RPRxxx - justification`.",
+        "",
+    ]
+    for rule in ALL_RULES:
+        out.append(f"## {rule.id} — {rule.title}")
+        out.append("")
+        out.append(f"**Why.** {rule.rationale}")
+        out.append("")
+        out.append(f"**Fix.** {rule.fixit}")
+        out.append("")
+    return "\n".join(out)
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -149,6 +362,52 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument(
         "--list-rules", action="store_true", help="print the rule catalogue and exit"
     )
+    parser.add_argument(
+        "--explain-rules",
+        action="store_true",
+        help="print the rule catalogue as markdown (docs/rules.md) and exit",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "sarif"),
+        default="text",
+        help="output format (sarif = SARIF 2.1.0 for code scanning)",
+    )
+    parser.add_argument(
+        "--output", metavar="FILE", help="write the report here instead of stdout"
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="suppress findings recorded in this baseline file",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        help="accept the current findings: write them as the new baseline and exit",
+    )
+    parser.add_argument(
+        "--changed-since",
+        metavar="REF",
+        help="diff-aware mode: only report findings in files changed since REF",
+    )
+    parser.add_argument(
+        "--fix", action="store_true", help="apply mechanical fix-its in place"
+    )
+    parser.add_argument(
+        "--check-suppressions",
+        action="store_true",
+        help="report stale `# noqa: RPRxxx` / pragma suppressions and exit",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true", help="bypass the lint result cache"
+    )
+    parser.add_argument(
+        "--cache",
+        metavar="FILE",
+        default=DEFAULT_CACHE_PATH,
+        help=f"cache file location (default: {DEFAULT_CACHE_PATH})",
+    )
     args = parser.parse_args(argv)
 
     if args.list_rules:
@@ -157,17 +416,71 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(f"        why: {rule.rationale}")
             print(f"        fix: {rule.fixit}")
         return 0
+    if args.explain_rules:
+        print(explain_rules())
+        return 0
 
-    findings, errors = lint_paths(args.paths)
-    for error in errors:
+    cache = LintCache(None if args.no_cache else args.cache)
+    result = run_analysis(args.paths, cache)
+
+    if args.check_suppressions:
+        stale = stale_suppressions(result)
+        for path, line, code in stale:
+            print(f"{path}:{line}: stale suppression for {code} (no such finding)")
+        if stale:
+            print(f"\n{len(stale)} stale suppression(s)")
+            return 1
+        return 0
+
+    if args.fix:
+        changed = apply_fixes(result.findings)
+        for path, n in sorted(changed.items()):
+            print(f"fixed: {path} ({n} edit(s))")
+        if changed:
+            # re-analyze so the report reflects the rewritten tree
+            result = run_analysis(args.paths, cache)
+
+    if args.write_baseline:
+        baseline_mod.write_baseline(args.write_baseline, result.findings)
+        print(f"baseline: wrote {len(result.findings)} finding(s) to {args.write_baseline}")
+        return 0
+
+    findings = result.findings
+    if args.baseline:
+        accepted = baseline_mod.load_baseline(args.baseline)
+        findings = baseline_mod.filter_baseline(findings, accepted)
+
+    if args.changed_since:
+        changed_set = baseline_mod.changed_files(args.changed_since)
+        if changed_set is None:
+            print(
+                f"warning: `git diff {args.changed_since}` failed; "
+                "reporting the full tree",
+                file=sys.stderr,
+            )
+        else:
+            findings = baseline_mod.restrict_to_changed(findings, changed_set)
+
+    for error in result.errors:
         print(f"error: {error}", file=sys.stderr)
-    for finding in findings:
-        print(finding.render())
-    total = len(findings) + len(errors)
-    if total:
-        print(f"\n{len(findings)} finding(s), {len(errors)} parse error(s)")
-        return 1
-    return 0
+
+    if args.format == "sarif":
+        report = render_sarif(findings)
+    else:
+        lines = [f.render() for f in findings]
+        if findings or result.errors:
+            lines.append("")
+            lines.append(
+                f"{len(findings)} finding(s), {len(result.errors)} parse error(s)"
+            )
+        report = "\n".join(lines) + ("\n" if lines else "")
+
+    if args.output:
+        Path(args.output).write_text(report, encoding="utf-8")
+    elif report:
+        sys.stdout.write(report)
+
+    return 1 if (findings or result.errors) else 0
 
 
 if __name__ == "__main__":

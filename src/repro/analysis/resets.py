@@ -21,8 +21,8 @@ __all__ = ["register_reset", "reset_all", "registered", "unregister_reset"]
 
 #: The registry itself is process-global mutable state by necessity — it
 #: is the reset mechanism, is append-mostly, and resetting it would
-#: unregister every hook. Hence the explicit suppression.
-_RESETS: Dict[str, Callable[[], None]] = {}  # noqa: RPR003 - the registry is the reset mechanism
+#: unregister every hook.
+_RESETS: Dict[str, Callable[[], None]] = {}
 
 
 def register_reset(name: str, hook: Optional[Callable[[], None]] = None):

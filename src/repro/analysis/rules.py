@@ -20,6 +20,14 @@ RPR007  bare print() in library code (bypasses the event/log layer)
 RPR008  sorted()/list() copy or full relist in a # hot-path function
 RPR009  unguarded api.delete / eviction call (no NotFound/Conflict handling)
 RPR010  federation write bypasses the generation fence / retry layer
+RPR011  wall-clock/RNG taint escapes into simulated code (whole-program)
+RPR012  unfenced apiserver handle reaches a leader write site (whole-program)
+RPR013  read-modify-write on shared state spans a yield point
+
+RPR011–013 are implemented in :mod:`repro.analysis.flow` over the
+project call graph (:mod:`repro.analysis.callgraph`); their catalogue
+entries live here so ``--list-rules``/``--explain-rules`` and SARIF see
+one rule table.
 """
 
 from __future__ import annotations
@@ -41,6 +49,10 @@ class Finding:
     rule_id: str
     message: str
     fixit: str
+    #: mechanical autofix, when one exists: ``(start_line, start_col,
+    #: end_line, end_col, replacement)`` in 1-based line / 0-based column
+    #: AST coordinates. Applied by ``repro.analysis.fixes``.
+    fix: Optional[Tuple[int, int, int, int, str]] = None
 
     def render(self) -> str:
         return (
@@ -181,6 +193,39 @@ ALL_RULES: Tuple[RuleInfo, ...] = (
         "and the decorrelated-jitter retry policy (stampedes on flapping "
         "links); only the sanctioned wrappers may touch member clusters.",
         _FIX_FEDERATION,
+    ),
+    RuleInfo(
+        "RPR011",
+        "wall-clock/RNG taint escapes into simulated code",
+        "a helper can launder a host-clock or unseeded-RNG value past the "
+        "file-local rules: `def stamp(): return time.time()` is RPR001 in "
+        "its own file, but every *caller* in simulated code silently "
+        "diverges replays; this whole-program pass tracks taint through "
+        "returns, assignments, and call arguments across modules.",
+        "derive the value from Environment.now or a seeded Random threaded "
+        "through the call path; if the helper intentionally measures host "
+        "time, keep its callers out of simulated code",
+    ),
+    RuleInfo(
+        "RPR012",
+        "unfenced apiserver handle reaches a leader write site",
+        "RPR005 catches a factory that *syntactically* grabs `self.api`; "
+        "this pass follows the handle through aliasing, attribute storage, "
+        "and constructor forwarding — an unfenced APIServer passed through "
+        "two constructors into a controller that writes through it lets a "
+        "deposed leader keep writing (split-brain).",
+        "pass the factory's FencedAPIServer parameter down the constructor "
+        "chain instead of a captured bare apiserver handle",
+    ),
+    RuleInfo(
+        "RPR013",
+        "read-modify-write on shared state spans a yield point",
+        "between a read of shared etcd/pool/registry/apiserver state and "
+        "the dependent write, a `yield` hands the processor to other "
+        "processes — the read is stale when the write lands, the static "
+        "twin of the lost updates the dynamic race detector flags.",
+        "re-read after resuming, or make the write a CAS (etcd.put_if / "
+        "api.patch with Conflict retry) so a concurrent writer is detected",
     ),
 )
 
@@ -645,23 +690,45 @@ def _check_set_iteration(ctx: FileContext, project: ProjectContext) -> Iterator[
         for sub in _walk_scope(scope):
             if isinstance(sub, (ast.For, ast.AsyncFor)) and is_set(sub.iter):
                 yield _finding(
-                    ctx, sub.iter, "RPR006", _set_iter_msg(sub.iter)
+                    ctx, sub.iter, "RPR006", _set_iter_msg(sub.iter),
+                    fix=_sorted_wrap_fix(ctx, sub.iter),
                 )
             elif isinstance(sub, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
                 if sub in reduced and not isinstance(sub, (ast.ListComp, ast.DictComp)):
                     continue
                 for gen in sub.generators:
                     if is_set(gen.iter):
-                        yield _finding(ctx, gen.iter, "RPR006", _set_iter_msg(gen.iter))
+                        yield _finding(
+                            ctx, gen.iter, "RPR006", _set_iter_msg(gen.iter),
+                            fix=_sorted_wrap_fix(ctx, gen.iter),
+                        )
             elif isinstance(sub, ast.Call):
                 name = _dotted(sub.func)
                 if name in _ORDERED_CONSUMERS and sub.args and is_set(sub.args[0]):
-                    yield _finding(ctx, sub, "RPR006", _set_iter_msg(sub.args[0]))
+                    if name == "list":
+                        # list(s) -> sorted(s): same list out, stable order.
+                        arg_seg = _segment(ctx, sub.args[0])
+                        fix = (
+                            (sub.lineno, sub.col_offset, sub.end_lineno,
+                             sub.end_col_offset, f"sorted({arg_seg})")
+                            if arg_seg is not None and sub.end_lineno is not None
+                            else None
+                        )
+                    else:
+                        fix = _sorted_wrap_fix(ctx, sub.args[0])
+                    yield _finding(ctx, sub, "RPR006", _set_iter_msg(sub.args[0]), fix=fix)
 
 
 def _walk_scope(scope: ast.AST) -> Iterator[ast.AST]:
     """Walk *scope* without descending into nested function/class scopes."""
-    stack = list(scope.body)
+    # Functions directly in scope.body must be filtered here too — they get
+    # their own scope pass, and descending into them from the enclosing
+    # scope would report every finding in their bodies twice.
+    stack = [
+        n
+        for n in scope.body
+        if not isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda))
+    ]
     while stack:
         node = stack.pop()
         yield node
@@ -675,6 +742,24 @@ def _set_iter_msg(expr: ast.AST) -> str:
     name = _dotted(expr)
     what = f"`{name}`" if name else "a set expression"
     return f"unsorted iteration over set {what}"
+
+
+def _segment(ctx: FileContext, node: ast.AST) -> Optional[str]:
+    try:
+        return ast.get_source_segment(ctx.source, node)
+    except Exception:
+        return None
+
+
+def _sorted_wrap_fix(
+    ctx: FileContext, expr: ast.AST
+) -> Optional[Tuple[int, int, int, int, str]]:
+    """Autofix span wrapping *expr* in ``sorted(...)``."""
+    seg = _segment(ctx, expr)
+    if seg is None or getattr(expr, "end_lineno", None) is None:
+        return None
+    return (expr.lineno, expr.col_offset, expr.end_lineno, expr.end_col_offset,
+            f"sorted({seg})")
 
 
 # ---------------------------------------------------------------------------
@@ -814,12 +899,22 @@ def _check_unguarded_delete(ctx: FileContext) -> Iterator[Finding]:
             receiver = _dotted(sub.func.value)
             if receiver is None or "api" not in _segments(receiver):
                 continue
+            fix = None
+            if sub.func.attr == "delete" and getattr(sub.func, "end_lineno", None):
+                # mechanical helper substitution: delete -> try_delete
+                # (same signature, NotFound-tolerant).
+                fix = (
+                    sub.func.lineno, sub.func.col_offset,
+                    sub.func.end_lineno, sub.func.end_col_offset,
+                    f"{receiver}.try_delete",
+                )
             yield _finding(
                 ctx,
                 sub,
                 "RPR009",
                 f"`{receiver}.{sub.func.attr}(...)` with no NotFound/Conflict "
                 "handling in scope",
+                fix=fix,
             )
 
 
@@ -881,7 +976,13 @@ def _check_federation_writes(ctx: FileContext) -> Iterator[Finding]:
 # driver
 # ---------------------------------------------------------------------------
 
-def _finding(ctx: FileContext, node: ast.AST, rule_id: str, message: str) -> Finding:
+def _finding(
+    ctx: FileContext,
+    node: ast.AST,
+    rule_id: str,
+    message: str,
+    fix: Optional[Tuple[int, int, int, int, str]] = None,
+) -> Finding:
     info = _RULE_BY_ID[rule_id]
     return Finding(
         path=ctx.path,
@@ -890,6 +991,7 @@ def _finding(ctx: FileContext, node: ast.AST, rule_id: str, message: str) -> Fin
         rule_id=rule_id,
         message=message,
         fixit=info.fixit,
+        fix=fix,
     )
 
 

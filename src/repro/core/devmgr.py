@@ -279,6 +279,24 @@ class KubeShareDevMgr(Controller):
             self._pod_created.add(key)
             if self.op_latency > 0:
                 yield self.env.timeout(self.op_latency)
+            # Re-read after resuming: the SharePod may have been deleted or
+            # completed while we were suspended (materialization wait + op
+            # latency), and the real pod must not be created from the stale
+            # pre-yield snapshot.
+            try:
+                fresh = self.api.get("SharePod", name, namespace)
+            except ServiceUnavailable:
+                # Outage mid-reconcile: undo the dedupe mark and let the
+                # worker requeue this key with backoff once the API heals.
+                self._pod_created.discard(key)
+                raise
+            if fresh is None:
+                yield from self._handle_deleted(key, namespace, name)
+                return
+            if fresh.status.phase in _TERMINAL:
+                self._detach(key)
+                return
+            sp = fresh
             self._create_real_pod(sp, vgpu, timing)
 
         self._mirror_pod_status(sp, key, timing)

@@ -514,7 +514,7 @@ class KubeShareSched(Controller):
                     for s in sharepods
                     if s.spec.gpu_id is not None and s.status.phase not in _TERMINAL
                 }
-            in_flight = len({g for g in assigned_ids if g not in pool})  # noqa: RPR006 - order-insensitive: only the count is used
+            in_flight = len({g for g in assigned_ids if g not in pool})
             capacity = (
                 self._cluster_gpu_capacity()
                 if fastpath.slow_kernel

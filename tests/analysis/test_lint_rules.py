@@ -296,6 +296,28 @@ class TestRPR006SetIteration:
                 return all(i.startswith("vgpu-") for i in s)
         """) == []
 
+    def test_finding_reported_exactly_once(self):
+        # A module-level def is both part of the Module scope's body and a
+        # scope of its own; the walker must visit its body exactly once.
+        result = findings("""
+            def drain(keys):
+                pending = set(keys)
+                for key in pending:
+                    yield key
+        """)
+        assert [f.rule_id for f in result] == ["RPR006"]
+
+    def test_nested_function_reported_exactly_once(self):
+        result = findings("""
+            def outer(keys):
+                def inner():
+                    pending = set(keys)
+                    for key in pending:
+                        yield key
+                return inner
+        """)
+        assert [f.rule_id for f in result] == ["RPR006"]
+
 
 class TestRPR007BarePrint:
     SNIPPET = textwrap.dedent("""

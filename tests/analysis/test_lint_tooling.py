@@ -1,0 +1,476 @@
+"""Production-tooling tests for the lint engine: SARIF output, the
+committed baseline + diff-aware mode, autofix idempotency, the
+content-hash cache, tokenize-based noqa scanning, stale-suppression
+detection, and the CLI exit-code contract."""
+
+import json
+import shutil
+import subprocess
+import textwrap
+
+import pytest
+
+from repro.analysis import baseline as baseline_mod
+from repro.analysis.cache import ENGINE_VERSION, LintCache
+from repro.analysis.fixes import apply_fixes_to_source
+from repro.analysis.lint import (
+    lint_source,
+    main,
+    run_analysis,
+    stale_suppressions,
+)
+from repro.analysis.rules import ALL_RULES
+from repro.analysis.sarif import to_sarif
+
+
+def _write(tmp_path, name, source):
+    path = tmp_path / name
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return path
+
+
+WALLCLOCK = """
+    import time
+
+    def stamp():
+        return time.perf_counter()
+"""
+
+CLEAN = """
+    def stamp(env):
+        return env.now
+"""
+
+
+# ---------------------------------------------------------------------------
+# SARIF
+# ---------------------------------------------------------------------------
+
+
+class TestSarif:
+    def test_document_shape(self, tmp_path):
+        _write(tmp_path, "bad.py", WALLCLOCK)
+        result = run_analysis([str(tmp_path)])
+        doc = to_sarif(result.findings)
+        assert doc["version"] == "2.1.0"
+        assert "sarif-schema-2.1.0" in doc["$schema"]
+        (run,) = doc["runs"]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "repro-lint"
+        assert [r["id"] for r in driver["rules"]] == [r.id for r in ALL_RULES]
+
+    def test_result_fields(self, tmp_path):
+        _write(tmp_path, "bad.py", WALLCLOCK)
+        result = run_analysis([str(tmp_path)])
+        doc = to_sarif(result.findings)
+        (res,) = doc["runs"][0]["results"]
+        assert res["ruleId"] == "RPR001"
+        assert res["level"] == "error"
+        loc = res["locations"][0]["physicalLocation"]
+        assert loc["artifactLocation"]["uri"].endswith("bad.py")
+        assert loc["region"]["startLine"] == 5
+        assert "reproLintFingerprint/v1" in res["partialFingerprints"]
+        # ruleIndex must point back into the rules array
+        rules = doc["runs"][0]["tool"]["driver"]["rules"]
+        assert rules[res["ruleIndex"]]["id"] == "RPR001"
+
+    def test_fingerprint_matches_baseline_fingerprint(self, tmp_path):
+        _write(tmp_path, "bad.py", WALLCLOCK)
+        result = run_analysis([str(tmp_path)])
+        doc = to_sarif(result.findings)
+        (res,) = doc["runs"][0]["results"]
+        (fp,) = baseline_mod.fingerprints(result.findings)
+        assert res["partialFingerprints"]["reproLintFingerprint/v1"] == fp
+
+    def test_empty_findings_validates(self):
+        doc = to_sarif([])
+        assert doc["runs"][0]["results"] == []
+        json.dumps(doc)  # must be serializable
+
+
+# ---------------------------------------------------------------------------
+# baseline + diff-aware mode
+# ---------------------------------------------------------------------------
+
+
+class TestBaseline:
+    def test_fingerprint_is_line_independent(self, tmp_path):
+        _write(tmp_path, "bad.py", WALLCLOCK)
+        before = run_analysis([str(tmp_path)])
+        # push the finding down two lines; the fingerprint must not move
+        _write(tmp_path, "bad.py", "\n\n" + textwrap.dedent(WALLCLOCK))
+        after = run_analysis([str(tmp_path)])
+        assert before.findings[0].line != after.findings[0].line
+        assert baseline_mod.fingerprints(before.findings) == baseline_mod.fingerprints(
+            after.findings
+        )
+
+    def test_duplicate_messages_get_distinct_fingerprints(self, tmp_path):
+        _write(
+            tmp_path,
+            "bad.py",
+            """
+            import time
+
+            def a():
+                return time.perf_counter()
+
+            def b():
+                return time.perf_counter()
+            """,
+        )
+        result = run_analysis([str(tmp_path)])
+        fps = baseline_mod.fingerprints(result.findings)
+        assert len(fps) == len(set(fps)) == 2
+
+    def test_write_then_filter_suppresses_everything(self, tmp_path):
+        _write(tmp_path, "bad.py", WALLCLOCK)
+        result = run_analysis([str(tmp_path)])
+        assert result.findings
+        bl = tmp_path / "baseline.json"
+        baseline_mod.write_baseline(str(bl), result.findings)
+        accepted = baseline_mod.load_baseline(str(bl))
+        assert baseline_mod.filter_baseline(result.findings, accepted) == []
+
+    def test_new_finding_survives_baseline(self, tmp_path):
+        _write(tmp_path, "bad.py", WALLCLOCK)
+        result = run_analysis([str(tmp_path)])
+        bl = tmp_path / "baseline.json"
+        baseline_mod.write_baseline(str(bl), result.findings)
+        _write(
+            tmp_path,
+            "bad.py",
+            textwrap.dedent(WALLCLOCK)
+            + "\ndef later():\n    return time.time()\n",
+        )
+        result = run_analysis([str(tmp_path)])
+        accepted = baseline_mod.load_baseline(str(bl))
+        fresh = baseline_mod.filter_baseline(result.findings, accepted)
+        assert len(fresh) == 1 and "time.time" in fresh[0].message
+
+    def test_missing_baseline_is_empty(self, tmp_path):
+        assert baseline_mod.load_baseline(str(tmp_path / "nope.json")) == set()
+
+
+@pytest.mark.skipif(shutil.which("git") is None, reason="git not available")
+class TestChangedSince:
+    def _git(self, cwd, *args):
+        subprocess.run(
+            ["git", "-c", "user.email=t@t", "-c", "user.name=t", *args],
+            cwd=cwd,
+            check=True,
+            capture_output=True,
+        )
+
+    def test_changed_files_and_restrict(self, tmp_path, monkeypatch):
+        self._git(tmp_path, "init", "-q")
+        _write(tmp_path, "a.py", WALLCLOCK)
+        _write(tmp_path, "b.py", WALLCLOCK)
+        self._git(tmp_path, "add", ".")
+        self._git(tmp_path, "commit", "-q", "-m", "seed")
+        _write(tmp_path, "a.py", textwrap.dedent(WALLCLOCK) + "X = 1\n")
+        changed = baseline_mod.changed_files("HEAD", cwd=str(tmp_path))
+        assert changed is not None
+        assert any(c.endswith("a.py") for c in changed)
+        assert not any(c.endswith("b.py") for c in changed)
+
+        # findings carry repo-relative paths when lint runs at the root,
+        # which is how the CLI matches them against `git diff` output
+        monkeypatch.chdir(tmp_path)
+        result = run_analysis(["."])
+        kept = baseline_mod.restrict_to_changed(result.findings, changed)
+        assert kept and all(f.path.endswith("a.py") for f in kept)
+
+    def test_unchanged_tree_reports_nothing(self, tmp_path, monkeypatch):
+        self._git(tmp_path, "init", "-q")
+        _write(tmp_path, "a.py", WALLCLOCK)
+        self._git(tmp_path, "add", ".")
+        self._git(tmp_path, "commit", "-q", "-m", "seed")
+        changed = baseline_mod.changed_files("HEAD", cwd=str(tmp_path))
+        assert changed == set()
+        monkeypatch.chdir(tmp_path)
+        result = run_analysis(["."])
+        assert result.findings  # the tree has findings...
+        assert baseline_mod.restrict_to_changed(result.findings, changed) == []
+
+    def test_bad_ref_returns_none(self, tmp_path):
+        self._git(tmp_path, "init", "-q")
+        assert baseline_mod.changed_files("no-such-ref", cwd=str(tmp_path)) is None
+
+
+# ---------------------------------------------------------------------------
+# autofix
+# ---------------------------------------------------------------------------
+
+
+class TestAutofix:
+    SET_ITER = """
+        def drain(keys):
+            pending = set(keys)
+            for key in pending:
+                yield key
+    """
+
+    def test_sorted_wrap_applied(self):
+        src = textwrap.dedent(self.SET_ITER)
+        findings = lint_source(src, path="fixture.py")
+        assert any(f.fix is not None for f in findings)
+        fixed, applied = apply_fixes_to_source(src, findings)
+        assert applied == 1
+        assert "for key in sorted(pending):" in fixed
+
+    def test_fix_clears_the_finding(self):
+        src = textwrap.dedent(self.SET_ITER)
+        fixed, _ = apply_fixes_to_source(src, lint_source(src, path="fixture.py"))
+        assert not [
+            f for f in lint_source(fixed, path="fixture.py") if f.rule_id == "RPR006"
+        ]
+
+    def test_second_pass_is_byte_identical(self):
+        src = textwrap.dedent(self.SET_ITER)
+        once, _ = apply_fixes_to_source(src, lint_source(src, path="fixture.py"))
+        twice, applied = apply_fixes_to_source(
+            once, lint_source(once, path="fixture.py")
+        )
+        assert applied == 0
+        assert twice == once
+
+    def test_unguarded_delete_rewritten_to_try_delete(self):
+        # RPR009 polices library scope only, so give the fixture a src path
+        src = textwrap.dedent("""
+            def drop(api, name):
+                api.delete("Pod", name)
+        """)
+        findings = [f for f in lint_source(src, path="src/repro/fake.py") if f.fix]
+        fixed, applied = apply_fixes_to_source(src, findings)
+        assert applied == 1
+        assert 'api.try_delete("Pod", name)' in fixed
+
+    def test_noqa_is_never_autofixed_in(self):
+        # the only autofixes are mechanical rewrites; suppressions must be
+        # written (and justified) by a human.
+        src = textwrap.dedent("""
+            import time
+
+            def stamp():
+                return time.perf_counter()
+        """)
+        findings = lint_source(src, path="fixture.py")
+        fixed, applied = apply_fixes_to_source(src, findings)
+        assert applied == 0
+        assert "noqa" not in fixed
+
+
+# ---------------------------------------------------------------------------
+# cache
+# ---------------------------------------------------------------------------
+
+
+class TestCache:
+    def test_second_run_hits_for_every_file(self, tmp_path):
+        _write(tmp_path, "a.py", WALLCLOCK)
+        _write(tmp_path, "b.py", CLEAN)
+        cache_path = str(tmp_path / ".cache")
+        run_analysis([str(tmp_path)], LintCache(cache_path))
+        result = run_analysis([str(tmp_path)], LintCache(cache_path))
+        assert result.cache_hits == 2 and result.cache_misses == 0
+
+    def test_cached_findings_equal_fresh_findings(self, tmp_path):
+        _write(tmp_path, "a.py", WALLCLOCK)
+        cache_path = str(tmp_path / ".cache")
+        fresh = run_analysis([str(tmp_path)], LintCache(cache_path))
+        cached = run_analysis([str(tmp_path)], LintCache(cache_path))
+        assert [f.render() for f in cached.findings] == [
+            f.render() for f in fresh.findings
+        ]
+
+    def test_edit_invalidates_only_that_file(self, tmp_path):
+        _write(tmp_path, "a.py", WALLCLOCK)
+        _write(tmp_path, "b.py", CLEAN)
+        cache_path = str(tmp_path / ".cache")
+        run_analysis([str(tmp_path)], LintCache(cache_path))
+        _write(tmp_path, "b.py", CLEAN.replace("env.now", "env.now + 0"))
+        result = run_analysis([str(tmp_path)], LintCache(cache_path))
+        assert result.cache_hits == 1 and result.cache_misses == 1
+
+    def test_engine_version_mismatch_invalidates(self, tmp_path):
+        _write(tmp_path, "a.py", CLEAN)
+        cache_path = tmp_path / ".cache"
+        run_analysis([str(tmp_path)], LintCache(str(cache_path)))
+        payload = json.loads(cache_path.read_text(encoding="utf-8"))
+        assert payload["engine"] == ENGINE_VERSION
+        payload["engine"] = "rpr-engine-0"
+        cache_path.write_text(json.dumps(payload), encoding="utf-8")
+        result = run_analysis([str(tmp_path)], LintCache(str(cache_path)))
+        assert result.cache_misses == 1
+
+    def test_corrupt_cache_is_ignored(self, tmp_path):
+        _write(tmp_path, "a.py", WALLCLOCK)
+        cache_path = tmp_path / ".cache"
+        cache_path.write_text("{not json", encoding="utf-8")
+        result = run_analysis([str(tmp_path)], LintCache(str(cache_path)))
+        assert len(result.findings) == 1
+
+    def test_deleted_file_is_pruned(self, tmp_path):
+        a = _write(tmp_path, "a.py", CLEAN)
+        _write(tmp_path, "b.py", CLEAN)
+        cache_path = tmp_path / ".cache"
+        run_analysis([str(tmp_path)], LintCache(str(cache_path)))
+        a.unlink()
+        run_analysis([str(tmp_path)], LintCache(str(cache_path)))
+        payload = json.loads(cache_path.read_text(encoding="utf-8"))
+        assert not any(p.endswith("a.py") for p in payload["files"])
+
+
+# ---------------------------------------------------------------------------
+# tokenize-based suppression scanning
+# ---------------------------------------------------------------------------
+
+
+class TestNoqaScanning:
+    def test_noqa_inside_string_literal_is_inert(self):
+        src = textwrap.dedent("""
+            import time
+
+            SNIPPET = "t = time.time()  # noqa: RPR001"
+            t0 = time.perf_counter()
+        """)
+        assert [f.rule_id for f in lint_source(src, path="fixture.py")] == ["RPR001"]
+
+    def test_noqa_in_string_on_the_finding_line_is_inert(self):
+        src = 'import time\nmsg = "# noqa: RPR001"; t0 = time.perf_counter()\n'
+        assert [f.rule_id for f in lint_source(src, path="fixture.py")] == ["RPR001"]
+
+    def test_real_comment_still_suppresses(self):
+        src = textwrap.dedent("""
+            import time
+            t0 = time.perf_counter()  # noqa: RPR001 - measuring host wall time
+        """)
+        assert lint_source(src, path="fixture.py") == []
+
+    def test_pragma_inside_docstring_is_inert(self):
+        src = textwrap.dedent('''
+            """Docs quoting `# repro-lint: disable=RPR001` must not disable."""
+            import time
+            t0 = time.perf_counter()
+        ''')
+        assert [f.rule_id for f in lint_source(src, path="fixture.py")] == ["RPR001"]
+
+
+class TestStaleSuppressions:
+    def test_stale_noqa_reported(self, tmp_path):
+        _write(
+            tmp_path,
+            "a.py",
+            """
+            def stamp(env):
+                return env.now  # noqa: RPR001 - stale justification
+            """,
+        )
+        result = run_analysis([str(tmp_path)])
+        stale = stale_suppressions(result)
+        assert len(stale) == 1
+        path, line, code = stale[0]
+        assert path.endswith("a.py") and code == "RPR001"
+
+    def test_live_noqa_not_reported(self, tmp_path):
+        _write(
+            tmp_path,
+            "a.py",
+            """
+            import time
+            t0 = time.perf_counter()  # noqa: RPR001 - measuring host wall time
+            """,
+        )
+        assert stale_suppressions(run_analysis([str(tmp_path)])) == []
+
+    def test_bare_noqa_and_foreign_codes_not_judged(self, tmp_path):
+        _write(
+            tmp_path,
+            "a.py",
+            """
+            x = 1  # noqa
+            y = 2  # noqa: BLE001
+            """,
+        )
+        assert stale_suppressions(run_analysis([str(tmp_path)])) == []
+
+    def test_stale_pragma_reported(self, tmp_path):
+        _write(
+            tmp_path,
+            "a.py",
+            """
+            # repro-lint: disable=RPR004 - nothing here touches raw CAS
+            def stamp(env):
+                return env.now
+            """,
+        )
+        stale = stale_suppressions(run_analysis([str(tmp_path)]))
+        assert [code for _, _, code in stale] == ["RPR004"]
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+class TestCli:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        _write(tmp_path, "a.py", CLEAN)
+        assert main([str(tmp_path), "--no-cache"]) == 0
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        _write(tmp_path, "a.py", WALLCLOCK)
+        assert main([str(tmp_path), "--no-cache"]) == 1
+        out = capsys.readouterr().out
+        assert "RPR001" in out and "1 finding(s)" in out
+
+    def test_parse_error_exits_one(self, tmp_path, capsys):
+        _write(tmp_path, "a.py", "def broken(:\n")
+        assert main([str(tmp_path), "--no-cache"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_sarif_output_file(self, tmp_path, capsys):
+        _write(tmp_path, "a.py", WALLCLOCK)
+        out = tmp_path / "report.sarif"
+        assert main([str(tmp_path), "--no-cache", "--format", "sarif",
+                     "--output", str(out)]) == 1
+        doc = json.loads(out.read_text(encoding="utf-8"))
+        assert doc["version"] == "2.1.0"
+        assert len(doc["runs"][0]["results"]) == 1
+
+    def test_write_baseline_then_baseline_suppresses(self, tmp_path, capsys):
+        _write(tmp_path, "a.py", WALLCLOCK)
+        bl = tmp_path / "baseline.json"
+        assert main([str(tmp_path), "--no-cache", "--write-baseline", str(bl)]) == 0
+        assert main([str(tmp_path), "--no-cache", "--baseline", str(bl)]) == 0
+
+    def test_fix_rewrites_in_place(self, tmp_path, capsys):
+        path = _write(
+            tmp_path,
+            "a.py",
+            """
+            def drain(keys):
+                pending = set(keys)
+                for key in pending:
+                    yield key
+            """,
+        )
+        assert main([str(tmp_path), "--no-cache", "--fix"]) == 0
+        assert "sorted(pending)" in path.read_text(encoding="utf-8")
+
+    def test_check_suppressions_exit_codes(self, tmp_path, capsys):
+        _write(tmp_path, "a.py", "x = 1  # noqa: RPR001 - stale\n")
+        assert main([str(tmp_path), "--no-cache", "--check-suppressions"]) == 1
+        _write(tmp_path, "a.py", "x = 1\n")
+        assert main([str(tmp_path), "--no-cache", "--check-suppressions"]) == 0
+
+    def test_changed_since_bad_ref_warns_and_falls_back(self, tmp_path, capsys):
+        _write(tmp_path, "a.py", WALLCLOCK)
+        code = main(
+            [str(tmp_path), "--no-cache", "--changed-since", "no-such-ref-xyz"]
+        )
+        captured = capsys.readouterr()
+        assert code == 1  # full-tree fallback still reports the finding
+        assert "warning" in captured.err

@@ -96,10 +96,13 @@ def run_scenario(recovery: bool) -> dict:
     post_rate = rate(POST_WINDOW)
     if detector is not None:
         detector.check()  # fails loudly on any recorded violation
+    slo_alerts = None
     if hub is not None:
         hub.export_dir(os.environ.get(OBS_DIR, "obs-artifacts"))
+        slo_alerts = [a.to_dict() for a in hub.slo.alerts] if hub.slo else []
         obs_disable()
     return {
+        "slo_alerts": slo_alerts,
         "pre_rate": pre_rate,
         "post_rate": post_rate,
         "victim": victim,
@@ -149,6 +152,19 @@ def test_throughput_recovers_after_node_crash(report, benchmark):
 
     # Throughput back to ≥90% of steady state.
     assert rec["post_rate"] >= 0.9 * rec["pre_rate"]
+
+    # With observability armed (REPRO_OBS=1, as in the CI smoke job), the
+    # node loss burns through the schedule-latency error budget: exactly
+    # one page-severity fast-burn alert fires and resolves once the
+    # displaced SharePods are rescheduled.
+    if rec["slo_alerts"] is not None:
+        pages = [a for a in rec["slo_alerts"] if a["severity"] == "page"]
+        assert len(pages) == 1, f"expected exactly one page alert, got {pages}"
+        [page] = pages
+        assert page["slo"] == "sharepod-schedule-latency"
+        assert page["fired_at"] >= FAULT_AT
+        assert page["state"] == "resolved", "page alert must resolve after recovery"
+        assert page["resolved_at"] <= POST_WINDOW[1]
 
     # Same fault, no recovery machinery: the displaced work never comes
     # back, and cluster throughput stays depressed.

@@ -92,8 +92,10 @@ def run_scenario(replicas: int) -> dict:
     env.run(until=HORIZON)
     if detector is not None:
         detector.check()  # fails loudly on any recorded violation
+    slo_alerts = None
     if hub is not None:
         hub.export_dir(os.environ.get(OBS_DIR, "obs-artifacts"))
+        slo_alerts = [a.to_dict() for a in hub.slo.alerts] if hub.slo else []
         obs_disable()
 
     names = steady + burst
@@ -115,6 +117,7 @@ def run_scenario(replicas: int) -> dict:
     group = ks.devmgr_group
     new_leader = group.controllers[-1] if len(group.controllers) > 1 else None
     return {
+        "slo_alerts": slo_alerts,
         "chaos_log": [(t, f.kind, v, o) for t, f, v, o in engine.log],
         "promotions": list(group.promotions),
         "sched_promotions": list(ks.sched_group.promotions),
@@ -180,6 +183,14 @@ def test_standby_takes_over_and_finishes_the_burst(report, benchmark):
         assert phase is PodPhase.RUNNING, f"{name}: {phase}"
         assert gpu_id is not None, f"{name} never scheduled"
         assert pod_name in ha["pod_names"], f"{name} has no pod"
+
+    # With observability armed, a clean failover stays inside the error
+    # budget: the standby takes over fast enough that no page-severity
+    # burn alert ever fires (contrast with the chaos capstone, where node
+    # loss must page).
+    if ha["slo_alerts"] is not None:
+        pages = [a for a in ha["slo_alerts"] if a["severity"] == "page"]
+        assert not pages, f"failover should not page: {pages}"
 
     # Zero double-binding: each physical GPU backs at most one vGPU
     # placeholder, and no vGPU's admitted gpu_request exceeds capacity.

@@ -436,6 +436,7 @@ class KubeShareSched(Controller):
         )
 
     def reconcile(self, key: str) -> Generator:  # hot-path
+        pass_start = self.env.now  # virtual pass latency (repro_algo1_pass_seconds)
         namespace, name = key.split("/", 1)
         sp = self.api.get("SharePod", name, namespace)
         if sp is None or sp.spec.gpu_id is not None or sp.status.phase in _TERMINAL:
@@ -486,7 +487,7 @@ class KubeShareSched(Controller):
 
         if decision.rejected:
             self.rejected_total += 1
-            obs.commit_decision(audit, key, decision)
+            obs.commit_decision(audit, key, decision, started_at=pass_start)
             obs.event(
                 "FailedScheduling",
                 f"unschedulable: {decision.reason}",
@@ -503,7 +504,9 @@ class KubeShareSched(Controller):
             if sp.spec.best_effort:
                 # Harvesting mode: spare capacity on existing vGPUs only —
                 # a best-effort SharePod never acquires a physical GPU.
-                obs.commit_decision(audit, key, decision, outcome="deferred")
+                obs.commit_decision(
+                    audit, key, decision, outcome="deferred", started_at=pass_start
+                )
                 self.env.process(self._requeue_later(key, self.defer_delay))
                 return
             # A new vGPU needs a free physical GPU; if the cluster is fully
@@ -527,7 +530,9 @@ class KubeShareSched(Controller):
                     # Multi-tenant mode: try to plan a preemption so this
                     # (possibly high-priority) SharePod eventually places.
                     self.contention.try_preempt(self.api, sp, key, self.env.now)
-                obs.commit_decision(audit, key, decision, outcome="deferred")
+                obs.commit_decision(
+                    audit, key, decision, outcome="deferred", started_at=pass_start
+                )
                 obs.event(
                     "SchedulingDeferred",
                     "new vGPU needed but cluster GPU capacity is exhausted; "
@@ -550,7 +555,7 @@ class KubeShareSched(Controller):
         except NotFound:
             return
         self.scheduled_total += 1
-        obs.commit_decision(audit, key, decision)
+        obs.commit_decision(audit, key, decision, started_at=pass_start)
         obs.event(
             "Scheduled",
             f"assigned vGPU {decision.gpuid}"

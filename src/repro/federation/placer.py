@@ -127,7 +127,15 @@ class GlobalPlacer:
             "place",
             record.metadata.key,
             f"best-fit placed on {target}",
-            {"cluster": target, "generation": record.spec.generation + 1},
+            {
+                "cluster": target,
+                "generation": record.spec.generation + 1,
+                # created -> placed, virtual seconds (drives the
+                # repro_federation_place_seconds histogram).
+                "latency": round(
+                    self.env.now - (record.metadata.creation_time or 0.0), 9
+                ),
+            },
         )
 
     def _choose_cluster(

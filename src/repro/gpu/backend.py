@@ -370,7 +370,7 @@ class TokenBackend:
         if not state.queue:
             return
         state.granting = True
-        self.env.process(self._grant(device_uuid))
+        self.env.process(self._grant(device_uuid), name=f"token-backend:{device_uuid}")
 
     def _retry_later(self, device_uuid: str) -> Generator:
         yield self.env.timeout(self.quota / 4)

@@ -7,12 +7,14 @@ from .analysis import (
     slowdown,
     throughput_jobs_per_minute,
 )
-from .collector import MetricsRegistry, TimeSeries
+from .collector import DEFAULT_LATENCY_BOUNDARIES, Histogram, MetricsRegistry, TimeSeries
 from .export import results_to_json, rows_to_csv, series_to_csv, write_text
 from .reporting import ascii_table, banner, format_percent, format_series
 
 __all__ = [
     "TimeSeries",
+    "Histogram",
+    "DEFAULT_LATENCY_BOUNDARIES",
     "MetricsRegistry",
     "makespan",
     "throughput_jobs_per_minute",

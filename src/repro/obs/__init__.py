@@ -14,10 +14,21 @@ perturb a seeded schedule:
   :class:`~repro.metrics.MetricsRegistry` (work-queue depth, informer
   lag, etcd revision rate, token grant/deny counters, quota-window
   occupancy), dumped via :mod:`repro.obs.promfmt` in Prometheus text
-  exposition format.
+  exposition format;
+* :mod:`repro.obs.hist` — streaming fixed-boundary latency histograms
+  (Prometheus ``_bucket``/``_sum``/``_count``, exact per-window
+  p50/p95/p99) over the hot seams: Algorithm 1 passes, SharePod
+  journeys, token waits, reconciles, informer lag, federation placement;
+* :mod:`repro.obs.slo` — declarative SLOs evaluated in virtual time by
+  a multi-window multi-burn-rate alerter (page/ticket tiers) whose
+  alerts land as Events in the artifact;
+* :mod:`repro.obs.profile` — the one deliberately wall-clock instrument:
+  a continuous profiler around ``Environment.step`` writing
+  speedscope-compatible collapsed-stack flamegraphs (kept out of the
+  deterministic snapshot; arm with ``REPRO_OBS_PROFILE=1``).
 
-CLI: ``python -m repro.obs {trace,events,explain,export}`` — see
-``README.md`` for the quickstart. Arm benchmarks with ``REPRO_OBS=1``.
+CLI: ``python -m repro.obs {trace,events,explain,export,report,slo,profile}``
+— see ``README.md`` for the quickstart. Arm benchmarks with ``REPRO_OBS=1``.
 """
 
 from .runtime import (
@@ -31,6 +42,7 @@ from .runtime import (
     install_federation_from_env,
     install_from_env,
 )
+from .slo import SLO, Alert, BurnRatePolicy, SLOEvaluator, default_slos
 
 __all__ = [
     "ObsHub",
@@ -42,4 +54,9 @@ __all__ = [
     "disable",
     "install_federation_from_env",
     "install_from_env",
+    "SLO",
+    "Alert",
+    "BurnRatePolicy",
+    "SLOEvaluator",
+    "default_slos",
 ]

@@ -22,28 +22,44 @@ __all__ = [
     "explain",
     "trace_summary",
     "artifact_prometheus_text",
+    "hist_report",
+    "slo_report",
 ]
 
 
 def load(path: str) -> Dict[str, object]:
     with open(path) as fh:
         art = json.load(fh)
-    for field in ("spans", "events", "decisions", "counters", "series"):
-        art.setdefault(field, [] if field != "counters" and field != "series" else {})
+    for field in ("spans", "events", "decisions"):
+        art.setdefault(field, [])
+    for field in ("counters", "series", "histograms"):
+        art.setdefault(field, {})
+    art.setdefault("slo", None)
     return art
 
 
 class _RegistryView:
-    """Adapt artifact counters/series dicts to the promfmt interface."""
+    """Adapt artifact counters/series/histograms dicts to promfmt."""
 
     class _TS:
         def __init__(self, data):
             self.values = data["values"]
 
+    class _Hist:
+        def __init__(self, data):
+            self.boundaries = data["boundaries"]
+            self.bucket_counts = data["bucket_counts"]
+            self.sum = data["sum"]
+            self.count = data["count"]
+
     def __init__(self, art: Dict[str, object]) -> None:
         self.counters = art.get("counters", {})
         self.series = {
             name: self._TS(data) for name, data in art.get("series", {}).items()
+        }
+        self.histograms = {
+            name: self._Hist(data)
+            for name, data in (art.get("histograms") or {}).items()
         }
 
 
@@ -52,7 +68,14 @@ def artifact_prometheus_text(art: Dict[str, object]) -> str:
 
 
 def export_all(art: Dict[str, object], directory: str, label: str) -> List[str]:
-    """Write the four standard artifact files; returns their paths."""
+    """Write the standard artifact files; returns their paths.
+
+    Always: ``.json`` (full artifact), ``.trace.json`` (Perfetto),
+    ``.events.txt``, ``.prom``. When the run evaluated SLOs: ``.slo.json``
+    (definitions, attainment, alert log). When a profile section is
+    present (CLI ``profile`` runs): ``.folded`` (speedscope/flamegraph.pl
+    collapsed stacks).
+    """
     os.makedirs(directory, exist_ok=True)
     paths = []
     path = os.path.join(directory, f"{label}.json")
@@ -71,7 +94,68 @@ def export_all(art: Dict[str, object], directory: str, label: str) -> List[str]:
     with open(path, "w") as fh:
         fh.write(artifact_prometheus_text(art))
     paths.append(path)
+    if art.get("slo"):
+        path = os.path.join(directory, f"{label}.slo.json")
+        with open(path, "w") as fh:
+            json.dump(art["slo"], fh, indent=2)
+        paths.append(path)
+    profile = art.get("profile")
+    if profile and profile.get("folded"):  # type: ignore[union-attr]
+        path = os.path.join(directory, f"{label}.folded")
+        with open(path, "w") as fh:
+            fh.write("\n".join(profile["folded"]) + "\n")  # type: ignore[index]
+        paths.append(path)
     return paths
+
+
+def hist_report(art: Dict[str, object]) -> str:
+    """Latency-distribution table: one row per histogram metric."""
+    hists: Dict[str, dict] = art.get("histograms") or {}  # type: ignore[assignment]
+    if not hists:
+        return "(no histograms in this artifact)"
+    header = (
+        f"{'metric':<56} {'count':>7} {'p50':>10} {'p95':>10} {'p99':>10} {'max':>10}"
+    )
+    lines = [header]
+    for name in sorted(hists):
+        h = hists[name]
+        lines.append(
+            f"{name:<56} {h['count']:>7} {h['p50']:>10.4f} {h['p95']:>10.4f} "
+            f"{h['p99']:>10.4f} {h['max']:>10.4f}"
+        )
+    return "\n".join(lines)
+
+
+def slo_report(art: Dict[str, object]) -> str:
+    """Human-readable SLO attainment + burn-rate alert log."""
+    slo: Optional[dict] = art.get("slo")  # type: ignore[assignment]
+    if not slo:
+        return "(no SLO section in this artifact — run with the evaluator armed)"
+    lines = []
+    for s in slo.get("slos", []):
+        att = s.get("attainment")
+        att_s = f"{att:.4%}" if att is not None else "(no traffic)"
+        status = ""
+        if att is not None:
+            status = "  MET" if att >= s["objective"] else "  MISSED"
+        lines.append(f"{s['name']}: objective {s['objective']:.2%}, attained {att_s}{status}")
+        if s.get("description"):
+            lines.append(f"  {s['description']}")
+    alerts = slo.get("alerts", [])
+    lines.append("")
+    lines.append(f"burn-rate alerts: {len(alerts)}")
+    for a in alerts:
+        resolved = (
+            f"resolved @ t={a['resolved_at']:.3f}s"
+            if a.get("resolved_at") is not None
+            else "still firing"
+        )
+        lines.append(
+            f"  [{a['severity']:<6}] {a['slo']}  fired @ t={a['fired_at']:.3f}s "
+            f"(burn {a['burn_rate']:.1f}x over {a['long_window']:g}s/"
+            f"{a['short_window']:g}s), {resolved}"
+        )
+    return "\n".join(lines)
 
 
 def trace_summary(art: Dict[str, object]) -> str:

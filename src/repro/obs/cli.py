@@ -8,11 +8,19 @@ Subcommands:
 * ``explain`` — the full placement story of one SharePod: every
                 Algorithm 1 candidate with verdicts and scores, the
                 events, and the span timeline;
-* ``export``  — write artifact + trace + events + Prometheus text.
+* ``export``  — write artifact + trace + events + Prometheus text
+                (+ SLO report / flamegraph when present);
+* ``report``  — latency-distribution table (p50/p95/p99/max) for every
+                histogram metric in the run;
+* ``slo``     — SLO attainment and the burn-rate alert log;
+* ``profile`` — re-run a scenario under the wall-clock profiler, print
+                the top-N subsystem attribution, and write a
+                speedscope/flamegraph.pl-compatible ``.folded`` file.
 
 Input is either ``--artifact FILE`` (saved by an armed benchmark, see
 ``REPRO_OBS=1``) or ``--scenario failover|chaos`` to re-run a capstone
-benchmark in-process with identical seeds and constants.
+benchmark in-process with identical seeds and constants (``profile``
+always re-runs — host timings cannot come from a saved artifact).
 """
 
 from __future__ import annotations
@@ -80,7 +88,32 @@ def main(argv: Optional[list] = None) -> int:
     p_export.add_argument("--dir", default="obs-artifacts", help="output directory")
     p_export.add_argument("--label", default=None, help="artifact file stem")
 
+    p_report = sub.add_parser("report", help="histogram percentile table")
+    _add_source_args(p_report)
+
+    p_slo = sub.add_parser("slo", help="SLO attainment + burn-rate alerts")
+    _add_source_args(p_slo)
+
+    p_profile = sub.add_parser(
+        "profile", help="wall-clock profile of a scenario (flamegraph)"
+    )
+    p_profile.add_argument(
+        "--scenario",
+        choices=("failover", "chaos"),
+        default="failover",
+        help="scenario to run under the profiler (default: failover)",
+    )
+    p_profile.add_argument(
+        "-o", "--output", default=None, help="write collapsed stacks here (.folded)"
+    )
+    p_profile.add_argument(
+        "--top", type=int, default=15, help="rows in the attribution table"
+    )
+
     args = parser.parse_args(argv)
+
+    if args.command == "profile":
+        return _profile(args)
     art = _load(args)
 
     if args.command == "trace":
@@ -101,4 +134,38 @@ def main(argv: Optional[list] = None) -> int:
         counters = art.get("counters") or {}
         if counters:
             print(json.dumps(dict(sorted(counters.items())), indent=2))
+    elif args.command == "report":
+        print(artifact_mod.hist_report(art))
+    elif args.command == "slo":
+        print(artifact_mod.slo_report(art))
+    return 0
+
+
+def _profile(args) -> int:
+    from .scenarios import SCENARIOS
+
+    runner = SCENARIOS[args.scenario]
+    print(
+        f"profiling scenario {args.scenario!r} (schedule stays seeded and "
+        "deterministic; host timings do not)...",
+        file=sys.stderr,
+    )
+    art = runner(profile=True)
+    profile: Dict[str, object] = art["profile"]  # type: ignore[assignment]
+    total = float(profile["total_seconds"])  # type: ignore[arg-type]
+    print(
+        f"{profile['dispatches']} dispatches, {total * 1e3:.1f} ms measured, "
+        f"{float(profile['attributed_fraction']):.1%} attributed"  # type: ignore[arg-type]
+    )
+    rows = [f"{'subsystem':<24} {'host ms':>10} {'share':>7}"]
+    for row in profile["by_subsystem"][: args.top]:  # type: ignore[index]
+        secs = float(row["seconds"])
+        rows.append(
+            f"{row['subsystem']:<24} {secs * 1e3:>10.2f} {secs / (total or 1.0):>6.1%}"
+        )
+    print("\n".join(rows))
+    output = args.output or f"{args.scenario}.folded"
+    with open(output, "w") as fh:
+        fh.write("\n".join(profile["folded"]) + "\n")  # type: ignore[arg-type]
+    print(f"wrote {output} (speedscope / flamegraph.pl compatible)")
     return 0

@@ -1,0 +1,187 @@
+"""Continuous wall-clock profiler for the simulation kernel.
+
+The profiler hooks the single dispatch point every simulated action
+funnels through — ``Environment.step`` — via
+:func:`repro.sim.environment.set_profile_hook`, and times each callback
+with the host's monotonic clock. Attribution is two-level:
+
+* **actor**: callbacks are almost always the bound ``_resume`` of a
+  :class:`~repro.sim.process.Process`; its ``name`` (``"kubeshare-sched:
+  reconcile"``, ``"informer:kubeshare-devmgr"``, ``"app:sp3"``) names the
+  actor, and its first ``:``-segment names the subsystem;
+* **operation**: the actor's open span stack in the hub's tracer
+  (``reconcile``, ``token.wait``, …) extends the frame stack, so the
+  flamegraph shows *what* the actor was doing, not just who it was.
+
+Output is the collapsed-stack ("folded") format —
+``frame;frame;frame <count>`` with integer microsecond counts — which
+speedscope and flamegraph.pl both import directly, plus a top-N
+attribution table for the terminal.
+
+Unlike every other obs instrument, the measurements here are **host
+time** and therefore non-deterministic run to run. The profiler is kept
+strictly out of :meth:`ObsHub.snapshot`; its output is exported as
+separate ``.folded`` / ``.profile.json`` files so the byte-identical
+artifact contract is untouched. The *schedule* is also untouched:
+callbacks run in exactly the original order with exceptions propagating
+unchanged, and nothing here feeds back into the simulation.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from time import perf_counter
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["WallProfiler", "profiler_from_env", "ENV_PROFILE_FLAG"]
+
+#: set truthy alongside ``REPRO_OBS`` to arm the profiler in benchmarks.
+ENV_PROFILE_FLAG = "REPRO_OBS_PROFILE"
+
+#: keep folded stacks readable: at most this many span frames per stack.
+_MAX_SPAN_FRAMES = 6
+
+
+def _clean(frame: str) -> str:
+    """Folded format delimiters are ``;`` (frames) and the last space
+    (count) — strip both from frame names."""
+    return frame.replace(";", ":").replace(" ", "_") or "<unnamed>"
+
+
+class WallProfiler:
+    """Aggregating wall-clock profiler around ``Environment.step``."""
+
+    def __init__(self, env, tracer=None) -> None:
+        self.env = env
+        self.tracer = tracer
+        #: frame tuple -> accumulated host seconds.
+        self.samples: Dict[Tuple[str, ...], float] = {}
+        self.total_seconds = 0.0
+        self.dispatches = 0
+        self.installed = False
+
+    # -- install -----------------------------------------------------------
+    def install(self) -> "WallProfiler":
+        from ..sim import environment as _env_mod
+
+        _env_mod.set_profile_hook(self)
+        self.installed = True
+        return self
+
+    def uninstall(self) -> None:
+        from ..sim import environment as _env_mod
+
+        if self.installed:
+            _env_mod.set_profile_hook(None)
+            self.installed = False
+
+    # -- hot path ----------------------------------------------------------
+    def dispatch(self, event, callbacks) -> None:
+        """Run ``Environment.step``'s callback loop under timing.
+
+        Semantics are identical to the uninstrumented loop: callbacks run
+        in order and exceptions propagate; the sample for a raising
+        callback is still recorded on the way out.
+        """
+        self.dispatches += 1
+        for callback in callbacks:
+            t0 = perf_counter()  # noqa: RPR001 - wall-clock profiler measures host time by design
+            try:
+                callback(event)
+            finally:
+                dt = perf_counter() - t0  # noqa: RPR001 - wall-clock profiler measures host time by design
+                frames = self._frames(callback)
+                self.samples[frames] = self.samples.get(frames, 0.0) + dt
+                self.total_seconds += dt
+
+    def _frames(self, callback) -> Tuple[str, ...]:
+        from ..sim.process import Process
+
+        receiver = getattr(callback, "__self__", None)
+        if isinstance(receiver, Process):
+            name = receiver.name or "<anonymous>"
+            frames: List[str] = [_clean(name.split(":", 1)[0]), _clean(name)]
+            if self.tracer is not None:
+                stack = self.tracer._stacks.get(receiver)
+                if stack:
+                    frames.extend(
+                        _clean(span.name) for span in stack[-_MAX_SPAN_FRAMES:]
+                    )
+            return tuple(frames)
+        if receiver is not None:
+            return ("kernel", _clean(type(receiver).__name__))
+        return ("kernel", _clean(getattr(callback, "__qualname__", "<callback>")))
+
+    # -- views -------------------------------------------------------------
+    def attributed_fraction(self) -> float:
+        """Fraction of measured time attributed to a named subsystem
+        (i.e. not the generic ``kernel`` bucket)."""
+        if self.total_seconds <= 0:
+            return 1.0
+        named = sum(
+            secs for frames, secs in self.samples.items() if frames[0] != "kernel"
+        )
+        return named / self.total_seconds
+
+    def by_subsystem(self) -> List[Tuple[str, float]]:
+        agg: Dict[str, float] = {}
+        for frames, secs in self.samples.items():
+            agg[frames[0]] = agg.get(frames[0], 0.0) + secs
+        return sorted(agg.items(), key=lambda kv: (-kv[1], kv[0]))
+
+    def folded_lines(self) -> List[str]:
+        """Collapsed-stack lines (integer microsecond counts); zero-count
+        stacks are dropped per the format."""
+        lines = []
+        for frames in sorted(self.samples):
+            micros = int(round(self.samples[frames] * 1e6))
+            if micros > 0:
+                lines.append(";".join(frames) + f" {micros}")
+        return lines
+
+    def top_table(self, n: int = 15) -> str:
+        total = self.total_seconds or 1.0
+        rows = [f"{'subsystem':<24} {'host ms':>10} {'share':>7}"]
+        for name, secs in self.by_subsystem()[:n]:
+            rows.append(f"{name:<24} {secs * 1e3:>10.2f} {secs / total:>6.1%}")
+        rows.append(
+            f"{'(total)':<24} {self.total_seconds * 1e3:>10.2f} "
+            f"{self.attributed_fraction():>6.1%} attributed"
+        )
+        return "\n".join(rows)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "total_seconds": self.total_seconds,
+            "dispatches": self.dispatches,
+            "attributed_fraction": self.attributed_fraction(),
+            "by_subsystem": [
+                {"subsystem": name, "seconds": secs}
+                for name, secs in self.by_subsystem()
+            ],
+            "folded": self.folded_lines(),
+        }
+
+    # -- export ------------------------------------------------------------
+    def export(self, directory: str, label: str) -> List[str]:
+        """Write ``{label}.folded`` + ``{label}.profile.json``."""
+        os.makedirs(directory, exist_ok=True)
+        paths = []
+        path = os.path.join(directory, f"{label}.folded")
+        with open(path, "w") as fh:
+            fh.write("\n".join(self.folded_lines()) + "\n")
+        paths.append(path)
+        path = os.path.join(directory, f"{label}.profile.json")
+        with open(path, "w") as fh:
+            json.dump(self.to_dict(), fh, indent=2)
+        paths.append(path)
+        return paths
+
+
+def profiler_from_env(env, tracer=None) -> Optional[WallProfiler]:
+    """A :class:`WallProfiler` when ``REPRO_OBS_PROFILE`` is truthy."""
+    value = os.environ.get(ENV_PROFILE_FLAG, "").strip().lower()
+    if value in ("", "0", "false", "no", "off"):
+        return None
+    return WallProfiler(env, tracer=tracer)

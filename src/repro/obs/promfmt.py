@@ -3,7 +3,13 @@
 Metric names follow the Prometheus convention directly in the registry
 key: ``family`` or ``family{label="value",...}``. Counters are exposed as
 ``counter``; time series as ``gauge`` carrying the last recorded sample
-(the full series lives in the run artifact).
+(the full series lives in the run artifact); histograms as ``histogram``
+families with cumulative ``_bucket`` lines (including ``+Inf``) plus
+``_sum``/``_count``, exactly per the exposition spec.
+
+Label *values* are escaped per the spec (backslash, double-quote,
+newline); use :func:`metric` to build registry keys so escaping happens
+in exactly one place.
 """
 
 from __future__ import annotations
@@ -11,7 +17,7 @@ from __future__ import annotations
 import re
 from typing import Dict, List, Tuple
 
-__all__ = ["prometheus_text"]
+__all__ = ["prometheus_text", "metric", "escape_label_value", "format_labels"]
 
 _FAMILY_RE = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{.*\})?$")
 
@@ -19,6 +25,49 @@ _FAMILY_RE = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{.*\})?$")
 def _family(name: str) -> str:
     m = _FAMILY_RE.match(name)
     return m.group(1) if m else name
+
+
+def _split(name: str) -> Tuple[str, str]:
+    """``family{labels}`` -> ``(family, "{labels}" or "")``."""
+    m = _FAMILY_RE.match(name)
+    if m is None:
+        return name, ""
+    return m.group(1), m.group(2) or ""
+
+
+def escape_label_value(value: object) -> str:
+    """Escape a label value per the Prometheus text exposition spec:
+    backslash, double-quote, and newline."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def format_labels(labels: Dict[str, object]) -> str:
+    """Render ``{k="v",...}`` with escaped values; ``""`` when empty."""
+    if not labels:
+        return ""
+    body = ",".join(f'{k}="{escape_label_value(v)}"' for k, v in labels.items())
+    return "{" + body + "}"
+
+
+def metric(family: str, **labels: object) -> str:
+    """Build a registry key ``family{label="escaped value",...}``."""
+    return family + format_labels(labels)
+
+
+def _with_le(label_body: str, le: str) -> str:
+    """Merge an ``le`` label into an existing ``{...}`` body (or none)."""
+    if label_body:
+        return label_body[:-1] + f',le="{le}"}}'
+    return f'{{le="{le}"}}'
+
+
+def _fmt_le(bound: float) -> str:
+    return repr(float(bound))
 
 
 def _grouped(names: List[str]) -> List[Tuple[str, List[str]]]:
@@ -47,6 +96,21 @@ def prometheus_text(registry) -> str:
         lines.append(f"# TYPE {fam} counter")
         for name in names:
             lines.append(f"{name} {_fmt_value(registry.counters[name])}")
+    histograms = getattr(registry, "histograms", None) or {}
+    for fam, names in _grouped(sorted(histograms)):
+        lines.append(f"# TYPE {fam} histogram")
+        for name in names:
+            hist = histograms[name]
+            family, label_body = _split(name)
+            cumulative = 0
+            for bound, bucket in zip(hist.boundaries, hist.bucket_counts):
+                cumulative += bucket
+                lines.append(
+                    f"{family}_bucket{_with_le(label_body, _fmt_le(bound))} {cumulative}"
+                )
+            lines.append(f'{family}_bucket{_with_le(label_body, "+Inf")} {hist.count}')
+            lines.append(f"{family}_sum{label_body} {_fmt_value(hist.sum)}")
+            lines.append(f"{family}_count{label_body} {hist.count}")
     for fam, names in _grouped(sorted(registry.series)):
         lines.append(f"# TYPE {fam} gauge")
         for name in names:

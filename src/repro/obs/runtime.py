@@ -77,6 +77,7 @@ class ObsHub:
     def __init__(self, env, label: str = "run", sample_interval: float = 1.0) -> None:
         from ..metrics.collector import MetricsRegistry
         from .decisions import DecisionLog
+        from .hist import HistogramInstruments
         from .kevents import EventRecorder
         from .tracing import Tracer
 
@@ -87,6 +88,12 @@ class ObsHub:
         self.events = EventRecorder(env)
         self.decisions = DecisionLog()
         self.metrics = MetricsRegistry()
+        #: latency histograms fed by span closures + direct seams.
+        self.hist = HistogramInstruments(self.metrics)
+        self.tracer.on_end = self.hist.on_span_end
+        #: armed on demand via start_slo() / start_profiler().
+        self.slo = None
+        self.profiler = None
         #: SharePod key -> root journey span.
         self.roots: Dict[str, Any] = {}
         #: leadership group name -> open reign span.
@@ -137,6 +144,27 @@ class ObsHub:
             self._sampler_proc = self.env.process(self._sample(), name="obs-sampler")
         return self
 
+    def start_slo(self, slos=None, interval: float = 1.0) -> "ObsHub":
+        """Start the virtual-time SLO evaluator (default SLO set unless
+        an explicit list is given)."""
+        from .slo import SLOEvaluator
+
+        if self.slo is None:
+            self.slo = SLOEvaluator(self, slos=slos, interval=interval).start()
+        return self
+
+    def start_profiler(self) -> "ObsHub":
+        """Install the wall-clock profiler around the kernel's dispatch.
+
+        Host-time data stays out of :meth:`snapshot`; see
+        :mod:`repro.obs.profile` and :meth:`export_dir`.
+        """
+        from .profile import WallProfiler
+
+        if self.profiler is None:
+            self.profiler = WallProfiler(self.env, tracer=self.tracer).install()
+        return self
+
     def _live_controllers(self) -> List[Any]:
         out = list(self._controllers)
         for group in self._groups:
@@ -146,35 +174,36 @@ class ObsHub:
         return out
 
     def _sample(self):
+        from .promfmt import metric
+
         while True:
             yield self.env.timeout(self.sample_interval)
             now = self.env.now
             m = self.metrics
             multi = len(self._clusters) > 1
+            # Kernel-wide, not per-cluster: recording this inside the loop
+            # below used to stack one duplicate same-timestamp sample per
+            # attached cluster in federation runs.
+            m.record("repro_sim_events_total", now, self.env.events_processed)
             for i, cluster in enumerate(self._clusters):
                 # Single-cluster series keep their historical names; with
                 # several clusters attached each gets its own label.
-                cname = ""
+                tag = {}
                 if multi:
                     prefix = getattr(cluster.config, "node_prefix", "")
-                    cname = prefix.rstrip("-") or str(i)
-                tag = f'{{cluster="{cname}"}}' if multi else ""
+                    tag = {"cluster": prefix.rstrip("-") or str(i)}
                 rev = cluster.etcd.revision
-                m.record(f"repro_etcd_revision{tag}", now, rev)
+                m.record(metric("repro_etcd_revision", **tag), now, rev)
                 last = self._last_revision.get(i)
                 if last is not None:
                     m.record(
-                        f"repro_etcd_revision_rate{tag}",
+                        metric("repro_etcd_revision_rate", **tag),
                         now,
                         (rev - last) / self.sample_interval,
                     )
                 self._last_revision[i] = rev
-                m.record("repro_sim_events_total", now, self.env.events_processed)
-                queue_label = 'queue="kube-scheduler"'
-                if multi:
-                    queue_label += f',cluster="{cname}"'
                 m.record(
-                    "repro_workqueue_depth{" + queue_label + "}",
+                    metric("repro_workqueue_depth", queue="kube-scheduler", **tag),
                     now,
                     len(cluster.scheduler.queue),
                 )
@@ -182,18 +211,19 @@ class ObsHub:
                     backend = node.backend
                     for uuid in backend.device_uuids():
                         m.record(
-                            f'repro_gpu_quota_occupancy{{device="{uuid}"}}',
+                            metric("repro_gpu_quota_occupancy", device=uuid),
                             now,
                             backend.window_occupancy(uuid),
                         )
             for ctl in self._live_controllers():
                 m.record(
-                    f'repro_workqueue_depth{{controller="{ctl.name}"}}',
+                    metric("repro_workqueue_depth", controller=ctl.name),
                     now,
                     len(ctl.queue),
                 )
                 lag = ctl.api.etcd.revision - ctl.informer.last_seen_revision
-                m.record(f'repro_informer_lag{{controller="{ctl.name}"}}', now, lag)
+                m.record(metric("repro_informer_lag", controller=ctl.name), now, lag)
+                self.hist.informer_lag(now, lag, controller=ctl.name)
 
     # -- artifact ----------------------------------------------------------
     def snapshot(self) -> Dict[str, Any]:
@@ -216,6 +246,11 @@ class ObsHub:
                 name: {"times": list(ts.times), "values": list(ts.values)}
                 for name, ts in sorted(self.metrics.series.items())
             },
+            "histograms": self.hist.to_dicts(),
+            # Everything above is virtual-time deterministic — the
+            # profiler's host timings are exported separately (export_dir)
+            # so identical-seed snapshots stay byte-identical.
+            "slo": self.slo.to_dict() if self.slo is not None else None,
         }
 
     def save(self, path: str) -> str:
@@ -224,11 +259,16 @@ class ObsHub:
         return path
 
     def export_dir(self, directory: str, label: Optional[str] = None) -> List[str]:
-        """Write artifact + Chrome trace + events dump + Prometheus text."""
+        """Write artifact + Chrome trace + events dump + Prometheus text
+        (+ SLO report when the evaluator ran, + flamegraph when the
+        profiler ran)."""
         from .artifact import export_all
 
         os.makedirs(directory, exist_ok=True)
-        return export_all(self.snapshot(), directory, label or self.label)
+        paths = export_all(self.snapshot(), directory, label or self.label)
+        if self.profiler is not None:
+            paths.extend(self.profiler.export(directory, label or self.label))
+        return paths
 
 
 # -- global hub ------------------------------------------------------------
@@ -248,6 +288,10 @@ def enable(hub: ObsHub) -> ObsHub:
 
 def disable() -> None:
     global _hub
+    if _hub is not None and _hub.profiler is not None:
+        # Leave no dangling kernel hook behind — a profiler must never
+        # outlive its hub (tests reset via this path too).
+        _hub.profiler.uninstall()
     _hub = None
 
 
@@ -269,7 +313,16 @@ def install_from_env(
         hub.attach_kubeshare(kubeshare)
     if sampler:
         hub.start_sampler()
+    hub.start_slo()
+    _maybe_start_profiler(hub)
     return enable(hub)
+
+
+def _maybe_start_profiler(hub: ObsHub) -> None:
+    from .profile import ENV_PROFILE_FLAG
+
+    if os.environ.get(ENV_PROFILE_FLAG, "").strip().lower() not in _FALSY:
+        hub.start_profiler()
 
 
 def install_federation_from_env(
@@ -285,6 +338,8 @@ def install_federation_from_env(
     hub.attach_federation(fed)
     if sampler:
         hub.start_sampler()
+    hub.start_slo()
+    _maybe_start_profiler(hub)
     return enable(hub)
 
 
@@ -401,14 +456,30 @@ def decision_audit():
     return hub.decisions.new_audit()
 
 
-def commit_decision(audit, sharepod_key: str, decision, outcome: Optional[str] = None) -> None:
+def commit_decision(
+    audit,
+    sharepod_key: str,
+    decision,
+    outcome: Optional[str] = None,
+    started_at: Optional[float] = None,
+) -> None:
     hub = _hub
     if hub is None or audit is None:
         return
-    hub.decisions.commit(audit, sharepod_key, hub.env.now)
+    now = hub.env.now
+    hub.decisions.commit(audit, sharepod_key, now)
     if outcome is None:
         outcome = "rejected" if decision.rejected else "scheduled"
     hub.metrics.incr(f'repro_sched_decisions_total{{outcome="{outcome}"}}')
+    if started_at is not None:
+        # One Algorithm 1 pass in virtual time: reconcile entry -> commit
+        # (modeled op latency + apiserver gating; the host-time cost of
+        # the pass is Fig 11's algo_wall_times, not this histogram).
+        hub.hist.algo1_pass(now, now - started_at)
+    if outcome == "scheduled":
+        root = hub.roots.get(sharepod_key)
+        if root is not None:
+            hub.hist.schedule_latency(now, now - root.start)
 
 
 def policy_decision(
@@ -568,6 +639,8 @@ def federation_decision(
         )
     )
     hub.metrics.incr(f'repro_federation_decisions_total{{action="{action}"}}')
+    if action == "place" and details and "latency" in details:
+        hub.hist.federation_place(hub.env.now, float(details["latency"]))
 
 
 # -- chaos -----------------------------------------------------------------

@@ -39,7 +39,9 @@ CHAOS_FAULT_AT = 45.0
 CHAOS_HORIZON = 85.0
 
 
-def run_failover(replicas: int = 2, label: str = "failover") -> Dict[str, object]:
+def run_failover(
+    replicas: int = 2, label: str = "failover", profile: bool = False
+) -> Dict[str, object]:
     """The HA failover benchmark under observation; returns the artifact."""
     from ..workloads.jobs import InferenceJob
 
@@ -53,6 +55,9 @@ def run_failover(replicas: int = 2, label: str = "failover") -> Dict[str, object
         ks = HAKubeShare(cluster, replicas=replicas, isolation="token").start()
         hub.attach_kubeshare(ks)
         hub.start_sampler()
+        hub.start_slo()
+        if profile:
+            hub.start_profiler()
 
         for i in range(N_STEADY):
             name = f"steady{i}"
@@ -94,12 +99,14 @@ def run_failover(replicas: int = 2, label: str = "failover") -> Dict[str, object
         engine.start()
 
         env.run(until=FAILOVER_HORIZON)
-        return hub.snapshot()
+        return _finish(hub)
     finally:
         disable()
 
 
-def run_chaos(recovery: bool = True, label: str = "chaos") -> Dict[str, object]:
+def run_chaos(
+    recovery: bool = True, label: str = "chaos", profile: bool = False
+) -> Dict[str, object]:
     """The chaos node-crash benchmark under observation; returns the artifact."""
     from ..workloads.jobs import InferenceJob
 
@@ -115,6 +122,9 @@ def run_chaos(recovery: bool = True, label: str = "chaos") -> Dict[str, object]:
         ks = KubeShare(cluster, isolation="token").start()
         hub.attach_kubeshare(ks)
         hub.start_sampler()
+        hub.start_slo()
+        if profile:
+            hub.start_profiler()
 
         for i in range(CHAOS_N_JOBS):
             job = InferenceJob.from_demand(
@@ -136,9 +146,18 @@ def run_chaos(recovery: bool = True, label: str = "chaos") -> Dict[str, object]:
         engine.start()
 
         env.run(until=CHAOS_HORIZON)
-        return hub.snapshot()
+        return _finish(hub)
     finally:
         disable()
+
+
+def _finish(hub: ObsHub) -> Dict[str, object]:
+    """Snapshot, attaching the (host-time) profile section when armed —
+    it rides along for CLI export but never enters the snapshot itself."""
+    art = hub.snapshot()
+    if hub.profiler is not None:
+        art["profile"] = hub.profiler.to_dict()
+    return art
 
 
 SCENARIOS = {

@@ -87,6 +87,10 @@ class Tracer:
         self._next_id = 1
         #: per-process stack of open spans (implicit parenting).
         self._stacks: Dict[object, List[Span]] = {}
+        #: called once per span on its fresh ok/error close (never on the
+        #: bulk ``close_open`` sweep) — the hub hangs latency histograms
+        #: off this without touching any instrumentation site.
+        self.on_end = None
 
     # -- recording ---------------------------------------------------------
     def _stack(self) -> List[Span]:
@@ -135,13 +139,16 @@ class Tracer:
 
     def end(self, span: Span, status: str = STATUS_OK) -> Span:
         """Close a span (idempotent) and pop it off its process stack."""
-        if span.end is None:
+        fresh = span.end is None
+        if fresh:
             span.end = self.env.now
             span.status = status
         for stack in self._stacks.values():
             if span in stack:
                 stack.remove(span)
                 break
+        if fresh and self.on_end is not None:
+            self.on_end(span)
         return span
 
     @contextmanager

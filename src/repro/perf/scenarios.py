@@ -41,6 +41,10 @@ def _install_obs(env, cluster, ks, label: Optional[str]):
     hub = ObsHub(env, label=label).attach_cluster(cluster)
     hub.attach_kubeshare(ks)
     hub.start_sampler()
+    # Histograms + SLO burn rates are part of the snapshot the replay
+    # gate diffs byte-for-byte, so the evaluator runs here too — a
+    # stronger witness that both stay purely virtual-time.
+    hub.start_slo()
     return enable(hub)
 
 

@@ -17,7 +17,20 @@ from .events import (
 )
 from .process import Process, ProcessGenerator
 
-__all__ = ["Environment", "EmptySchedule"]
+__all__ = ["Environment", "EmptySchedule", "set_profile_hook"]
+
+#: Optional profiler around callback dispatch (see repro.obs.profile).
+#: Module-level rather than per-instance: Environment has __slots__ and
+#: the disabled cost must stay one global read per step. The hook sees
+#: exactly the (event, callbacks) pair step() would have dispatched and
+#: must preserve its semantics (order, exception propagation).
+_PROFILE = None
+
+
+def set_profile_hook(hook) -> None:
+    """Install (or with ``None`` remove) the step-dispatch profiler."""
+    global _PROFILE
+    _PROFILE = hook
 
 
 class EmptySchedule(Exception):
@@ -164,8 +177,12 @@ class Environment:
         callbacks, event.callbacks = event.callbacks, None
         if callbacks is None:  # pragma: no cover - double-processing guard
             return
-        for callback in callbacks:
-            callback(event)
+        prof = _PROFILE
+        if prof is None:
+            for callback in callbacks:
+                callback(event)
+        else:
+            prof.dispatch(event, callbacks)
 
         if not event._ok and not event._defused:
             # An unhandled failure crashes the simulation, exactly like an

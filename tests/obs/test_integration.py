@@ -24,10 +24,15 @@ def run_scenario(observed: bool):
     cluster = Cluster(env, ClusterConfig(nodes=2, gpus_per_node=2)).start()
     hub = None
     if observed:
+        # Every subsystem armed at once — histograms, SLO evaluator, and
+        # the wall-clock profiler — so the replay test below witnesses
+        # the full stack leaving the schedule untouched.
         hub = enable(
             ObsHub(env, label="obs-it")
             .attach_cluster(cluster)
             .start_sampler()
+            .start_slo()
+            .start_profiler()
         )
     ks = KubeShare(cluster, isolation="token").start()
     if hub is not None:
@@ -124,6 +129,44 @@ class TestJourneyCapture:
         assert any(n.startswith("repro_token_grants_total{") for n in counters)
         assert any(n.startswith("repro_api_writes_total{") for n in counters)
 
+    def test_histograms_capture_hot_seam_latencies(self, observed_run):
+        _, hub = observed_run
+        hists = hub.metrics.histograms
+        assert hub.metrics.histogram("repro_sharepod_schedule_seconds").count == N_PODS
+        assert hub.metrics.histogram("repro_sharepod_journey_seconds").count == N_PODS
+        assert hub.metrics.histogram("repro_algo1_pass_seconds").count >= N_PODS
+        assert hub.metrics.histogram("repro_token_wait_seconds").count > 0
+        assert any(
+            n.startswith("repro_reconcile_duration_seconds{") for n in hists
+        )
+        assert any(n.startswith("repro_informer_lag_revisions{") for n in hists)
+        # Journey >= schedule latency for the same pods, and percentiles
+        # are ordered.
+        journey = hub.metrics.histogram("repro_sharepod_journey_seconds")
+        sched = hub.metrics.histogram("repro_sharepod_schedule_seconds")
+        assert journey.percentile(0.5) >= sched.percentile(0.5)
+        assert sched.percentile(0.99) >= sched.percentile(0.5)
+
+    def test_slo_attainment_healthy_run_no_alerts(self, observed_run):
+        _, hub = observed_run
+        report = hub.slo.to_dict()
+        assert report["alerts"] == []
+        by_name = {s["name"]: s for s in report["slos"]}
+        assert by_name["sharepod-schedule-latency"]["attainment"] == 1.0
+        assert by_name["sharepod-journey-latency"]["attainment"] == 1.0
+
+    def test_profiler_attributes_host_time(self, observed_run):
+        _, hub = observed_run
+        prof = hub.profiler
+        assert prof.dispatches > 0
+        assert prof.total_seconds > 0
+        assert prof.attributed_fraction() >= 0.9
+        lines = prof.folded_lines()
+        assert lines
+        for line in lines:
+            stack, _, count = line.rpartition(" ")
+            assert stack and int(count) > 0
+
     def test_export_dir_writes_all_artifacts(self, observed_run, tmp_path):
         _, hub = observed_run
         paths = hub.export_dir(str(tmp_path))
@@ -132,6 +175,9 @@ class TestJourneyCapture:
             "obs-it.trace.json",
             "obs-it.events.txt",
             "obs-it.prom",
+            "obs-it.slo.json",
+            "obs-it.folded",
+            "obs-it.profile.json",
         ]
         for p in paths:
             assert os.path.getsize(p) > 0

@@ -105,6 +105,13 @@ _FIX_HOT_COPY = (
     "hot function; suppress with a justification when the copy IS the "
     "reference path"
 )
+_FIX_SIM_BUCKET = (
+    "serve ordered pops from the calendar queue's bucket index "
+    "(repro.sim.calqueue.CalendarQueue buckets events by timestamp and "
+    "sorts one bucket lazily at pop time) instead of copying or "
+    "re-sorting the whole queue per event; suppress with a justification "
+    "when the copy IS the reference path"
+)
 _FIX_REVOKE = (
     "route deletions through repro.policy.revocation.safe_delete / "
     "tolerant_patch (NotFound- and Conflict-tolerant) or api.try_delete, "
@@ -169,11 +176,16 @@ ALL_RULES: Tuple[RuleInfo, ...] = (
     ),
     RuleInfo(
         "RPR008",
-        "O(n) copy or full relist inside a `# hot-path` function",
+        "O(n) copy or full relist inside a hot-path / sim-kernel function",
         "functions marked `# hot-path` run once per simulation event or "
         "scheduling pass; a sorted()/list() copy or an api.list() relist "
         "there makes the whole run superlinear — the relist-and-resort-"
-        "per-pass bug class the device-view index exists to kill.",
+        "per-pass bug class the device-view index exists to kill. Inside "
+        "`src/repro/sim/**` every function is a kernel function and is "
+        "hot by definition (no marker needed): the kernel dispatches once "
+        "per event, so the fix is the calendar queue's bucket index, not "
+        "a per-event copy. Dunder methods and @property accessors are "
+        "exempt (construction and introspection, not dispatch).",
         _FIX_HOT_COPY,
     ),
     RuleInfo(
@@ -811,13 +823,46 @@ def _check_bare_print(ctx: FileContext) -> Iterator[Finding]:
 #: marker comment declaring a function performance-critical. Place it on
 #: the ``def`` line or on its own comment line directly above the ``def``.
 _HOT_MARKER = "# hot-path"
+#: decorators that make a function an introspection accessor, exempt from
+#: the implicit sim-kernel hot classification.
+_ACCESSOR_DECORATORS = ("property", "cached_property")
+
+
+def _sim_kernel_rule_applies(path: str) -> bool:
+    """Is *path* inside the simulation kernel (``src/repro/sim/**``)?"""
+    parts = path.replace("\\", "/").split("/")
+    try:
+        i = parts.index("sim")
+    except ValueError:
+        return False
+    return i >= 2 and parts[i - 1] == "repro" and parts[i - 2] == "src"
+
+
+def _is_accessor(fn: ast.AST) -> bool:
+    for dec in getattr(fn, "decorator_list", ()):
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        name = _dotted(target)
+        if name is not None and name.split(".")[-1] in _ACCESSOR_DECORATORS:
+            return True
+    return False
 
 
 def _hot_functions(ctx: FileContext) -> Iterator[ast.AST]:
     lines = ctx.source.splitlines()
+    # Kernel files: every function is hot unless it is a dunder
+    # (construction, repr) or a @property accessor — those run outside
+    # the per-event dispatch loop.
+    sim_kernel = _sim_kernel_rule_applies(ctx.path)
     for node in ast.walk(ctx.tree):
         if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
             continue
+        if sim_kernel:
+            if not (
+                (node.name.startswith("__") and node.name.endswith("__"))
+                or _is_accessor(node)
+            ):
+                yield node
+                continue
         def_line = lines[node.lineno - 1] if node.lineno <= len(lines) else ""
         above = lines[node.lineno - 2].strip() if node.lineno >= 2 else ""
         if _HOT_MARKER in def_line or (
@@ -827,10 +872,13 @@ def _hot_functions(ctx: FileContext) -> Iterator[ast.AST]:
 
 
 def _check_hot_path_copies(ctx: FileContext) -> Iterator[Finding]:
+    fixit = _FIX_SIM_BUCKET if _sim_kernel_rule_applies(ctx.path) else None
+    seen: Set[int] = set()  # nested hot functions: report each call once
     for fn in _hot_functions(ctx):
         for node in ast.walk(fn):
-            if not isinstance(node, ast.Call):
+            if not isinstance(node, ast.Call) or id(node) in seen:
                 continue
+            seen.add(id(node))
             func = node.func
             if isinstance(func, ast.Name) and func.id in ("sorted", "list"):
                 yield _finding(
@@ -838,6 +886,7 @@ def _check_hot_path_copies(ctx: FileContext) -> Iterator[Finding]:
                     node,
                     "RPR008",
                     f"`{func.id}()` copy inside hot-path function `{fn.name}`",
+                    fixit=fixit,
                 )
             elif isinstance(func, ast.Attribute) and func.attr == "list":
                 target = _dotted(func.value)
@@ -847,6 +896,7 @@ def _check_hot_path_copies(ctx: FileContext) -> Iterator[Finding]:
                     node,
                     "RPR008",
                     f"full {what} relist inside hot-path function `{fn.name}`",
+                    fixit=fixit,
                 )
 
 
@@ -982,6 +1032,7 @@ def _finding(
     rule_id: str,
     message: str,
     fix: Optional[Tuple[int, int, int, int, str]] = None,
+    fixit: Optional[str] = None,
 ) -> Finding:
     info = _RULE_BY_ID[rule_id]
     return Finding(
@@ -990,7 +1041,7 @@ def _finding(
         col=getattr(node, "col_offset", 0) + 1,
         rule_id=rule_id,
         message=message,
-        fixit=info.fixit,
+        fixit=fixit if fixit is not None else info.fixit,
         fix=fix,
     )
 

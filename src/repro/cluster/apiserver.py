@@ -246,6 +246,25 @@ class APIServer:
         obj.metadata.resource_version = kv.mod_revision
         return obj
 
+    def peek(
+        self, kind: str, name: str, namespace: str = DEFAULT_NAMESPACE
+    ) -> Optional[Any]:
+        """Fetch one object **without cloning** — strictly read-only.
+
+        The returned object is the etcd-stored value itself; callers must
+        not mutate it (every mutation path goes through ``get`` + patch /
+        ``update``, as optimistic concurrency requires anyway). Outage
+        gating and kind checking match :meth:`get` exactly, so a poll
+        loop can probe a phase field through the same failure model
+        without paying a defensive deep copy per poll tick. The stored
+        object already carries its final resource version (create/update
+        stamp it on the stored reference).
+        """
+        self._gate()
+        self._check_kind(kind)
+        kv = self.etcd.get(self._key(kind, namespace, name))
+        return None if kv is None else kv.value
+
     def list(
         self,
         kind: str,

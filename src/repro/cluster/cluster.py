@@ -13,6 +13,7 @@ from typing import Generator, List, Optional, Sequence
 from ..gpu.backend import TokenBackend
 from ..gpu.swap import SwapManager
 from ..gpu.device import GPUDevice, V100_MEMORY
+from ..perf import fastpath
 from ..sim import Environment
 from .apiserver import APIServer
 from .deviceplugin import DeviceManager, NvidiaDevicePlugin, ScalingFactorGPUPlugin
@@ -259,24 +260,30 @@ class Cluster:
 
         Returns the pod (or ``None`` if it was deleted).
         """
+        # Fast path: probe the phase read-only per tick and clone only
+        # the pod actually returned to the caller.
+        probe = self.api.get if fastpath.slow_kernel else self.api.peek
         while True:
-            pod = self.api.get("Pod", name, namespace)
+            pod = probe("Pod", name, namespace)
             if pod is None:
                 return None
             if pod.status.phase in phases:
-                return pod
+                return pod if fastpath.slow_kernel else self.api.get(
+                    "Pod", name, namespace
+                )
             yield self.env.timeout(poll)
 
     def wait_all_terminal(
         self, names: Sequence[str], namespace: str = "default", poll: float = 0.25
     ) -> Generator:
         """Process helper: wait until every named pod finished (or is gone)."""
+        probe = self.api.get if fastpath.slow_kernel else self.api.peek
         terminal = (PodPhase.SUCCEEDED, PodPhase.FAILED)
         pending = set(names)
         while pending:
             done = set()
             for name in sorted(pending):
-                pod = self.api.get("Pod", name, namespace)
+                pod = probe("Pod", name, namespace)
                 if pod is None or pod.status.phase in terminal:
                     done.add(name)
             pending -= done

@@ -186,7 +186,7 @@ class WorkQueue:
             self._dirty.add(key)
             return
         self._pending.add(key)
-        self._store.put(key)
+        self._store.offer(key)
 
     def get(self):
         """Event that fires with the next key."""

@@ -182,7 +182,7 @@ class Etcd:
         self._watches.append(w)
         if replay:
             for kv in self.range(prefix):
-                w.events.put(WatchEvent(WatchEventType.PUT, kv, None))
+                w.events.offer(WatchEvent(WatchEventType.PUT, kv, None))
         return w
 
     def unwatch(self, watch: _Watch) -> None:
@@ -212,11 +212,11 @@ class Etcd:
         for prefix, fn in self._listeners:
             if key.startswith(prefix):
                 fn(event)
-        live = []
+        stale = False
         for w in self._watches:
             if w.cancelled:
-                continue
-            live.append(w)
-            if key.startswith(w.prefix):
-                w.events.put(event)
-        self._watches = live
+                stale = True
+            elif key.startswith(w.prefix):
+                w.events.offer(event)
+        if stale:
+            self._watches = [w for w in self._watches if not w.cancelled]

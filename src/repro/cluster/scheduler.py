@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Dict, Generator, List, Optional, Tuple
 
 from ..obs import runtime as obs
+from ..perf import fastpath
 from ..sim import Environment
 from .apiserver import (
     APIServer,
@@ -153,8 +154,12 @@ class KubeScheduler:
             key = yield self.queue.get()
             self.queue.checkout(key)
             namespace, name = key.split("/", 1)
+            # Fast path: the scheduling attempt only reads the pod (phase,
+            # bound flag, spec) and binds by name, so the read-only peek
+            # skips the defensive clone the public get() performs.
+            probe = self.api.get if fastpath.slow_kernel else self.api.peek
             try:
-                pod = self.api.get("Pod", name, namespace)
+                pod = probe("Pod", name, namespace)
             except ServiceUnavailable:
                 self.queue.done(key)
                 yield self.env.timeout(0.05)
@@ -205,16 +210,32 @@ class KubeScheduler:
     # -- filter & score ---------------------------------------------------------------
     def _select_node(self, pod: Pod) -> Optional[str]:
         requests = pod.spec.resource_requests()
+        selector = pod.spec.node_selector
+        node_ready = self._node_ready
+        node_labels = self._node_labels
+        req_items = list(requests.items())
+        # _score() inlined below with the per-pod terms hoisted out of the
+        # node loop; the float operations and their order are unchanged.
+        req_gpu = sum(v for k, v in req_items if "/" in k)
+        req_cpu = requests.get("cpu", 0.0)
+        least = self.score_policy == "least_allocated"
         feasible: List[Tuple[float, str]] = []
         for node, free in self._node_free.items():
-            if not self._node_ready.get(node, False):
+            if not node_ready.get(node, False):
                 continue
-            labels = self._node_labels.get(node, {})
-            if any(labels.get(k) != v for k, v in pod.spec.node_selector.items()):
-                continue
-            if not Quantities.fits(requests, free):
-                continue
-            feasible.append((self._score(requests, free), node))
+            if selector:
+                labels = node_labels.get(node, {})
+                if any(labels.get(k) != v for k, v in selector.items()):
+                    continue
+            free_get = free.get
+            for k, v in req_items:  # Quantities.fits, loop-inlined
+                if free_get(k, 0.0) + 1e-9 < v:
+                    break
+            else:
+                gpu_left = sum(v for k, v in free.items() if "/" in k) - req_gpu
+                cpu_left = free_get("cpu", 0.0) - req_cpu
+                score = gpu_left * 1e3 + cpu_left
+                feasible.append((score if least else -score, node))
         if not feasible:
             return None
         # Highest score wins; ties broken by node name for determinism.

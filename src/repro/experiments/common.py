@@ -16,6 +16,7 @@ from ..cluster.cluster import Cluster
 from ..gpu.nvml import NVMLSampler
 from ..metrics.analysis import makespan, throughput_jobs_per_minute
 from ..sim import Environment
+from ..workloads.flows import FlowScheduler
 from ..workloads.generator import InferenceWorkload, JobArrival
 from ..workloads.jobs import JobStats
 
@@ -71,18 +72,23 @@ def run_inference_workload(
     if sample_utilization:
         sampler = NVMLSampler(env, cluster.gpus, interval=sample_interval).start()
 
+    jobs = sorted(workload.jobs, key=lambda j: j.arrival_time)
+
+    def fire(i: int) -> None:
+        job = jobs[i]
+        system.submit(
+            job.name,
+            job.to_job().workload(),
+            requirements_fn(job),
+            anti_affinity=(anti_affinity_fn(job) if anti_affinity_fn else None),
+        )
+
     def driver():
-        for job in sorted(workload.jobs, key=lambda j: j.arrival_time):
-            delay = job.arrival_time - env.now
-            if delay > 0:
-                yield env.timeout(delay)
-            inference = job.to_job()
-            system.submit(
-                job.name,
-                inference.workload(),
-                requirements_fn(job),
-                anti_affinity=(anti_affinity_fn(job) if anti_affinity_fn else None),
-            )
+        # The whole arrival flow is scheduled in one batch; see
+        # repro.workloads.flows for the per-kernel-mode mechanics.
+        yield FlowScheduler(env).schedule(
+            [max(j.arrival_time, 0.0) for j in jobs], fire
+        )
         yield env.process(system.wait_all())
 
     done = env.process(driver(), name=f"driver:{system.name}")

@@ -28,7 +28,7 @@ from typing import Dict, Generator, List, Optional
 
 from ..perf import fastpath
 from ..sim import Environment, Event
-from .sharing import ShareEntry, elastic_shares
+from .sharing import ShareEntry, elastic_shares, elastic_shares_py
 
 __all__ = [
     "GPUDevice",
@@ -128,13 +128,38 @@ class ComputeSession:
                 started = env.now
                 finish = env.timeout(remaining / rate)
                 change = self.device.change_event()
-                yield finish | change
+                if fastpath.slow_kernel:
+                    yield finish | change
+                    remaining -= (env.now - started) * rate
+                    continue
+                # Fast path: race finish against change without the
+                # Condition event. The owning process subscribes to the
+                # shared change event directly and yields the finish
+                # timer, so whichever fires first resumes it during its
+                # own dispatch — one event pop per slice instead of two
+                # (the Condition's succeed/schedule/pop round trip). The
+                # finally detaches from change even when the process is
+                # killed or interrupted mid-slice (chaos teardown), so a
+                # later allocation change can never resume a corpse.
+                resume = env.active_process._resume
+                change.callbacks.append(resume)
+                try:
+                    yield finish
+                finally:
+                    callbacks = change.callbacks
+                    if callbacks is not None:
+                        try:
+                            callbacks.remove(resume)
+                        except ValueError:
+                            pass
                 remaining -= (env.now - started) * rate
-                if not fastpath.slow_kernel and finish.callbacks is not None:
+                if finish.callbacks is not None:
                     # A rate change won the race: the stale finish timer
                     # would otherwise sit in the heap until its original
                     # expiry. Tombstone it so re-slicing costs one live
-                    # event per rate change, not one per abandoned slice.
+                    # event per rate change, not one per abandoned slice
+                    # (the drain discards its callbacks unrun, which also
+                    # unsubscribes this process).
                     finish.cancel()
         finally:
             self.demand = 0.0
@@ -292,6 +317,50 @@ class GPUDevice:
             [] if self.failed else [s for s in self._sessions if s.demand > 0.0]
         )
         n = len(demanding)
+
+        if len(demanding) < 2 and not fastpath.slow_kernel:
+            # Token mode serializes launches, so the engine almost always
+            # sees 0 or 1 demanding sessions — and then the full solve
+            # collapses: a lone session gets min(limit, demand) exactly
+            # (one ShareEntry's cap never exceeds capacity, so the solver
+            # returns the cap array unchanged and the n>1 contention term
+            # is 1.0), everyone else gets 0. Skipping the numpy round
+            # trip performs no arithmetic the reference wouldn't, so the
+            # rates are bit-identical.
+            winner = demanding[0] if demanding else None
+            changed = self.failed is not self._last_failed
+            self._last_failed = self.failed
+            busy_rate = 0.0
+            for s in self._sessions:
+                rate = min(s.limit, s.demand) if s is winner else 0.0
+                old = s.rate
+                if old:
+                    # granted_integral only grows while the rate is
+                    # non-zero; idle sessions keep a stale _last_update
+                    # (their pending integral term is 0.0 either way)...
+                    s._accumulate(now)
+                elif rate:
+                    # ...which must be stamped when the rate leaves 0,
+                    # or the idle stretch would bill at the new rate.
+                    s._last_update = now
+                if rate != old:
+                    changed = True
+                    s.rate = rate
+                busy_rate += rate
+            self._busy_rate = busy_rate
+            if changed:
+                old_ev = self._change
+                # Fire only when a waiter subscribed: the change event's
+                # consumers (ComputeSession.run) always attach a callback
+                # in the same kernel step they fetch it, so an empty
+                # callback list means nobody can observe this edge and
+                # firing would be two events of pure queue traffic. The
+                # armed event stays in place for future waiters, who then
+                # see the *next* change — exactly the reference contract.
+                if old_ev.callbacks:
+                    self._change = self.env.event()
+                    old_ev.succeed()
+            return
         # Contention penalizes *unisolated* concurrent sharing of an
         # over-committed device (limited memory bandwidth, §1). Sessions
         # throttled by KubeShare's library serialize kernel launches and
@@ -306,7 +375,14 @@ class GPUDevice:
             ShareEntry(request=s.request, cap=min(s.limit, s.demand))
             for s in demanding
         ]
-        alloc = elastic_shares(entries, capacity=1.0) if entries else []
+        if not entries:
+            alloc = []
+        elif n < 8 and not fastpath.slow_kernel:
+            # Bit-identical pure-Python mirror; numpy's fixed dispatch
+            # overhead dominates the solve at these sizes.
+            alloc = elastic_shares_py(entries, capacity=1.0)
+        else:
+            alloc = elastic_shares(entries, capacity=1.0)
 
         new_rates = {}
         for s, a in zip(demanding, alloc):
@@ -332,9 +408,14 @@ class GPUDevice:
         # re-slices. The failed-flag term matters because a session can
         # legitimately hold rate 0 on a saturated device and must still
         # observe the loss.
-        if changed or fastpath.slow_kernel:
+        if fastpath.slow_kernel:
             old, self._change = self._change, self.env.event()
             if not old.triggered:
+                old.succeed()
+        elif changed:
+            old = self._change
+            if old.callbacks:  # see the n<2 fast path above
+                self._change = self.env.event()
                 old.succeed()
 
     # -- utilization accounting -----------------------------------------------------

@@ -15,11 +15,12 @@ don't have to simulate every 100 ms token exchange.
 
 from __future__ import annotations
 
-from typing import Sequence
+from bisect import bisect_left
+from typing import List, Sequence
 
 import numpy as np
 
-__all__ = ["elastic_shares", "ShareEntry"]
+__all__ = ["elastic_shares", "elastic_shares_py", "ShareEntry"]
 
 
 class ShareEntry:
@@ -117,4 +118,79 @@ def elastic_shares(
         if n:
             alloc[flexible] += diff / n
             alloc = np.clip(alloc, floors, caps)
+    return alloc
+
+
+def elastic_shares_py(
+    entries: Sequence[ShareEntry], capacity: float = 1.0, tol: float = 1e-9
+) -> List[float]:
+    """:func:`elastic_shares`, mirrored in pure Python for small *n*.
+
+    The numpy solver's fixed overhead (array construction, ufunc
+    dispatch) dwarfs the arithmetic when a device hosts a handful of
+    sessions — the common case everywhere outside synthetic scale runs.
+    This mirror performs the *same* IEEE-754 operations in the *same*
+    order, so its results are bit-identical to the reference for
+    ``len(entries) < 8``: below eight elements numpy's pairwise summation
+    degenerates to the sequential left-to-right loop that ``sum()`` /
+    ``+=`` perform, ``np.unique`` equals ``sorted(set(...))`` for the
+    NaN-free non-negative floats ShareEntry admits, ``np.clip`` is
+    ``min(max(x, lo), hi)`` element-wise, and ``np.searchsorted(...,
+    side="left")`` is ``bisect_left``.  ``tests/gpu`` fuzzes the two
+    against each other.
+
+    Callers with ``n >= 8`` must use the numpy solver (pairwise summation
+    changes the rounding above that threshold, and vectorization wins
+    anyway).
+    """
+    if not entries:
+        return []
+    if capacity <= 0:
+        raise ValueError("capacity must be > 0")
+
+    caps = [e.cap for e in entries]
+    floors = [r if r < c else c for r, c in zip((e.request for e in entries), caps)]
+
+    total_cap = sum(caps)
+    if total_cap <= capacity + tol:
+        return list(caps)
+
+    total_floor = sum(floors)
+    if total_floor > capacity + tol:
+        scale = capacity / total_floor
+        return [f * scale for f in floors]
+
+    points = sorted(set(floors) | set(caps))
+    allocated = [
+        sum(lo if p < lo else (hi if p > hi else p) for lo, hi in zip(floors, caps))
+        for p in points
+    ]
+    idx = bisect_left(allocated, capacity)
+    if idx == 0:
+        lo, hi = 0.0, points[0]
+        f_lo = total_floor
+    elif idx >= len(points):
+        return list(caps)
+    else:
+        lo, hi = points[idx - 1], points[idx]
+        f_lo = allocated[idx - 1]
+    lo_t = lo + tol
+    hi_t = hi - tol
+    slope = sum(1 for f, c in zip(floors, caps) if f <= lo_t and c >= hi_t)
+    if slope == 0:
+        level = hi
+    else:
+        level = lo + (capacity - f_lo) / slope
+        level = min(max(level, lo), hi)
+    alloc = [f if level < f else (c if level > c else level) for f, c in zip(floors, caps)]
+    diff = capacity - sum(alloc)
+    if abs(diff) > tol:
+        bump = [a > f + tol and a < c - tol for a, f, c in zip(alloc, floors, caps)]
+        n = sum(bump)
+        if n:
+            step = diff / n
+            alloc = [
+                min(max(a + step, f), c) if b else a
+                for a, b, f, c in zip(alloc, bump, floors, caps)
+            ]
     return alloc

@@ -7,6 +7,9 @@ Examples::
     python -m repro.perf --fast-only             # skip the reference runs
     python -m repro.perf --check benchmarks/perf/baseline.json
     python -m repro.perf --update-baseline benchmarks/perf/baseline.json
+
+    # parallel multi-seed sweep -> one deterministic merged BENCH file
+    python -m repro.perf sweep --scenario trace_replay --seeds 1-8 --processes 4
 """
 
 from __future__ import annotations
@@ -18,7 +21,56 @@ import sys
 from .harness import check_report, run_suite, write_report
 
 
+def sweep_main(argv) -> int:
+    from .sweep import parse_seed_list, run_sweep, write_sweep_report
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.perf sweep",
+        description="run one scenario at N seeds across worker processes",
+    )
+    parser.add_argument(
+        "--scenario",
+        default="trace_replay",
+        help="scenario to sweep (default: trace_replay)",
+    )
+    parser.add_argument(
+        "--seeds",
+        default="1-4",
+        help='seed list/ranges, e.g. "1,2,5-8" (default: 1-4)',
+    )
+    parser.add_argument(
+        "--processes",
+        type=int,
+        default=4,
+        help="worker processes (default: 4; 1 = in-process)",
+    )
+    parser.add_argument(
+        "--slow",
+        action="store_true",
+        help="sweep in REPRO_SLOW_KERNEL reference mode",
+    )
+    parser.add_argument(
+        "--out",
+        default="BENCH_sweep.json",
+        help="merged report path (default: BENCH_sweep.json)",
+    )
+    args = parser.parse_args(argv)
+    report = run_sweep(
+        args.scenario,
+        parse_seed_list(args.seeds),
+        processes=args.processes,
+        slow=args.slow,
+    )
+    write_sweep_report(report, args.out)
+    print(f"[sweep] merged report written to {args.out}")
+    return 0
+
+
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "sweep":
+        return sweep_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.perf", description="KubeShare-repro perf harness"
     )

@@ -35,10 +35,13 @@ LAYERS = {
     "fig8": "full stack (sim kernel + GPU engine + control plane)",
     "chaos": "failure recovery (GPU engine + node lifecycle)",
     "failover": "control plane (leases, scheduler, device-view index)",
+    "trace_replay": "workload engine (trace replay + arrival flows + full stack)",
 }
 
-#: fig8 must stay at least this much faster than reference mode.
-FIG8_MIN_SPEEDUP = 3.0
+#: absolute speedup floors (fast vs reference wall clock) per scenario —
+#: the end-to-end promises of the calendar-queue/fast-path PRs, enforced
+#: regardless of what the checked-in baseline says.
+MIN_SPEEDUPS = {"fig8": 5.0, "chaos": 2.0, "failover": 2.0}
 #: a scenario's speedup may drop at most this fraction below baseline.
 TOLERANCE = 0.20
 
@@ -128,8 +131,9 @@ def check_report(
 
     Gates on the hardware-independent speedup ratio, never on raw
     events/sec (see the module docstring), plus two absolute checks:
-    fast/reference summaries must be identical, and fig8 must keep the
-    ≥3x end-to-end speedup the optimization PR promised.
+    fast/reference summaries must be identical, and every scenario in
+    :data:`MIN_SPEEDUPS` must keep the end-to-end speedup its
+    optimization PR promised (fig8 ≥5x, chaos and failover ≥2x).
     """
     errors: List[str] = []
     base_results = baseline.get("results", {})
@@ -153,10 +157,11 @@ def check_report(
                     f"{name}: speedup regressed to {cur_speedup:.2f}x "
                     f"(baseline {base_speedup:.2f}x, floor {floor:.2f}x)"
                 )
-    fig8_speedup = results.get("fig8", {}).get("speedup")
-    if fig8_speedup is not None and fig8_speedup < FIG8_MIN_SPEEDUP:
-        errors.append(
-            f"fig8: end-to-end speedup {fig8_speedup:.2f}x is below the "
-            f"required {FIG8_MIN_SPEEDUP:.1f}x"
-        )
+    for name, floor in sorted(MIN_SPEEDUPS.items()):
+        speedup = results.get(name, {}).get("speedup")
+        if speedup is not None and speedup < floor:
+            errors.append(
+                f"{name}: end-to-end speedup {speedup:.2f}x is below the "
+                f"required {floor:.1f}x"
+            )
     return errors

@@ -11,6 +11,10 @@ Three workloads exercise the three optimized layers end to end:
 * :func:`failover` — the HA leader-failover capstone: leases, fencing,
   promotion, and a scheduling burst through the cached device-view index
   (control-plane heavy).
+* :func:`trace_replay` — a Borg/Alibaba-shaped synthetic trace (diurnal
+  arrivals, heavy-tailed durations, mixed demands) serialized through
+  the JSON-lines trace engine and replayed through KubeShare via the
+  batched arrival-flow scheduler (workload engine + full stack).
 
 Every scenario resets process-global state (:func:`reset_all`), runs at a
 fixed seed, and returns a plain dict::
@@ -30,7 +34,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Optional
 
-__all__ = ["fig8", "chaos", "failover", "SCENARIOS"]
+__all__ = ["fig8", "chaos", "failover", "trace_replay", "SCENARIOS"]
 
 
 def _install_obs(env, cluster, ks, label: Optional[str]):
@@ -99,8 +103,12 @@ def fig8(
     return {"summary": summary, "events": events, "sim_time": sim_time, "obs": None}
 
 
-def chaos(obs_label: Optional[str] = None) -> Dict[str, Any]:
-    """Node-crash recovery (the chaos capstone, recovery stack enabled)."""
+def chaos(seed: int = 11, obs_label: Optional[str] = None) -> Dict[str, Any]:
+    """Node-crash recovery (the chaos capstone, recovery stack enabled).
+
+    *seed* feeds the chaos engine's fault-injection RNG, so a sweep over
+    seeds explores different crash victims with the same workload.
+    """
     from ..analysis.resets import reset_all
     from ..chaos import ChaosEngine
     from ..cluster import Cluster, ClusterConfig
@@ -134,7 +142,7 @@ def chaos(obs_label: Optional[str] = None) -> Dict[str, Any]:
             )
         )
 
-    engine = ChaosEngine(cluster, kubeshare=ks, seed=11)
+    engine = ChaosEngine(cluster, kubeshare=ks, seed=seed)
     engine.node_crash(at=45.0)
     engine.start()
 
@@ -171,8 +179,12 @@ def chaos(obs_label: Optional[str] = None) -> Dict[str, Any]:
     }
 
 
-def failover(obs_label: Optional[str] = None) -> Dict[str, Any]:
-    """HA leader failover mid-burst (the leader-election capstone)."""
+def failover(seed: int = 13, obs_label: Optional[str] = None) -> Dict[str, Any]:
+    """HA leader failover mid-burst (the leader-election capstone).
+
+    *seed* feeds the chaos engine's fault-injection RNG (see
+    :func:`chaos`).
+    """
     from ..analysis.resets import reset_all
     from ..chaos import ChaosEngine
     from ..cluster import Cluster, ClusterConfig
@@ -220,7 +232,7 @@ def failover(obs_label: Optional[str] = None) -> Dict[str, Any]:
 
     env.process(start_burst(), name="burst-starter")
 
-    engine = ChaosEngine(cluster, kubeshare=ks, seed=13)
+    engine = ChaosEngine(cluster, kubeshare=ks, seed=seed)
     engine.register_controllers(ks.sched_group, ks.devmgr_group)
     engine.controller_crash(at=45.0, target="kubeshare-devmgr")
     engine.start()
@@ -250,5 +262,68 @@ def failover(obs_label: Optional[str] = None) -> Dict[str, Any]:
     }
 
 
+def trace_replay(
+    seed: int = 23,
+    horizon: float = 360.0,
+    mean_rate: float = 0.35,
+    nodes: int = 8,
+    gpus_per_node: int = 4,
+    obs_label: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Replay a canned Borg-shaped trace through KubeShare (full stack).
+
+    The trace is generated at a fixed seed, round-tripped through the
+    JSON-lines serializer (the replay always runs from the *canned* form,
+    never the in-memory objects), and driven by the batched arrival-flow
+    scheduler. The summary pins the trace bytes by digest, so a sampler
+    or serializer change cannot slip through as a "perf" delta.
+    """
+    import hashlib
+
+    from ..analysis.resets import reset_all
+    from ..baselines.kubeshare_sys import KubeShareSystem
+    from ..experiments.common import run_inference_workload
+    from ..workloads.generator import InferenceWorkload
+    from ..workloads.trace import dumps_trace, loads_trace, synthetic_borg_trace
+
+    reset_all()
+    del obs_label  # like fig8: no chaos/control-plane artifacts to capture
+    canned = dumps_trace(synthetic_borg_trace(
+        seed=seed,
+        horizon=horizon,
+        mean_rate=mean_rate,
+        diurnal_amplitude=0.6,
+        period=horizon / 2.0,
+        max_duration=180.0,
+    ))
+    jobs = loads_trace(canned)
+    workload = InferenceWorkload(
+        jobs=jobs, jobs_per_minute=mean_rate * 60.0,
+        demand_mean=0.0, demand_std=0.0, seed=seed,
+    )
+    result = run_inference_workload(
+        KubeShareSystem, workload, nodes=nodes, gpus_per_node=gpus_per_node
+    )
+    env = result.extras["cluster"].env
+    summary = {
+        "trace_sha256": hashlib.sha256(canned.encode()).hexdigest(),
+        "n_jobs": len(jobs),
+        "throughput_jobs_per_min": result.throughput_jobs_per_min,
+        "makespan": result.makespan,
+        "failed": result.failed_jobs,
+    }
+    return {
+        "summary": summary,
+        "events": env.events_processed,
+        "sim_time": env.now,
+        "obs": None,
+    }
+
+
 #: name → scenario callable, in harness execution order.
-SCENARIOS = {"fig8": fig8, "chaos": chaos, "failover": failover}
+SCENARIOS = {
+    "fig8": fig8,
+    "chaos": chaos,
+    "failover": failover,
+    "trace_replay": trace_replay,
+}

@@ -2,10 +2,11 @@
 
 from __future__ import annotations
 
-from heapq import heappop, heappush
 from itertools import count
 from typing import Any, Iterable, Optional, Union
 
+from ..perf import fastpath
+from .calqueue import CalendarQueue, HeapQueue
 from .events import (
     AllOf,
     AnyOf,
@@ -73,6 +74,29 @@ _STOP = _StopSentinel()
 Until = Union[None, float, int, Event]
 
 
+def _pop_live(pop) -> tuple:
+    """Pop entries off a queue until one is live; return that entry.
+
+    The single place lazy cancellation is resolved: both
+    :meth:`~Environment.step` and :meth:`~Environment.peek` (and thereby
+    the heap and calendar backends) share this drain, so the two call
+    sites cannot drift. Tombstoned entries are discarded without
+    dispatching callbacks, without advancing the clock, and without
+    counting toward ``events_processed``; their callback list is dropped
+    so a cancelled event can never be double-processed.
+
+    *pop* is the backend's bound ``pop`` — passed in (rather than looked
+    up here) so the per-event hot path costs exactly one extra frame.
+    Raises :class:`IndexError` when the queue is exhausted.
+    """
+    while True:
+        entry = pop()
+        event = entry[3]
+        if not event._cancelled:
+            return entry
+        event.callbacks = None
+
+
 class Environment:
     """Execution environment for a discrete-event simulation.
 
@@ -86,11 +110,28 @@ class Environment:
     from the head of the queue, so both agree on the next *live* event.
     """
 
-    __slots__ = ("_now", "_queue", "_eid", "_active_proc", "_events_processed")
+    __slots__ = (
+        "_now",
+        "_queue",
+        "_qpush",
+        "_qpop",
+        "_eid",
+        "_active_proc",
+        "_events_processed",
+    )
 
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now: float = float(initial_time)
-        self._queue: list[tuple[float, int, int, Event]] = []
+        # Backend choice is fixed at construction (matching how every
+        # scenario runs: the REPRO_SLOW_KERNEL flag is read before any
+        # Environment exists). Reference mode keeps the single binary
+        # heap; fast mode uses the bucketed calendar queue. Entry order
+        # is identical either way — see repro.sim.calqueue. The push/pop
+        # bound methods are cached: schedule() and step() run once per
+        # event, and the two attribute hops are measurable there.
+        self._queue = HeapQueue() if fastpath.slow_kernel else CalendarQueue()
+        self._qpush = self._queue.push
+        self._qpop = self._queue.pop
         self._eid = count()
         self._active_proc: Optional[Process] = None
         self._events_processed: int = 0
@@ -137,36 +178,30 @@ class Environment:
     # -- scheduling --------------------------------------------------------
     def schedule(self, event: Event, priority: int = NORMAL, delay: float = 0.0) -> None:
         """Enqueue *event* to be processed after *delay*."""
-        heappush(
-            self._queue, (self._now + delay, priority, next(self._eid), event)
-        )
+        self._qpush((self._now + delay, priority, next(self._eid), event))
 
     def peek(self) -> float:
-        """Time of the next live scheduled event, or ``inf`` if none."""
-        queue = self._queue
-        while queue:
-            head = queue[0]
-            if head[3]._cancelled:
-                # Agree with step(): tombstones are not events.
-                heappop(queue)
-                head[3].callbacks = None
-                continue
-            return head[0]
-        return float("inf")
+        """Time of the next live scheduled event, or ``inf`` if none.
+
+        Shares the tombstone drain with :meth:`step` via ``_pop_live``;
+        the live head is pushed straight back (same entry tuple, so the
+        same ``(time, priority, seq)`` slot) to keep this non-destructive.
+        """
+        try:
+            entry = _pop_live(self._qpop)
+        except IndexError:
+            return float("inf")
+        self._qpush(entry)
+        return entry[0]
 
     def step(self) -> None:  # hot-path
         """Process the next event; raises :class:`EmptySchedule` if none."""
-        queue = self._queue
-        while True:
-            try:
-                now, _, _, event = heappop(queue)
-            except IndexError:
-                raise EmptySchedule() from None
-            if not event._cancelled:
-                break
-            # Tombstoned by Event.cancel(): discard without dispatching
-            # (and without advancing the clock or the processed counter).
-            event.callbacks = None
+        try:
+            entry = _pop_live(self._qpop)
+        except IndexError:
+            raise EmptySchedule() from None
+        now = entry[0]
+        event = entry[3]
 
         self._now = now
         if event is _STOP:
@@ -209,7 +244,7 @@ class Environment:
                         f"until ({at}) must not be before the current time ({self._now})"
                     )
                 # Priority below NORMAL so events at exactly `at` still run.
-                heappush(self._queue, (at, NORMAL + 1, next(self._eid), _STOP))
+                self._qpush((at, NORMAL + 1, next(self._eid), _STOP))
 
         try:
             while True:

@@ -18,6 +18,7 @@ import heapq
 from itertools import count
 from typing import TYPE_CHECKING, Any, Callable, Optional
 
+from ..perf import fastpath
 from .events import Event
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -233,8 +234,17 @@ class _StorePut(_BaseRequest):
     def __init__(self, store: "Store", item: Any) -> None:
         super().__init__(store)
         self.item = item
-        store._put_queue.append(self)
-        store._trigger()
+        # Fast path: with both wait queues empty, _trigger() would run
+        # exactly one _do_put over [self] and scan nothing else, so the
+        # dispatch is done inline. Succeed order is identical; a full
+        # store (or a PriorityStore override returning False) falls
+        # through to the generic queue-and-scan path.
+        if fastpath.slow_kernel or store._put_queue or store._get_queue:
+            store._put_queue.append(self)
+            store._trigger()
+        elif not store._do_put(self):
+            store._put_queue.append(self)
+            store._trigger()
 
 
 class _StoreGet(_BaseRequest):
@@ -245,8 +255,15 @@ class _StoreGet(_BaseRequest):
     ) -> None:
         super().__init__(store)
         self.filter = filter
-        store._get_queue.append(self)
-        store._trigger()
+        # Mirror of the put fast path: no blocked puts means a satisfied
+        # get frees no capacity anyone is waiting for, so the inline
+        # _do_get is the whole _trigger() pass.
+        if fastpath.slow_kernel or store._put_queue or store._get_queue:
+            store._get_queue.append(self)
+            store._trigger()
+        elif not store._do_get(self):
+            store._get_queue.append(self)
+            store._trigger()
 
 
 class Store:
@@ -268,6 +285,28 @@ class Store:
     def put(self, item: Any) -> _StorePut:
         return _StorePut(self, item)
 
+    def offer(self, item: Any) -> Optional[_StorePut]:
+        """Deposit *item* fire-and-forget (a ``put`` whose event nobody
+        awaits — watch fan-out, work-queue adds).
+
+        In fast mode an immediately-satisfiable deposit creates no event
+        at all: the put request would trigger with zero subscribers, so
+        its schedule/dispatch round trip is pure kernel traffic. The
+        fallback paths (reference kernel, full store, blocked puts)
+        return the ordinary request event, preserving the reference
+        schedule exactly.
+        """
+        if (
+            fastpath.slow_kernel
+            or self._put_queue
+            or len(self.items) >= self._capacity
+        ):
+            return _StorePut(self, item)
+        self._insert(item)
+        if self._get_queue:
+            self._trigger()
+        return None
+
     def get(self) -> _StoreGet:
         return _StoreGet(self)
 
@@ -280,9 +319,13 @@ class Store:
                 continue
 
     # -- item movement ---------------------------------------------------
+    def _insert(self, item: Any) -> None:
+        """Place *item* into the backing collection (ordering hook)."""
+        self.items.append(item)
+
     def _do_put(self, put: _StorePut) -> bool:
         if len(self.items) < self._capacity:
-            self.items.append(put.item)
+            self._insert(put.item)
             put.succeed()
             return True
         return False
@@ -301,25 +344,34 @@ class Store:
         return False
 
     def _trigger(self) -> None:
-        progressed = True
-        while progressed:
-            progressed = False
+        while True:
+            put_progress = False
             idx = 0
             while idx < len(self._put_queue):
                 put = self._put_queue[idx]
                 if self._do_put(put):
                     self._put_queue.pop(idx)
-                    progressed = True
+                    put_progress = True
                 else:
                     idx += 1
+            got = False
             idx = 0
             while idx < len(self._get_queue):
                 get = self._get_queue[idx]
                 if self._do_get(get):
                     self._get_queue.pop(idx)
-                    progressed = True
+                    got = True
                 else:
                     idx += 1
+            if fastpath.slow_kernel:
+                if not (put_progress or got):
+                    break
+            elif not (got and self._put_queue):
+                # Only a successful get frees capacity a blocked put could
+                # use; gets in this pass already saw every item the put
+                # pass added. Any extra pass is a full no-op scan, so the
+                # succeed() order — and the event schedule — is identical.
+                break
 
 
 class FilterStore(Store):
@@ -350,12 +402,8 @@ class PriorityItem:
 class PriorityStore(Store):
     """A :class:`Store` that yields items in ascending priority order."""
 
-    def _do_put(self, put: _StorePut) -> bool:
-        if len(self.items) < self._capacity:
-            heapq.heappush(self.items, put.item)
-            put.succeed()
-            return True
-        return False
+    def _insert(self, item: Any) -> None:
+        heapq.heappush(self.items, item)
 
     def _do_get(self, get: _StoreGet) -> bool:
         if self.items:

@@ -1,9 +1,16 @@
 """Workloads: the deep-learning jobs the paper evaluates with (Table 3)."""
 
+from .flows import FlowScheduler, diurnal_times, mmpp_times, poisson_times
 from .generator import InferenceWorkload, JobArrival, WorkloadGenerator
 from .interference import ANTI_AFFINITY_LABEL, JOB_A, JOB_B, InterferenceProfile
 from .jobs import InferenceJob, JobStats, TrainingJob
-from .trace import dump_trace, dumps_trace, load_trace, loads_trace
+from .trace import (
+    dump_trace,
+    dumps_trace,
+    load_trace,
+    loads_trace,
+    synthetic_borg_trace,
+)
 from .variable import RateSchedule, VariableRateInferenceJob, diurnal_schedule
 
 __all__ = [
@@ -21,6 +28,11 @@ __all__ = [
     "load_trace",
     "dumps_trace",
     "loads_trace",
+    "synthetic_borg_trace",
+    "FlowScheduler",
+    "poisson_times",
+    "mmpp_times",
+    "diurnal_times",
     "RateSchedule",
     "VariableRateInferenceJob",
     "diurnal_schedule",

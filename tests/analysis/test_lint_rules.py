@@ -417,6 +417,86 @@ class TestRPR008HotPathCopies:
         """) == []
 
 
+class TestRPR008SimKernel:
+    """Inside ``src/repro/sim/**`` every kernel function is implicitly
+    hot — no ``# hot-path`` marker required — and the fix-it points at
+    the calendar queue's bucket index instead of the device-view index."""
+
+    SIM = "src/repro/sim/fake.py"
+
+    def at(self, source, path):
+        return lint_source(textwrap.dedent(source), path=path)
+
+    def test_unmarked_kernel_function_flagged(self):
+        out = self.at("""
+            def pop(self):
+                live = sorted(self.pending)
+                return live[0]
+        """, self.SIM)
+        assert [f.rule_id for f in out] == ["RPR008"]
+
+    def test_fixit_points_at_bucket_index(self):
+        out = self.at("""
+            def peek(self):
+                return list(self.buckets)[0]
+        """, self.SIM)
+        assert "calqueue.CalendarQueue" in out[0].fixit
+        assert "bucket" in out[0].fixit
+
+    def test_same_source_outside_sim_clean(self):
+        # Without the marker the identical source is clean elsewhere:
+        # the implicit classification is scoped to the kernel package.
+        src = """
+            def pop(self):
+                return sorted(self.pending)[0]
+        """
+        assert self.at(src, "src/repro/core/devmgr.py") == []
+        assert self.at(src, self.SIM) != []
+
+    def test_dunder_methods_exempt(self):
+        assert self.at("""
+            class Condition:
+                def __init__(self, events):
+                    self._events = list(events)
+                def __repr__(self):
+                    return str(sorted(self._events))
+        """, self.SIM) == []
+
+    def test_property_accessors_exempt(self):
+        assert self.at("""
+            class Resource:
+                @property
+                def queue(self):
+                    return list(self._queue)
+        """, self.SIM) == []
+
+    def test_marked_function_outside_sim_still_flagged(self):
+        # The marker path is unchanged, with the generic fix-it.
+        out = self.at("""
+            def reconcile(self):  # hot-path
+                return list(self.cache)
+        """, "src/repro/core/devmgr.py")
+        assert [f.rule_id for f in out] == ["RPR008"]
+        assert "DeviceViewIndex" in out[0].fixit
+
+    def test_nested_function_reported_once(self):
+        # Both the outer and the nested function are kernel-hot; the
+        # copy in the closure must yield exactly one finding.
+        out = self.at("""
+            def schedule(self):
+                def drain():
+                    return sorted(self.pending)
+                return drain()
+        """, self.SIM)
+        assert [f.rule_id for f in out] == ["RPR008"]
+
+    def test_noqa_suppresses(self):
+        assert self.at("""
+            def pop(self):
+                return sorted(self.pending)[0]  # noqa: RPR008 - reference-mode drain
+        """, self.SIM) == []
+
+
 class TestRPR009UnguardedDelete:
     LIB = "src/repro/core/devmgr.py"
 

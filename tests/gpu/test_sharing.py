@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.gpu.sharing import ShareEntry, elastic_shares
+from repro.gpu.sharing import ShareEntry, elastic_shares, elastic_shares_py
 
 
 class TestValidation:
@@ -137,3 +137,47 @@ class TestProperties:
                 # j's above-floor allocation level
                 if alloc[i] < caps[i] - 1e-6 and alloc[j] > floors[j] + 1e-6:
                     assert alloc[i] >= alloc[j] - 1e-6
+
+
+# Small-n entries for the pure-Python mirror: bit-identical equivalence
+# is only promised below numpy's pairwise-summation threshold (n < 8).
+# A coarse grid is mixed in so floors and caps collide, exercising the
+# breakpoint ties where the two implementations could plausibly part.
+_small_share_floats = st.one_of(
+    st.sampled_from([0.0, 0.1, 0.25, 0.3, 0.5, 0.75, 1.0]),
+    st.floats(0.0, 1.0, allow_nan=False),
+)
+small_entries_strategy = st.lists(
+    st.builds(ShareEntry, request=_small_share_floats, cap=_small_share_floats),
+    min_size=0,
+    max_size=7,
+)
+
+
+class TestPurePythonMirror:
+    """The fuzz promised by the ``elastic_shares_py`` docstring: for
+    ``n < 8`` the pure-Python mirror must be *bit-identical* to the numpy
+    solver — it replaces the reference on the fast path, so any rounding
+    difference would leak into scenario summaries as a replay diff."""
+
+    @given(entries=small_entries_strategy)
+    @settings(max_examples=400, deadline=None)
+    def test_bit_identical_to_numpy(self, entries):
+        ref = elastic_shares(entries).tolist()
+        mirror = elastic_shares_py(entries)
+        assert mirror == ref  # exact float equality, not approx
+
+    @given(
+        entries=small_entries_strategy,
+        capacity=st.floats(0.05, 1.0, allow_nan=False),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_bit_identical_at_partial_capacity(self, entries, capacity):
+        assert elastic_shares_py(entries, capacity=capacity) == elastic_shares(
+            entries, capacity=capacity
+        ).tolist()
+
+    def test_empty_and_validation_match(self):
+        assert elastic_shares_py([]) == []
+        with pytest.raises(ValueError):
+            elastic_shares_py([ShareEntry(0.1, 0.5)], capacity=0.0)

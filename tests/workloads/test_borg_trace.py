@@ -1,0 +1,117 @@
+"""Tests for the synthetic Borg-shaped trace generator and the byte-level
+trace-serialization contract it depends on.
+
+The trace_replay perf scenario pins the generated trace by SHA-256 and
+the sweep runner's merged reports must be byte-identical across runs, so
+this file checks the contract at three levels: float round-tripping
+through the JSON-lines form, malformed-input rejection, and a checked-in
+golden file that the generator must reproduce byte for byte.
+"""
+
+import hashlib
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.workloads.generator import JobArrival
+from repro.workloads.trace import dumps_trace, loads_trace, synthetic_borg_trace
+
+_DATA = Path(__file__).parent / "data"
+
+#: generator parameters the golden file was produced with — changing
+#: either the sampler or these values is a contract break, not a refresh.
+_GOLDEN_KWARGS = dict(seed=3, horizon=120.0, mean_rate=0.2, period=60.0)
+
+
+class TestFloatPrecisionRoundTrip:
+    def test_full_precision_floats_survive(self):
+        # repr-based JSON floats are exact for binary64: values with no
+        # short decimal form must come back bit-identical, not rounded.
+        job = JobArrival(
+            name="precise",
+            arrival_time=math.pi * 100.0,
+            demand=1.0 / 3.0,
+            mem_fraction=0.1 + 0.2,  # the classic 0.30000000000000004
+            duration=math.sqrt(2.0) * 50.0,
+        )
+        (back,) = loads_trace(dumps_trace([job]))
+        assert back.arrival_time == job.arrival_time
+        assert back.demand == job.demand
+        assert back.mem_fraction == job.mem_fraction
+        assert back.duration == job.duration
+
+    def test_dumps_is_idempotent_through_loads(self):
+        # Serialized form is a fixed point: dump -> load -> dump is byte
+        # identical, which is what makes replay-from-canned-trace safe.
+        text = dumps_trace(synthetic_borg_trace(**_GOLDEN_KWARGS))
+        assert dumps_trace(loads_trace(text)) == text
+
+
+class TestMalformedLines:
+    def test_invalid_json_line_number_reported(self):
+        good = dumps_trace(synthetic_borg_trace(**_GOLDEN_KWARGS)).splitlines()
+        with pytest.raises(ValueError, match="line 3"):
+            loads_trace("\n".join([good[0], good[1], "{broken", good[2]]))
+
+    def test_missing_field_line_number_reported(self):
+        with pytest.raises(ValueError, match="line 1"):
+            loads_trace('{"name": "a", "arrival_time": 1.0}')
+
+    def test_blank_lines_are_not_jobs(self):
+        text = dumps_trace(synthetic_borg_trace(**_GOLDEN_KWARGS))
+        assert loads_trace(text + "\n\n") == loads_trace(text)
+
+
+class TestBorgGeneratorShape:
+    def test_arrivals_sorted_within_horizon(self):
+        jobs = synthetic_borg_trace(seed=7, horizon=300.0, mean_rate=0.3)
+        times = [j.arrival_time for j in jobs]
+        assert times == sorted(times)
+        assert all(0.0 <= t < 300.0 for t in times)
+
+    def test_durations_heavy_tailed_but_capped(self):
+        jobs = synthetic_borg_trace(
+            seed=5, horizon=2000.0, mean_rate=0.5, max_duration=240.0
+        )
+        durations = [j.duration for j in jobs]
+        assert max(durations) <= 240.0
+        # The Pareto tail must actually appear: some jobs land well past
+        # the lognormal body's bulk.
+        assert sum(d > 100.0 for d in durations) > 0
+
+    def test_demands_and_memory_bounded(self):
+        for job in synthetic_borg_trace(seed=9, horizon=600.0, mean_rate=0.4):
+            assert 0.05 <= job.demand <= 0.95
+            assert 0.05 <= job.mem_fraction <= 0.35
+
+    def test_max_jobs_truncates(self):
+        jobs = synthetic_borg_trace(seed=7, horizon=2000.0, mean_rate=0.5, max_jobs=10)
+        assert len(jobs) == 10
+
+
+class TestGoldenFile:
+    def test_generator_reproduces_golden_bytes(self):
+        """The generator is byte-stable: same seed -> same JSON-lines
+        bytes, on every platform (full-precision floats, no dict-order
+        or locale dependence). A diff here means the sampler changed —
+        regenerate the golden file only with a changelog entry, since
+        every canned-trace digest downstream shifts with it."""
+        golden = (_DATA / "borg_seed3.jsonl").read_text()
+        assert dumps_trace(synthetic_borg_trace(**_GOLDEN_KWARGS)) == golden
+
+    def test_digests_stable_across_seeds(self):
+        # Pin a few seeds by digest so a change that happens to preserve
+        # seed 3 (e.g. a conditional branch on seed parity) still trips.
+        expected = {
+            0: "8c823f14b1ac3b7843c1bba85d7c1c8e9c57aafa768be15daf075bcc6370ccef",
+            3: "82a84815aa116179cf99d197a5dead1d6d0cc3719b84558a0440c44dbde85178",
+            23: "1a786b36683b172a6799c46f01d020ddb9f95df14cb2f18fcd0f275538dd35d7",
+        }
+        for seed, digest in expected.items():
+            text = dumps_trace(
+                synthetic_borg_trace(
+                    seed=seed, horizon=120.0, mean_rate=0.2, period=60.0
+                )
+            )
+            assert hashlib.sha256(text.encode()).hexdigest() == digest
